@@ -1,0 +1,88 @@
+"""Figure 7 — overall cost per object update vs N on (simulated) real
+sensor data: Naive vs SCase vs Supreme, with 100 random queries.
+
+Paper setup: the Intel-lab stream, scoring function
+``|dt| / (|dtemp| * |dhum|)`` (arbitrary, so the SCase path applies), 100
+queries with random ``k <= K`` and ``n <= N``.  Expected shape: SCase sits
+within a small factor of the oracle-assisted Supreme while Naive is one to
+three orders of magnitude slower and the gap widens with N (the paper
+could not even finish Naive beyond N = 500k).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.naive import NaiveAlgorithm
+from repro.baselines.supreme import SupremeAlgorithm
+from repro.bench.harness import (
+    PaperParameters,
+    sensor_rows,
+    time_monitor,
+    time_naive,
+    time_supreme,
+    us_per,
+)
+from repro.bench.reporting import print_figure
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import sensor_scoring_function
+
+from shape_checks import mostly_dominates
+
+K = PaperParameters.K_DEFAULT
+NUM_QUERIES = 100
+
+
+def _register_random_queries(monitor, sf, N, rng):
+    for _ in range(NUM_QUERIES):
+        monitor.register_query(
+            sf, k=rng.randint(1, K), n=rng.randint(2, N), continuous=True
+        )
+
+
+def run_figure7():
+    x_values = PaperParameters.N_SWEEP[:3]  # naive cannot go further here
+    ticks = PaperParameters.TICKS
+    series = {"naive": [], "scase": [], "supreme": []}
+    for N in x_values:
+        warmup = sensor_rows(N, seed=7)
+        measured = sensor_rows(N + ticks, seed=7)[N:]
+        rng = random.Random(N)
+
+        sf = sensor_scoring_function()
+        monitor = TopKPairsMonitor(N, 3, strategy="scase")
+        monitor.register_query(sf, k=K, n=N)  # pins skyband depth at K
+        _register_random_queries(monitor, sf, N, rng)
+        for row in warmup:
+            monitor.append(row)
+        series["scase"].append(us_per(time_monitor(monitor, measured), ticks))
+
+        naive = NaiveAlgorithm(sensor_scoring_function(), K, N)
+        for row in warmup:
+            naive.append(row)
+        series["naive"].append(us_per(time_naive(naive, measured), ticks))
+
+        supreme = SupremeAlgorithm(
+            sensor_scoring_function(), K, N, num_attributes=3
+        )
+        for row in warmup:
+            supreme.append(row)
+        series["supreme"].append(
+            us_per(time_supreme(supreme, measured), ticks)
+        )
+    print_figure(
+        "Fig 7: overall cost on sensor data (100 random queries)",
+        "N", x_values, series,
+    )
+    return x_values, series
+
+
+def test_fig7_overall_cost_real_data(benchmark):
+    x_values, series = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    # Shape: naive is the clear loser everywhere; supreme the lower bound.
+    assert mostly_dominates(series["scase"], series["naive"], slack=1.0)
+    assert mostly_dominates(series["supreme"], series["scase"], slack=1.5)
+    # Naive degrades faster with N than SCase does.
+    naive_growth = series["naive"][-1] / series["naive"][0]
+    scase_growth = series["scase"][-1] / series["scase"][0]
+    assert naive_growth > 0.5 * scase_growth

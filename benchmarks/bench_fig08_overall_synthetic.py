@@ -1,0 +1,99 @@
+"""Figure 8 — overall cost per object update on synthetic data.
+
+Paper setup: four queries (one per scoring function s1..s4) each with
+``k = K`` and ``n = N``; uniform data; (a) sweeps K at the default N, (b)
+sweeps N at the default K.  Expected shape: SCase stays within a modest
+factor of Supreme, both grow roughly linearly in N and only mildly in K.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.supreme import SupremeAlgorithm
+from repro.bench.harness import (
+    PaperParameters,
+    synthetic_rows,
+    time_monitor,
+    time_supreme,
+    us_per,
+)
+from repro.bench.reporting import print_figure
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import paper_scoring_functions
+
+from shape_checks import mostly_dominates
+
+D = PaperParameters.D_DEFAULT
+NUM_FUNCTIONS = 4
+
+
+def _measure_point(N, K, ticks):
+    """Cost per object update (averaged over the four queries)."""
+    warmup = synthetic_rows(N, D, seed=8)
+    measured = synthetic_rows(N + ticks, D, seed=8)[N:]
+
+    monitor = TopKPairsMonitor(N, D, strategy="scase")
+    for sf in paper_scoring_functions(D):
+        monitor.register_query(sf, k=K, n=N)
+    for row in warmup:
+        monitor.append(row)
+    scase = us_per(time_monitor(monitor, measured), ticks * NUM_FUNCTIONS)
+
+    supreme_total = 0.0
+    for sf in paper_scoring_functions(D):
+        supreme = SupremeAlgorithm(sf, K, N, num_attributes=D)
+        supreme.register_continuous(query_id=1, k=K, n=N)
+        for row in warmup:
+            supreme.append(row)
+        supreme_total += time_supreme(supreme, measured)
+    supreme_cost = us_per(supreme_total, ticks * NUM_FUNCTIONS)
+    return scase, supreme_cost
+
+
+def run_fig8a():
+    x_values = PaperParameters.K_SWEEP
+    ticks = PaperParameters.TICKS
+    series = {"scase": [], "supreme": []}
+    for K in x_values:
+        scase, supreme = _measure_point(PaperParameters.N_DEFAULT, K, ticks)
+        series["scase"].append(scase)
+        series["supreme"].append(supreme)
+    print_figure(
+        "Fig 8(a): overall cost vs K (n=N, k=K, uniform)", "K",
+        x_values, series,
+    )
+    return x_values, series
+
+
+def run_fig8b():
+    x_values = PaperParameters.N_SWEEP
+    ticks = PaperParameters.TICKS
+    series = {"scase": [], "supreme": []}
+    for N in x_values:
+        scase, supreme = _measure_point(N, PaperParameters.K_DEFAULT, ticks)
+        series["scase"].append(scase)
+        series["supreme"].append(supreme)
+    print_figure(
+        "Fig 8(b): overall cost vs N (n=N, k=K, uniform)", "N",
+        x_values, series,
+    )
+    return x_values, series
+
+
+def test_fig8a_vary_K(benchmark):
+    x_values, series = benchmark.pedantic(run_fig8a, rounds=1, iterations=1)
+    # Supreme is the lower bound at every K.
+    assert mostly_dominates(series["supreme"], series["scase"], slack=1.0,
+                            threshold=0.8)
+    # K has only a mild effect on SCase (not super-linear).
+    assert series["scase"][-1] < series["scase"][0] * (
+        4 * x_values[-1] / x_values[0]
+    )
+
+
+def test_fig8b_vary_N(benchmark):
+    x_values, series = benchmark.pedantic(run_fig8b, rounds=1, iterations=1)
+    assert mostly_dominates(series["supreme"], series["scase"], slack=1.0,
+                            threshold=0.8)
+    # Cost grows with N for both (roughly linear in N).
+    assert series["scase"][-1] > series["scase"][0]
+    assert series["supreme"][-1] > series["supreme"][0]

@@ -1,0 +1,122 @@
+"""Figure 9 — effect of the query parameters k and n.
+
+Paper setup: four queries (s1..s4) with fixed ``(k, n)``; SCase does not
+know ``k``/``n`` in advance (it maintains its K-skyband over the full
+window N with the default K), while **naive++** and **supreme++** are
+built per query with exactly ``K = k`` and ``window = n``.  Expected
+shape:
+
+* (a) naive++ wins at ``k = 1`` (it keeps only O(n) pairs) but degrades
+  with k; SCase's line is flat in k (its work depends on K and N only,
+  so it is measured once and drawn flat, exactly like the paper's curve);
+* (b) supreme++'s cost grows with n (its lower bound is O(n)) while
+  SCase's stays flat; SCase beats naive++ by the time n reaches N.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.naive import NaiveAlgorithm
+from repro.baselines.supreme import SupremeAlgorithm
+from repro.bench.harness import (
+    PaperParameters,
+    synthetic_rows,
+    time_monitor,
+    time_naive,
+    time_supreme,
+    us_per,
+)
+from repro.bench.reporting import print_figure
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import paper_scoring_functions
+
+D = PaperParameters.D_DEFAULT
+N = PaperParameters.N_DEFAULT
+K = PaperParameters.K_DEFAULT
+NUM_FUNCTIONS = 4
+
+
+def _measure_scase(ticks):
+    """SCase cost per query per update — independent of the query's
+    (k, n), because maintenance is governed by (K, N)."""
+    warmup = synthetic_rows(N, D, seed=9)
+    measured = synthetic_rows(N + ticks, D, seed=9)[N:]
+    monitor = TopKPairsMonitor(N, D, strategy="scase")
+    for sf in paper_scoring_functions(D):
+        monitor.register_query(sf, k=K, n=N)
+    for row in warmup:
+        monitor.append(row)
+    return us_per(time_monitor(monitor, measured), ticks * NUM_FUNCTIONS)
+
+
+def _measure_plus_plus(k, n, ticks):
+    """naive++ / supreme++ cost per query per update for one (k, n)."""
+    warmup = synthetic_rows(N, D, seed=9)
+    measured = synthetic_rows(N + ticks, D, seed=9)[N:]
+    naive_total = supreme_total = 0.0
+    for sf in paper_scoring_functions(D):
+        naive = NaiveAlgorithm.plus_plus(sf, k, n)
+        for row in warmup:
+            naive.append(row)
+        naive_total += time_naive(naive, measured)
+
+        supreme = SupremeAlgorithm.plus_plus(sf, k, n, num_attributes=D)
+        supreme.register_continuous(query_id=1, k=k, n=n)
+        for row in warmup:
+            supreme.append(row)
+        supreme_total += time_supreme(supreme, measured)
+    return (
+        us_per(naive_total, ticks * NUM_FUNCTIONS),
+        us_per(supreme_total, ticks * NUM_FUNCTIONS),
+    )
+
+
+def run_fig9a():
+    x_values = [1, 5, 10, 20]  # paper: k <= K = 20
+    n = max(2, N // 10)  # paper: n = 1000 with N = 10,000
+    ticks = PaperParameters.TICKS
+    scase_cost = _measure_scase(ticks)
+    series = {"scase": [], "naive++": [], "supreme++": []}
+    for k in x_values:
+        naive_pp, supreme_pp = _measure_plus_plus(k, n, ticks)
+        series["scase"].append(scase_cost)
+        series["naive++"].append(naive_pp)
+        series["supreme++"].append(supreme_pp)
+    print_figure(
+        f"Fig 9(a): cost vs k (n={n}, N={N}, uniform)", "k",
+        x_values, series,
+    )
+    return x_values, series
+
+
+def run_fig9b():
+    x_values = [max(2, N // 10), N // 4, N // 2, N]
+    ticks = PaperParameters.TICKS
+    scase_cost = _measure_scase(ticks)
+    series = {"scase": [], "naive++": [], "supreme++": []}
+    for n in x_values:
+        naive_pp, supreme_pp = _measure_plus_plus(K, n, ticks)
+        series["scase"].append(scase_cost)
+        series["naive++"].append(naive_pp)
+        series["supreme++"].append(supreme_pp)
+    print_figure(
+        f"Fig 9(b): cost vs n (k={K}, N={N}, uniform)", "n",
+        x_values, series,
+    )
+    return x_values, series
+
+
+def test_fig9a_vary_k(benchmark):
+    x_values, series = benchmark.pedantic(run_fig9a, rounds=1, iterations=1)
+    # naive++ degrades with k; SCase is flat by construction.
+    assert series["naive++"][-1] > series["naive++"][0]
+    # At k = 1 naive++'s tiny state can beat SCase (paper Fig 9(a)).
+    # By k = K the tables must have turned.
+    assert series["scase"][-1] < series["naive++"][-1]
+
+
+def test_fig9b_vary_n(benchmark):
+    x_values, series = benchmark.pedantic(run_fig9b, rounds=1, iterations=1)
+    # supreme++ grows with n (its lower bound is O(n)).
+    assert series["supreme++"][-1] > 1.5 * series["supreme++"][0]
+    # SCase beats naive++ by the time n reaches N.
+    assert series["scase"][-1] < series["naive++"][-1]

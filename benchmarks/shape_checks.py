@@ -1,0 +1,25 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark regenerates one paper figure: it sweeps the figure's
+x-axis, measures each algorithm's cost in the paper's unit, prints the
+series table (run with ``-s`` to see it) and asserts the figure's
+qualitative *shape* (who wins, how the curves move).  Absolute numbers
+differ from the paper — its testbed was compiled code on 2012 hardware;
+see EXPERIMENTS.md for the side-by-side reading.
+"""
+
+from __future__ import annotations
+
+
+def fraction_leq(xs, ys, slack=1.0):
+    """Fraction of positions where xs[i] <= ys[i] * slack."""
+    assert len(xs) == len(ys)
+    hits = sum(1 for x, y in zip(xs, ys) if x <= y * slack)
+    return hits / len(xs)
+
+
+def mostly_dominates(cheaper, dearer, slack=1.2, threshold=0.6):
+    """Soft series comparison: ``cheaper`` is at most ``slack`` times
+    ``dearer`` at a ``threshold`` fraction of the sweep points.  Used for
+    shape assertions that must not be flaky on noisy CI machines."""
+    return fraction_leq(cheaper, dearer, slack) >= threshold

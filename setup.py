@@ -1,0 +1,7 @@
+"""Setup shim for environments without the ``wheel`` package, where the
+legacy ``setup.py develop`` editable-install path is the only one
+available.  All real metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

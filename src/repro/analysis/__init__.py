@@ -1,0 +1,27 @@
+"""Analysis utilities: operation counters (cost model) and the paper's
+closed-form expectations."""
+
+from repro.analysis.complexity import PowerLawFit, doubling_ratios, fit_power_law
+from repro.analysis.cost_model import Counters, CountingScoringFunction
+from repro.analysis.trace import TraceRecorder
+from repro.analysis.theory import (
+    expected_new_skyband_pairs,
+    expected_skyband_size,
+    harmonic,
+    skyband_membership_probability,
+    ta_access_bound,
+)
+
+__all__ = [
+    "Counters",
+    "CountingScoringFunction",
+    "PowerLawFit",
+    "TraceRecorder",
+    "doubling_ratios",
+    "fit_power_law",
+    "expected_new_skyband_pairs",
+    "expected_skyband_size",
+    "harmonic",
+    "skyband_membership_probability",
+    "ta_access_bound",
+]

@@ -1,0 +1,87 @@
+"""Empirical complexity-trend estimation.
+
+The paper's claims are asymptotic: maintenance is ``O(N (log log N +
+log K))``, the skyband is ``O(K log(N/K))``, TA touches
+``O(N^{d/(d+1)})`` pairs.  To check such claims against measurements, the
+tests and benchmarks fit a power law ``y = c * x^alpha`` to (x, y) series
+by ordinary least squares in log-log space and inspect the exponent:
+``alpha ~ 1`` means linear growth, ``alpha ~ 0`` flat / logarithmic,
+``alpha < 1`` sublinear, etc.
+
+Pure-Python, no numpy required (numpy is available in this environment,
+but the library keeps its zero-dependency promise).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["PowerLawFit", "fit_power_law", "doubling_ratios"]
+
+
+class PowerLawFit:
+    """Result of a log-log least-squares fit ``y ~ c * x^alpha``."""
+
+    __slots__ = ("exponent", "coefficient", "r_squared")
+
+    def __init__(self, exponent: float, coefficient: float,
+                 r_squared: float) -> None:
+        self.exponent = exponent
+        self.coefficient = coefficient
+        self.r_squared = r_squared
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x ** self.exponent
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerLawFit(y ~ {self.coefficient:.4g} * x^"
+            f"{self.exponent:.3f}, R2={self.r_squared:.3f})"
+        )
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> PowerLawFit:
+    """Fit ``y = c * x^alpha`` by least squares on ``(ln x, ln y)``.
+
+    Requires at least two points with strictly positive coordinates.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a trend")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need positive coordinates")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    n = len(xs)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    ss_xx = sum((lx - mean_x) ** 2 for lx in log_x)
+    if ss_xx == 0:
+        raise ValueError("all x values are equal; exponent is undefined")
+    ss_xy = sum(
+        (lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y)
+    )
+    exponent = ss_xy / ss_xx
+    intercept = mean_y - exponent * mean_x
+    ss_res = sum(
+        (ly - (intercept + exponent * lx)) ** 2
+        for lx, ly in zip(log_x, log_y)
+    )
+    ss_tot = sum((ly - mean_y) ** 2 for ly in log_y)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent, math.exp(intercept), r_squared)
+
+
+def doubling_ratios(ys: Sequence[float]) -> list[float]:
+    """``y[i+1] / y[i]`` for a series measured at doubling x values.
+
+    Handy for eyeballing growth: ~2 per step means linear, ~1 means flat
+    or logarithmic, ~4 quadratic.
+    """
+    if any(y <= 0 for y in ys):
+        raise ValueError("ratios need positive values")
+    return [b / a for a, b in zip(ys, ys[1:])]

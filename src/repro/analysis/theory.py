@@ -1,0 +1,78 @@
+"""Closed-form expectations from the paper's analysis.
+
+* Lemma 1 — a pair of age ``x`` is in the K-skyband with probability
+  ``min(K / x^2, 1)`` (scores independent of ages);
+* Theorem 3 — the expected K-skyband size is ``O(K log(N/K))``, derived
+  via ``K + K (H_N - H_sqrt(K))``;
+* Lemma 2 — the expected number of new pairs per arrival not dominated by
+  the skyband is ``O(K)`` (``~ sqrt(K) + K * pi^2/6`` before truncation);
+* §V-B.2 — the TA maintenance examines
+  ``M = (d+1) N^{d/(d+1)} K^{1/(d+1)}`` pairs in expectation (Fagin).
+
+The theory-validation benchmark compares these against measurements.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "harmonic",
+    "skyband_membership_probability",
+    "expected_skyband_size",
+    "expected_new_skyband_pairs",
+    "ta_access_bound",
+]
+
+_EULER_GAMMA = 0.57721566490153286
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n`` (exact below 10^6, asymptotic
+    ``ln n + gamma + 1/2n`` above)."""
+    if n < 0:
+        raise ValueError(f"harmonic number needs n >= 0, got {n}")
+    if n < 1_000_000:
+        return math.fsum(1.0 / x for x in range(1, n + 1))
+    return math.log(n) + _EULER_GAMMA + 1.0 / (2 * n)
+
+
+def skyband_membership_probability(K: int, age: int) -> float:
+    """Lemma 1: P[a pair of this age is in the K-skyband]."""
+    if age < 2:
+        return 1.0
+    return min(K / float(age * age), 1.0)
+
+
+def expected_skyband_size(K: int, N: int) -> float:
+    """Theorem 3's estimate ``sum_{x=2}^{N} x * min(K/x^2, 1)``, in its
+    closed ``K + K (H_N - H_y)`` form with ``y = floor(sqrt(K))``."""
+    if K < 1 or N < 2:
+        raise ValueError(f"need K >= 1 and N >= 2, got K={K}, N={N}")
+    y = max(1, int(math.isqrt(K)))
+    return K + K * (harmonic(N) - harmonic(y))
+
+
+def expected_new_skyband_pairs(K: int, N: int | None = None) -> float:
+    """Lemma 2: expected new non-dominated pairs per arrival.
+
+    ``sum_{x=2}^{N} min(K/x^2, 1) ~ sqrt(K) + K * (pi^2/6 truncated)``;
+    with ``N`` given the tail is truncated exactly.
+    """
+    if K < 1:
+        raise ValueError(f"need K >= 1, got {K}")
+    y = max(1, int(math.isqrt(K)))
+    basel = math.pi * math.pi / 6.0
+    head = sum(1.0 / (x * x) for x in range(1, y + 1))
+    tail = basel - head
+    if N is not None:
+        tail -= max(0.0, 1.0 / N)  # crude truncation of the far tail
+    return y + K * max(0.0, tail)
+
+
+def ta_access_bound(d: int, N: int, K: int) -> float:
+    """Fagin's bound on the pairs Algorithm 5 examines:
+    ``(d+1) * N^(d/(d+1)) * K^(1/(d+1))``."""
+    if d < 1 or N < 1 or K < 1:
+        raise ValueError(f"need d, N, K >= 1, got d={d}, N={N}, K={K}")
+    return (d + 1) * N ** (d / (d + 1)) * K ** (1 / (d + 1))

@@ -1,0 +1,17 @@
+"""The paper's competitor algorithms: naive/naive++ (§VI-B),
+supreme/supreme++ (§VI-B), linear query answering (§VI-C) and the basic
+no-staircase maintainer (§VI-D), plus the brute-force test reference."""
+
+from repro.baselines.basic import BasicMaintainer
+from repro.baselines.brute import BruteForceReference
+from repro.baselines.linear import linear_top_k
+from repro.baselines.naive import NaiveAlgorithm
+from repro.baselines.supreme import SupremeAlgorithm
+
+__all__ = [
+    "BasicMaintainer",
+    "BruteForceReference",
+    "NaiveAlgorithm",
+    "SupremeAlgorithm",
+    "linear_top_k",
+]

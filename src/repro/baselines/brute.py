@@ -1,0 +1,78 @@
+"""Brute-force reference implementation.
+
+Keeps every window object and answers queries by scoring *all*
+``O(n^2)`` in-window pairs.  This is the ground truth the test suite
+checks every other algorithm against, and the starting point the paper's
+§VI-B dismisses ("maintain all O(N^2) pairs ... too slow").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.core.pair import Pair
+from repro.scoring.base import ScoringFunction
+from repro.stream.object import StreamObject
+
+__all__ = ["BruteForceReference"]
+
+
+class BruteForceReference:
+    """Ground-truth top-k pairs over a count-based window."""
+
+    def __init__(self, scoring_function: ScoringFunction, window_size: int,
+                 *, pair_filter=None) -> None:
+        self.scoring_function = scoring_function
+        self.window_size = window_size
+        self.pair_filter = pair_filter
+        self._window: deque[StreamObject] = deque()
+        self._next_seq = 1
+
+    @property
+    def now_seq(self) -> int:
+        return self._next_seq - 1
+
+    def append(self, values: Sequence[float]) -> StreamObject:
+        obj = StreamObject(self._next_seq, values)
+        self._next_seq += 1
+        self._window.append(obj)
+        while len(self._window) > self.window_size:
+            self._window.popleft()
+        return obj
+
+    def all_pairs(self, n: int | None = None) -> list[Pair]:
+        """Every in-window pair, scored, in ascending score order."""
+        n = self.window_size if n is None else n
+        objects = [
+            o for o in self._window if o.age(self.now_seq) <= n
+        ]
+        # Pairs must also satisfy the *pair* age bound, which equals the
+        # older member's age — already enforced by filtering objects.
+        keep = self.pair_filter
+        pairs = [
+            Pair(a, b, self.scoring_function.score(a, b))
+            for i, a in enumerate(objects)
+            for b in objects[i + 1:]
+            if keep is None or keep(a, b)
+        ]
+        pairs.sort(key=lambda p: p.score_key)
+        return pairs
+
+    def top_k(self, k: int, n: int | None = None) -> list[Pair]:
+        """The exact top-k pairs in the window of size ``n``."""
+        return self.all_pairs(n)[:k]
+
+    def skyband(self, K: int) -> list[Pair]:
+        """The exact K-skyband by O(P^2) dominance counting."""
+        pairs = self.all_pairs()
+        members: list[Pair] = []
+        for p in pairs:
+            dominators = sum(
+                1
+                for q in pairs
+                if q.score_key < p.score_key and q.age_key <= p.age_key
+            )
+            if dominators < K:
+                members.append(p)
+        return members

@@ -1,0 +1,31 @@
+"""Benchmark harness helpers: Table-I parameters, stream drivers, cost
+accounting and figure-shaped reporting."""
+
+from repro.bench.harness import (
+    SCALE,
+    PaperParameters,
+    drive_monitor,
+    sensor_rows,
+    synthetic_rows,
+    take,
+    time_monitor,
+    time_naive,
+    time_supreme,
+    us_per,
+)
+from repro.bench.reporting import format_figure, print_figure
+
+__all__ = [
+    "SCALE",
+    "PaperParameters",
+    "drive_monitor",
+    "format_figure",
+    "print_figure",
+    "sensor_rows",
+    "synthetic_rows",
+    "take",
+    "time_monitor",
+    "time_naive",
+    "time_supreme",
+    "us_per",
+]

@@ -1,0 +1,137 @@
+"""Benchmark harness: paper parameters (Table I), scaling, and drivers.
+
+The paper's testbed is compiled code sweeping windows up to N = 1,000,000;
+a pure-Python reproduction sweeps the same parameter *ratios* at laptop
+scale.  ``REPRO_BENCH_SCALE`` (default 1.0) multiplies every window size,
+so ``REPRO_BENCH_SCALE=5 pytest benchmarks/ --benchmark-only`` runs a 5x
+larger sweep when more time is available.
+
+Cost accounting mirrors §VI: each algorithm's cost is wall time per object
+update (or per query), except the supreme algorithm, which is charged only
+its oracle-exempt work via ``SupremeAlgorithm.chargeable_seconds``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.baselines.naive import NaiveAlgorithm
+from repro.baselines.supreme import SupremeAlgorithm
+from repro.core.monitor import TopKPairsMonitor
+from repro.datasets.sensor import SensorStreamSimulator
+from repro.datasets.synthetic import make_stream
+from repro.scoring.library import paper_scoring_functions
+
+__all__ = [
+    "SCALE",
+    "PaperParameters",
+    "take",
+    "sensor_rows",
+    "synthetic_rows",
+    "drive_monitor",
+    "time_monitor",
+    "time_naive",
+    "time_supreme",
+    "us_per",
+]
+
+
+def _read_scale() -> float:
+    try:
+        return max(0.05, float(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1.0
+
+
+SCALE = _read_scale()
+
+
+def _scaled(base: int) -> int:
+    return max(10, int(base * SCALE))
+
+
+class PaperParameters:
+    """Table I, scaled for a pure-Python run.
+
+    Paper values in comments; bold defaults of the paper become the
+    defaults here.
+    """
+
+    # Paper: N in {10k, 50k, 100k, 500k, 1M}, default 10k.
+    N_SWEEP = [_scaled(n) for n in (150, 300, 600, 1200)]
+    N_DEFAULT = _scaled(600)
+    # Paper: K in {1, 5, 10, 20, 50, 100}, default 20.
+    K_SWEEP = [1, 5, 20, 50]
+    K_DEFAULT = 20
+    # Paper: d in {2, 3, 4, 5, 6}, default 3.
+    D_SWEEP = [2, 3, 4, 5, 6]
+    D_DEFAULT = 3
+    # Distributions of §VI-A plus the simulated sensor data.
+    DISTRIBUTIONS = ["uniform", "correlated", "anticorrelated"]
+    # Measured stream length per configuration (after warm-up).
+    TICKS = _scaled(150)
+
+
+def take(stream: Iterator, count: int) -> list:
+    return list(itertools.islice(stream, count))
+
+
+def synthetic_rows(
+    count: int, d: int, *, distribution: str = "uniform", seed: int = 0
+) -> list[tuple[float, ...]]:
+    return take(make_stream(distribution, d, seed=seed), count)
+
+
+def sensor_rows(count: int, *, seed: int = 0) -> list[tuple[float, ...]]:
+    """(time, temperature, humidity) rows from the simulated Intel lab."""
+    sim = SensorStreamSimulator(seed=seed, anomaly_rate=0.01)
+    return [values[:3] for values in take(sim.value_rows(), count)]
+
+
+def drive_monitor(monitor: TopKPairsMonitor, rows: Iterable) -> None:
+    for row in rows:
+        monitor.append(row)
+
+
+def time_monitor(monitor: TopKPairsMonitor, rows: Sequence) -> float:
+    """Wall seconds to stream ``rows`` through a monitor."""
+    start = time.perf_counter()
+    for row in rows:
+        monitor.append(row)
+    return time.perf_counter() - start
+
+
+def time_naive(naive: NaiveAlgorithm, rows: Sequence) -> float:
+    start = time.perf_counter()
+    for row in rows:
+        naive.append(row)
+    return time.perf_counter() - start
+
+
+def time_supreme(supreme: SupremeAlgorithm, rows: Sequence) -> float:
+    """Chargeable seconds only (the oracle works off the clock)."""
+    before = supreme.chargeable_seconds
+    for row in rows:
+        supreme.append(row)
+    return supreme.chargeable_seconds - before
+
+
+def us_per(seconds: float, count: int) -> float:
+    """Microseconds per unit of work."""
+    return seconds * 1e6 / max(1, count)
+
+
+def default_scoring_functions(d: int):
+    """The four §VI-A functions s1..s4 over ``d`` attributes."""
+    return paper_scoring_functions(d)
+
+
+def time_callable(fn: Callable[[], object], repeats: int) -> float:
+    """Wall seconds for ``repeats`` invocations of ``fn``."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return time.perf_counter() - start

@@ -1,0 +1,66 @@
+"""Plain-text figure reporting for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures as a series table:
+one row per x-value, one column per algorithm, values in the figure's unit
+(typically microseconds per object update or per query).  The tables are
+printed to stdout so ``pytest benchmarks/ --benchmark-only -s`` shows the
+paper-shaped output next to pytest-benchmark's own timing table.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_figure", "print_figure"]
+
+
+def format_figure(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    unit: str = "us/update",
+    precision: int = 2,
+) -> str:
+    """Render one figure as an aligned text table."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_values)} x-values"
+            )
+    names = list(series)
+    header = [x_label] + [f"{name} [{unit}]" for name in names]
+    rows = [
+        [str(x)] + [f"{series[name][i]:.{precision}f}" for name in names]
+        for i, x in enumerate(x_values)
+    ]
+    widths = [
+        max(len(header[c]), *(len(row[c]) for row in rows)) if rows
+        else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_figure(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    unit: str = "us/update",
+    precision: int = 2,
+) -> None:
+    print()
+    print(
+        format_figure(
+            title, x_label, x_values, series, unit=unit, precision=precision
+        )
+    )

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: pairs in (age, score) space,
+K-skyband + K-staircase maintenance, PST-based snapshot answering,
+incremental continuous answering, and the multi-query monitor."""
+
+from repro.core.continuous import ContinuousQueryState
+from repro.core.maintenance import (
+    SCaseMaintainer,
+    SkybandDelta,
+    SkybandMaintainer,
+    TAMaintainer,
+)
+from repro.core.monitor import QueryHandle, TopKPairsMonitor
+from repro.core.pair import Pair, dominates, make_pair, window_age_key_bound
+from repro.core.query import TopKPairsQuery, answer_snapshot
+from repro.core.skyband_update import update_skyband_and_staircase
+from repro.core.staircase import KStaircase
+
+__all__ = [
+    "ContinuousQueryState",
+    "KStaircase",
+    "Pair",
+    "QueryHandle",
+    "SCaseMaintainer",
+    "SkybandDelta",
+    "SkybandMaintainer",
+    "TAMaintainer",
+    "TopKPairsMonitor",
+    "TopKPairsQuery",
+    "answer_snapshot",
+    "dominates",
+    "make_pair",
+    "update_skyband_and_staircase",
+    "window_age_key_bound",
+]

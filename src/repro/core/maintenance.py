@@ -1,0 +1,486 @@
+"""The skyband maintenance module (paper §V).
+
+One maintainer exists per unique scoring function (Fig 2).  It owns:
+
+* the K-skyband as a score-sorted list (rebuilt by Algorithm 4 sweeps),
+* the K-staircase for ``O(log |SKB|)`` dominance tests,
+* the priority search tree indexing the skyband for query answering,
+* an index of skyband pairs by their older member's sequence number, so
+  expiry removes exactly the right pairs in ``O(K log |SKB|)``.
+
+Three maintenance strategies are provided:
+
+* :class:`SCaseMaintainer` — paper Algorithm 3: on arrival, consider all
+  ``O(N)`` new pairs, keep those not dominated by the staircase, then run
+  Algorithm 4 over the merged candidate set.  Works for arbitrary scoring
+  functions; expected cost ``O(N (log log N + log K))``.
+* :class:`TAMaintainer` — paper Algorithm 5: for *global* scoring
+  functions, consume the per-attribute sorted pair streams round-robin and
+  stop once the TA threshold point is dominated by the staircase,
+  examining only ``M = (d+1) N^{d/(d+1)} K^{1/(d+1)}`` pairs in
+  expectation.
+* :class:`BasicMaintainer` (in :mod:`repro.baselines.basic`) — Algorithm 3
+  *without* the staircase, using dominance counting with early exit; the
+  paper's "basic" competitor in Fig 12.
+
+Expiry handling is shared: remove the expired object's skyband pairs and
+refresh the staircase from the surviving skyband (expiry can never add
+skyband members — a dominator always has age at most its dominatee's, and
+all maximal-age pairs expire together — but a stale staircase could keep
+counting expired dominators, so it must be refreshed before the next
+arrival's dominance tests).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.analysis.cost_model import Counters
+from repro.core.pair import Pair, dominates, make_pair
+from repro.core.skyband_update import update_skyband_and_staircase
+from repro.core.staircase import KStaircase
+from repro.exceptions import InvalidParameterError, ScoringFunctionError
+from repro.stream.manager import StreamManager
+from repro.stream.object import StreamObject
+from repro.stream.pair_source import iter_pairs_by_age, iter_pairs_by_local_score
+from repro.structures.pst import PrioritySearchTree
+
+__all__ = [
+    "SkybandDelta",
+    "SkybandMaintainer",
+    "SCaseMaintainer",
+    "TAMaintainer",
+]
+
+
+class SkybandDelta:
+    """What changed in the K-skyband during one stream tick.
+
+    ``added`` is sorted ascending by score key — the order the continuous
+    query answering module consumes (paper §IV-B).
+    """
+
+    __slots__ = ("added", "removed", "expired", "_departed_uids")
+
+    def __init__(
+        self,
+        added: list[Pair],
+        removed: list[Pair],
+        expired: list[Pair],
+    ) -> None:
+        self.added = added
+        self.removed = removed
+        self.expired = expired
+        self._departed_uids: set[int] | None = None
+
+    @property
+    def departed_uids(self) -> set[int]:
+        """Uids of all pairs that left the skyband this tick (removed or
+        expired), computed once and shared by every query's update."""
+        if self._departed_uids is None:
+            departed = {p.uid for p in self.removed}
+            departed.update(p.uid for p in self.expired)
+            self._departed_uids = departed
+        return self._departed_uids
+
+    def __repr__(self) -> str:
+        return (
+            f"SkybandDelta(+{len(self.added)}, -{len(self.removed)}, "
+            f"expired {len(self.expired)})"
+        )
+
+
+class SkybandMaintainer(ABC):
+    """Shared skeleton of all skyband maintenance strategies.
+
+    ``pair_filter`` (optional) restricts the pair universe: only pairs
+    ``(a, b)`` with ``pair_filter(a, b)`` true exist for this maintainer
+    — e.g. "same sector only".  The K-skyband is then the skyband *of the
+    filtered pair set*, which answers every query sharing the same
+    (scoring function, filter) combination.  Filters must be symmetric
+    and time-invariant for a given pair of objects.
+    """
+
+    def __init__(
+        self,
+        scoring_function,
+        K: int,
+        *,
+        counters: Optional[Counters] = None,
+        pair_filter=None,
+    ) -> None:
+        if K < 1:
+            raise InvalidParameterError(f"K must be >= 1, got {K}")
+        self.scoring_function = scoring_function
+        self.K = K
+        self.counters = counters
+        self.pair_filter = pair_filter
+        self._skyband: list[Pair] = []
+        self._score_keys: list[tuple] = []
+        self._staircase = KStaircase()
+        self._pst = PrioritySearchTree()
+        self._by_oldest: dict[int, list[Pair]] = {}
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    @property
+    def skyband(self) -> list[Pair]:
+        """The K-skyband in ascending score order (do not mutate)."""
+        return self._skyband
+
+    @property
+    def staircase(self) -> KStaircase:
+        return self._staircase
+
+    @property
+    def pst(self) -> PrioritySearchTree:
+        return self._pst
+
+    def __len__(self) -> int:
+        return len(self._skyband)
+
+    # ------------------------------------------------------------------
+    # stream tick
+    # ------------------------------------------------------------------
+    def on_tick(
+        self,
+        manager: StreamManager,
+        new_obj: StreamObject,
+        expired: list[StreamObject],
+    ) -> SkybandDelta:
+        """Process one arrival event (expiries first, then the arrival)."""
+        expired_pairs: list[Pair] = []
+        for gone in expired:
+            expired_pairs.extend(self._expire(gone))
+        added, removed = self._arrive(manager, new_obj)
+        return SkybandDelta(added, removed, expired_pairs)
+
+    def on_batch(
+        self,
+        manager: StreamManager,
+        new_objs: list[StreamObject],
+        expired: list[StreamObject],
+    ) -> SkybandDelta:
+        """Process several arrivals with one Algorithm 4 sweep.
+
+        Batch semantics: the skyband (and any continuous answers) are
+        refreshed only at batch boundaries, over the pairs whose members
+        are both alive in the *final* window.  Candidate collection for
+        each batch member sees only older partners (so each intra-batch
+        pair is collected exactly once, by its newer member), and the
+        staircase from the batch start is used for pruning — stale within
+        the batch but conservative, since all of its implied dominators
+        survive the batch's expiries (they are removed first, below).
+        Amortizes the merge / Algorithm 4 / PST-diff work across the
+        batch; throughput vs latency is measured in bench_ablation.
+        """
+        expired_pairs: list[Pair] = []
+        for gone in expired:
+            expired_pairs.extend(self._expire(gone))
+        candidates: list[Pair] = []
+        for new_obj in new_objs:
+            candidates.extend(self._collect_candidates(manager, new_obj))
+        added, removed = self._apply_candidates(candidates)
+        return SkybandDelta(added, removed, expired_pairs)
+
+    def _expire(self, gone: StreamObject) -> list[Pair]:
+        """Drop all skyband pairs whose older member just expired."""
+        dropped = self._by_oldest.pop(gone.seq, [])
+        if not dropped:
+            return []
+        dropped_uids = {p.uid for p in dropped}
+        survivors = [p for p in self._skyband if p.uid not in dropped_uids]
+        for pair in dropped:
+            self._pst.delete(pair)
+            if self.counters is not None:
+                self.counters.pst_deletes += 1
+                self.counters.skyband_removals += 1
+        # Membership cannot change on expiry, but the staircase must be
+        # refreshed or it would keep counting expired dominators.
+        skyband, staircase = update_skyband_and_staircase(survivors, self.K)
+        self._set_skyband(skyband, staircase)
+        return dropped
+
+    def _arrive(
+        self, manager: StreamManager, new_obj: StreamObject
+    ) -> tuple[list[Pair], list[Pair]]:
+        """Algorithm 3 / 5 skeleton: collect non-dominated new pairs, merge
+        with the current skyband, re-run Algorithm 4, apply the diff."""
+        return self._apply_candidates(
+            self._collect_candidates(manager, new_obj)
+        )
+
+    def _apply_candidates(
+        self, candidates: list[Pair]
+    ) -> tuple[list[Pair], list[Pair]]:
+        """Merge candidate pairs into the skyband (Algorithm 4 + diff)."""
+        if not candidates:
+            return [], []
+        candidates.sort(key=lambda p: p.score_key)
+        merged = _merge_by_score(self._skyband, candidates)
+        skyband, staircase = update_skyband_and_staircase(
+            merged, self.K, counters=self.counters
+        )
+        old_uids = {p.uid for p in self._skyband}
+        new_uids = {p.uid for p in skyband}
+        added = [p for p in skyband if p.uid not in old_uids]
+        removed = [p for p in self._skyband if p.uid not in new_uids]
+        for pair in removed:
+            self._pst.delete(pair)
+            self._by_oldest[pair.oldest_seq].remove(pair)
+            if not self._by_oldest[pair.oldest_seq]:
+                del self._by_oldest[pair.oldest_seq]
+            if self.counters is not None:
+                self.counters.pst_deletes += 1
+                self.counters.skyband_removals += 1
+        for pair in added:
+            self._pst.insert(pair)
+            self._by_oldest.setdefault(pair.oldest_seq, []).append(pair)
+            if self.counters is not None:
+                self.counters.pst_inserts += 1
+                self.counters.skyband_inserts += 1
+        self._skyband = skyband
+        self._score_keys = [p.score_key for p in skyband]
+        self._staircase = staircase
+        return added, removed
+
+    def _set_skyband(self, skyband: list[Pair], staircase: KStaircase) -> None:
+        self._skyband = skyband
+        self._score_keys = [p.score_key for p in skyband]
+        self._staircase = staircase
+
+    def bootstrap(self, manager: StreamManager) -> None:
+        """(Re)build the skyband from scratch over the current window.
+
+        Used when a query raises the group's K: all ``O(N^2)`` window
+        pairs are enumerated once and fed to Algorithm 4.
+        """
+        objects = manager.objects()
+        keep = self.pair_filter
+        pairs = [
+            make_pair(objects[i], objects[j], self.scoring_function,
+                      self.counters)
+            for i in range(len(objects))
+            for j in range(i + 1, len(objects))
+            if keep is None or keep(objects[i], objects[j])
+        ]
+        pairs.sort(key=lambda p: p.score_key)
+        skyband, staircase = update_skyband_and_staircase(pairs, self.K)
+        self._set_skyband(skyband, staircase)
+        self._pst = PrioritySearchTree(skyband)
+        self._by_oldest = {}
+        for pair in skyband:
+            self._by_oldest.setdefault(pair.oldest_seq, []).append(pair)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _collect_candidates(
+        self, manager: StreamManager, new_obj: StreamObject
+    ) -> list[Pair]:
+        """New pairs of ``new_obj`` that are *not* dominated by the current
+        K-skyband (checked against the strategy's dominance structure)."""
+
+    # ------------------------------------------------------------------
+    # introspection (debugging / analysis helpers)
+    # ------------------------------------------------------------------
+    def dominators_of(self, pair: Pair) -> list[Pair]:
+        """The skyband pairs dominating ``pair`` (ascending score).
+
+        Explains membership decisions: a pair is (or would be) outside
+        the K-skyband exactly when this list reaches length K, because
+        the K smallest-score dominators of any pair are always skyband
+        members (docs/design_notes.md §3).  ``O(|SKB|)`` — a debugging
+        aid, not a hot path.
+        """
+        return [q for q in self._skyband if dominates(q, pair)]
+
+    def contains(self, pair: Pair) -> bool:
+        """Whether ``pair`` is currently a skyband member."""
+        return any(
+            q.uid == pair.uid
+            for q in self._by_oldest.get(pair.oldest_seq, ())
+        )
+
+    def check_invariants(self, manager: StreamManager) -> None:
+        """Cross-validate skyband, staircase, PST and index (test helper)."""
+        assert self._score_keys == [p.score_key for p in self._skyband]
+        assert sorted(self._score_keys) == self._score_keys
+        self._staircase.check_invariants()
+        self._pst.check_invariants()
+        assert len(self._pst) == len(self._skyband)
+        pst_uids = {p.uid for p in self._pst.points()}
+        assert pst_uids == {p.uid for p in self._skyband}
+        indexed = [p for pairs in self._by_oldest.values() for p in pairs]
+        assert {p.uid for p in indexed} == pst_uids
+        window_seqs = {o.seq for o in manager}
+        for pair in self._skyband:
+            assert pair.older.seq in window_seqs
+            assert pair.newer.seq in window_seqs
+
+
+class SCaseMaintainer(SkybandMaintainer):
+    """Paper Algorithm 3: arbitrary scoring functions, staircase pruning."""
+
+    def _collect_candidates(
+        self, manager: StreamManager, new_obj: StreamObject
+    ) -> list[Pair]:
+        candidates: list[Pair] = []
+        staircase = self._staircase
+        counters = self.counters
+        keep = self.pair_filter
+        for partner in manager:
+            if partner.seq >= new_obj.seq:
+                continue  # intra-batch pairs belong to their newer member
+            if keep is not None and not keep(new_obj, partner):
+                continue
+            pair = make_pair(new_obj, partner, self.scoring_function, counters)
+            if counters is not None:
+                counters.pairs_considered += 1
+                counters.staircase_checks += 1
+            if not staircase.dominates(pair.score_key, pair.age_key):
+                candidates.append(pair)
+                if counters is not None:
+                    counters.candidate_pairs += 1
+        return candidates
+
+
+class TAMaintainer(SkybandMaintainer):
+    """Paper Algorithm 5: global scoring functions, threshold termination.
+
+    Accesses the ``d`` local-score pair streams plus the age stream in
+    round-robin order; stops as soon as the dummy threshold point —
+    smallest possible score and age of any unseen pair — is dominated by
+    the staircase (then every unseen pair is too), or as soon as any one
+    stream is exhausted (each stream enumerates *all* partners, so one
+    exhausted stream means every pair has been examined).
+    """
+
+    def __init__(
+        self,
+        scoring_function,
+        K: int,
+        *,
+        counters: Optional[Counters] = None,
+        schedule: str = "round-robin",
+        pair_filter=None,
+    ) -> None:
+        if not scoring_function.is_global():
+            raise ScoringFunctionError(
+                "TAMaintainer requires a global scoring function; "
+                f"{scoring_function.name!r} is not one"
+            )
+        if schedule not in ("round-robin", "adaptive"):
+            raise InvalidParameterError(
+                f"schedule must be 'round-robin' or 'adaptive', "
+                f"got {schedule!r}"
+            )
+        super().__init__(scoring_function, K, counters=counters,
+                         pair_filter=pair_filter)
+        self.schedule = schedule
+
+    def _collect_candidates(
+        self, manager: StreamManager, new_obj: StreamObject
+    ) -> list[Pair]:
+        terms = self.scoring_function.terms
+        num_terms = len(terms)
+        local_sources = [
+            iter_pairs_by_local_score(manager, new_obj, attr, fn)
+            for attr, fn in terms
+        ]
+        age_source = iter_pairs_by_age(manager, new_obj)
+        last_local: list[Optional[float]] = [None] * num_terms
+        last_age_key: Optional[int] = None
+        seen: set[int] = set()
+        candidates: list[Pair] = []
+        staircase = self._staircase
+        counters = self.counters
+        adaptive = self.schedule == "adaptive"
+
+        while True:
+            initialized = last_age_key is not None and all(
+                ls is not None for ls in last_local
+            )
+            if initialized:
+                bound = self.scoring_function.combine(last_local)
+                if counters is not None:
+                    counters.staircase_checks += 1
+                if staircase.dominates(
+                    (bound, -math.inf, -math.inf), last_age_key
+                ):
+                    break
+            if adaptive and initialized:
+                # Advance only the local list currently holding the
+                # threshold down — the one with the smallest frontier
+                # score — instead of all d lists (§V-B extension).
+                indices = [
+                    min(range(num_terms), key=lambda i: last_local[i])
+                ]
+            else:
+                indices = range(num_terms)
+            exhausted = False
+            for i in indices:
+                item = next(local_sources[i], None)
+                if item is None:
+                    # Every list enumerates all partners, so one exhausted
+                    # list means every pair has been examined.
+                    exhausted = True
+                    break
+                partner, local_score = item
+                last_local[i] = local_score
+                self._consider(new_obj, partner, seen, candidates)
+            if exhausted:
+                break
+            partner = next(age_source, None)
+            if partner is None:
+                break
+            if partner.seq < new_obj.seq:
+                last_age_key = -partner.seq
+                self._consider(new_obj, partner, seen, candidates)
+            # Newer partners (possible under batching) are skipped: their
+            # pairs belong to the newer member's own collection pass, and
+            # leaving last_age_key untouched only weakens the threshold
+            # conservatively.
+        return candidates
+
+    def _consider(
+        self,
+        new_obj: StreamObject,
+        partner: StreamObject,
+        seen: set[int],
+        candidates: list[Pair],
+    ) -> None:
+        """Score and dominance-check one (possibly repeated) pair access."""
+        if partner.seq >= new_obj.seq or partner.seq in seen:
+            return
+        seen.add(partner.seq)
+        if self.pair_filter is not None and not self.pair_filter(
+            new_obj, partner
+        ):
+            return
+        pair = make_pair(new_obj, partner, self.scoring_function, self.counters)
+        if self.counters is not None:
+            self.counters.pairs_considered += 1
+            self.counters.staircase_checks += 1
+        if not self._staircase.dominates(pair.score_key, pair.age_key):
+            candidates.append(pair)
+            if self.counters is not None:
+                self.counters.candidate_pairs += 1
+
+
+def _merge_by_score(a: list[Pair], b: list[Pair]) -> list[Pair]:
+    """Merge two score-sorted pair lists into one sorted list."""
+    merged: list[Pair] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i].score_key <= b[j].score_key:
+            merged.append(a[i])
+            i += 1
+        else:
+            merged.append(b[j])
+            j += 1
+    merged.extend(a[i:])
+    merged.extend(b[j:])
+    return merged

@@ -1,0 +1,382 @@
+"""The top-level framework (paper §III-B, Fig 2).
+
+:class:`TopKPairsMonitor` wires the three modules together:
+
+* the **stream manager** stores the ``N`` most recent objects and the
+  ``D + 1`` sorted lists (``O(ND)`` — the Theorem 4 lower bound);
+* the **skyband maintenance module** keeps one K-skyband per *unique
+  scoring function*, where ``K`` is the largest ``k`` among the queries
+  sharing that function;
+* the **query answering module** serves snapshot queries from the
+  skyband's PST (Algorithm 2) and refreshes continuous queries
+  incrementally (§IV-B).
+
+Usage::
+
+    monitor = TopKPairsMonitor(window_size=10_000, num_attributes=3)
+    closest = k_closest_pairs(3)
+    handle = monitor.register_query(closest, k=5, n=1_000)
+    for row in stream:
+        monitor.append(row)
+        top5 = monitor.results(handle)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.cost_model import Counters
+from repro.core.continuous import ContinuousQueryState
+from repro.core.maintenance import (
+    SCaseMaintainer,
+    SkybandMaintainer,
+    TAMaintainer,
+)
+from repro.core.pair import Pair
+from repro.core.query import TopKPairsQuery, answer_snapshot
+from repro.exceptions import InvalidParameterError, UnknownQueryError
+from repro.scoring.base import ScoringFunction
+from repro.stream.manager import ArrivalEvent, StreamManager
+
+__all__ = ["TopKPairsMonitor", "QueryHandle"]
+
+_STRATEGIES = ("auto", "scase", "ta", "basic")
+
+
+class QueryHandle:
+    """Opaque handle for a registered query."""
+
+    __slots__ = ("query", "state")
+
+    def __init__(
+        self, query: TopKPairsQuery, state: Optional[ContinuousQueryState]
+    ) -> None:
+        self.query = query
+        self.state = state
+
+    def __repr__(self) -> str:
+        return f"QueryHandle({self.query!r})"
+
+
+class _SkybandGroup:
+    """One skyband shared by all queries using the same scoring function
+    and pair filter (§III-B; the filter extension refines the sharing
+    key)."""
+
+    __slots__ = ("scoring_function", "maintainer", "queries", "strategy",
+                 "pair_filter")
+
+    def __init__(
+        self,
+        scoring_function: ScoringFunction,
+        maintainer: SkybandMaintainer,
+        strategy: str,
+        pair_filter=None,
+    ) -> None:
+        self.scoring_function = scoring_function
+        self.maintainer = maintainer
+        self.strategy = strategy
+        self.pair_filter = pair_filter
+        self.queries: dict[int, QueryHandle] = {}
+
+    @property
+    def K(self) -> int:
+        return self.maintainer.K
+
+
+class TopKPairsMonitor:
+    """Continuous top-k pairs monitoring over a sliding window."""
+
+    def __init__(
+        self,
+        window_size: int,
+        num_attributes: int,
+        *,
+        strategy: str = "auto",
+        time_horizon: Optional[float] = None,
+        counters: Optional[Counters] = None,
+        seed: int = 0,
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise InvalidParameterError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        self.manager = StreamManager(
+            window_size, num_attributes, time_horizon=time_horizon, seed=seed
+        )
+        self.window_size = window_size
+        self.strategy = strategy
+        self.counters = counters
+        self._groups: dict[int, _SkybandGroup] = {}
+        self._handles: dict[int, QueryHandle] = {}
+
+    # ------------------------------------------------------------------
+    # query management
+    # ------------------------------------------------------------------
+    def register_query(
+        self,
+        scoring_function: ScoringFunction,
+        k: int,
+        n: Optional[int] = None,
+        *,
+        continuous: bool = True,
+        pair_filter=None,
+        on_change=None,
+    ) -> QueryHandle:
+        """Register a query ``Q(k, n, scoring_function)``.
+
+        ``n`` defaults to the monitor's maximum window.  Queries passing
+        the same scoring-function *instance* (and the same ``pair_filter``
+        instance, if any) share one skyband; if this query's ``k``
+        exceeds the group's current ``K``, the skyband is re-bootstrapped
+        at the larger depth (an ``O(N^2 log K)`` one-off).
+
+        ``pair_filter(a, b) -> bool`` restricts the query to pairs the
+        symmetric predicate accepts (e.g. same-sector stocks only).
+
+        ``on_change(entered, left)`` (continuous queries only) is invoked
+        after every stream tick that changed the answer set, with the
+        pairs that entered and left it.
+        """
+        n = self.window_size if n is None else n
+        if n > self.window_size:
+            raise InvalidParameterError(
+                f"query window n={n} exceeds the monitor's maximum "
+                f"window N={self.window_size}"
+            )
+        query = TopKPairsQuery(scoring_function, k, n, continuous=continuous,
+                               pair_filter=pair_filter)
+        group = self._group_for(scoring_function, minimum_K=k,
+                                pair_filter=pair_filter)
+        state = None
+        if continuous:
+            state = ContinuousQueryState(
+                query, counters=self.counters, on_change=on_change
+            )
+            state.initialize(group.maintainer.pst, self.manager.now_seq)
+        handle = QueryHandle(query, state)
+        group.queries[query.query_id] = handle
+        self._handles[query.query_id] = handle
+        return handle
+
+    def unregister_query(self, handle: QueryHandle) -> None:
+        """Remove a query; drops its skyband group when it was the last
+        user (the group's K is kept as-is otherwise — shrinking K would
+        require a rebuild for no correctness gain)."""
+        query_id = handle.query.query_id
+        if query_id not in self._handles:
+            raise UnknownQueryError(query_id)
+        del self._handles[query_id]
+        key = _group_key(handle.query.scoring_function,
+                         handle.query.pair_filter)
+        group = self._groups[key]
+        del group.queries[query_id]
+        if not group.queries:
+            del self._groups[key]
+
+    def _group_for(
+        self,
+        scoring_function: ScoringFunction,
+        minimum_K: int,
+        pair_filter=None,
+    ) -> _SkybandGroup:
+        key = _group_key(scoring_function, pair_filter)
+        group = self._groups.get(key)
+        if group is not None and group.K >= minimum_K:
+            return group
+        strategy = self._resolve_strategy(scoring_function)
+        maintainer = self._make_maintainer(
+            scoring_function, minimum_K, strategy, pair_filter
+        )
+        maintainer.bootstrap(self.manager)
+        if group is None:
+            group = _SkybandGroup(scoring_function, maintainer, strategy,
+                                  pair_filter)
+            self._groups[key] = group
+        else:
+            # K grew: swap in the deeper maintainer, keep the queries.
+            group.maintainer = maintainer
+        return group
+
+    def _resolve_strategy(self, scoring_function: ScoringFunction) -> str:
+        if self.strategy != "auto":
+            return self.strategy
+        return "ta" if scoring_function.is_global() else "scase"
+
+    def _make_maintainer(
+        self,
+        scoring_function: ScoringFunction,
+        K: int,
+        strategy: str,
+        pair_filter=None,
+    ) -> SkybandMaintainer:
+        if strategy == "ta":
+            return TAMaintainer(scoring_function, K, counters=self.counters,
+                                pair_filter=pair_filter)
+        if strategy == "basic":
+            from repro.baselines.basic import BasicMaintainer
+
+            return BasicMaintainer(scoring_function, K,
+                                   counters=self.counters,
+                                   pair_filter=pair_filter)
+        return SCaseMaintainer(scoring_function, K, counters=self.counters,
+                               pair_filter=pair_filter)
+
+    # ------------------------------------------------------------------
+    # stream ingestion
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        values: Sequence[float],
+        *,
+        timestamp: Optional[float] = None,
+        payload: object = None,
+    ) -> ArrivalEvent:
+        """Admit one object and refresh every skyband and every continuous
+        query."""
+        event = self.manager.append(
+            values, timestamp=timestamp, payload=payload
+        )
+        now = self.manager.now_seq
+        for group in self._groups.values():
+            delta = group.maintainer.on_tick(
+                self.manager, event.new, event.expired
+            )
+            for handle in group.queries.values():
+                if handle.state is not None:
+                    handle.state.apply(delta, group.maintainer.pst, now)
+        return event
+
+    def extend(
+        self,
+        rows: Sequence[Sequence[float]],
+        *,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Admit many objects.
+
+        With ``batch_size`` set, skybands and continuous answers are
+        refreshed only at batch boundaries (one Algorithm 4 sweep per
+        batch, amortizing the per-arrival bookkeeping) — a throughput /
+        result-latency trade-off.  Within a batch, intermediate results
+        are never observable, so batched and per-tick ingestion agree at
+        every batch boundary.
+        """
+        if batch_size is None or batch_size <= 1:
+            for values in rows:
+                self.append(values)
+            return
+        for start in range(0, len(rows), batch_size):
+            self._append_batch(rows[start:start + batch_size])
+
+    def _append_batch(self, rows: Sequence[Sequence[float]]) -> None:
+        events = [self.manager.append(values) for values in rows]
+        expired = [gone for event in events for gone in event.expired]
+        expired_seqs = {gone.seq for gone in expired}
+        # An object that arrived and expired within this very batch (a
+        # batch larger than the window) never becomes visible.
+        survivors = [
+            event.new for event in events
+            if event.new.seq not in expired_seqs
+        ]
+        now = self.manager.now_seq
+        for group in self._groups.values():
+            delta = group.maintainer.on_batch(self.manager, survivors,
+                                              expired)
+            for handle in group.queries.values():
+                if handle.state is not None:
+                    handle.state.apply(delta, group.maintainer.pst, now)
+
+    # ------------------------------------------------------------------
+    # answers
+    # ------------------------------------------------------------------
+    def results(self, handle: QueryHandle) -> list[Pair]:
+        """The current answer of a query, ascending by score.
+
+        Continuous queries return their incrementally maintained answer;
+        snapshot queries are evaluated on the spot with Algorithm 2.
+        """
+        if handle.query.query_id not in self._handles:
+            raise UnknownQueryError(handle.query.query_id)
+        if handle.state is not None:
+            return list(handle.state.answer)
+        group = self._groups[_group_key(handle.query.scoring_function,
+                                        handle.query.pair_filter)]
+        return answer_snapshot(
+            group.maintainer.pst,
+            handle.query.k,
+            handle.query.n,
+            self.manager.now_seq,
+            counters=self.counters,
+        )
+
+    def snapshot_query(
+        self,
+        scoring_function: ScoringFunction,
+        k: int,
+        n: Optional[int] = None,
+        *,
+        pair_filter=None,
+    ) -> list[Pair]:
+        """One-off top-k pairs query.
+
+        Reuses the scoring function's skyband group when one exists with
+        sufficient depth; otherwise bootstraps one (``O(N^2)`` one-off)
+        that subsequent ticks keep maintained.
+        """
+        n = self.window_size if n is None else n
+        if n > self.window_size:
+            raise InvalidParameterError(
+                f"query window n={n} exceeds the monitor's maximum "
+                f"window N={self.window_size}"
+            )
+        group = self._group_for(scoring_function, minimum_K=k,
+                                pair_filter=pair_filter)
+        return answer_snapshot(
+            group.maintainer.pst, k, n, self.manager.now_seq,
+            counters=self.counters,
+        )
+
+    # ------------------------------------------------------------------
+    def skyband_size(self, scoring_function: ScoringFunction,
+                     pair_filter=None) -> int:
+        """Current K-skyband size for a scoring function (diagnostics)."""
+        group = self._groups.get(_group_key(scoring_function, pair_filter))
+        return len(group.maintainer) if group is not None else 0
+
+    def stats(self) -> dict[str, object]:
+        """A diagnostics snapshot of the whole framework (Fig 2 view):
+        window occupancy plus, per skyband group, the scoring function,
+        strategy, depth K, skyband size and query count."""
+        return {
+            "window_size": self.window_size,
+            "window_occupancy": len(self.manager),
+            "now_seq": self.manager.now_seq,
+            "num_queries": len(self._handles),
+            "groups": [
+                {
+                    "scoring_function": group.scoring_function.name,
+                    "filtered": group.pair_filter is not None,
+                    "strategy": group.strategy,
+                    "K": group.K,
+                    "skyband_size": len(group.maintainer),
+                    "staircase_size": len(group.maintainer.staircase),
+                    "queries": len(group.queries),
+                }
+                for group in self._groups.values()
+            ],
+        }
+
+    def check_invariants(self) -> None:
+        """Validate every group's structures (test helper)."""
+        for group in self._groups.values():
+            group.maintainer.check_invariants(self.manager)
+
+
+def _group_key(scoring_function: ScoringFunction, pair_filter) -> tuple:
+    """Skyband sharing key: same scoring-function instance + same filter
+    instance (``None`` filter = the unfiltered pair universe)."""
+    return (
+        id(scoring_function),
+        id(pair_filter) if pair_filter is not None else None,
+    )

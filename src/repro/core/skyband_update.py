@@ -1,0 +1,79 @@
+"""Algorithm 4: joint K-skyband and K-staircase computation.
+
+Given a score-sorted set of pairs, one sweep decides skyband membership
+with a max-heap over the ages of the pairs kept so far (after Tsaparas et
+al.'s ranked-join index construction [22]) and emits the matching
+staircase point for every kept pair:
+
+* while fewer than K pairs are kept, every pair joins the skyband (it has
+  fewer than K potential dominators in total);
+* afterwards, a pair whose age is at least the K-th smallest age seen so
+  far is dominated by those K earlier (hence lower-score) pairs and is
+  discarded; otherwise it joins, displaces the largest of the K tracked
+  ages, and contributes the staircase point
+  ``(its score key, new K-th smallest age)``.
+
+Cost: ``O(|P| log K)`` for ``|P|`` input pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.cost_model import Counters
+from repro.core.pair import Pair
+from repro.core.staircase import KStaircase
+from repro.structures.heap import MaxHeap
+
+__all__ = ["update_skyband_and_staircase"]
+
+
+def update_skyband_and_staircase(
+    pairs_sorted: Sequence[Pair],
+    K: int,
+    *,
+    counters: Counters | None = None,
+) -> tuple[list[Pair], KStaircase]:
+    """Paper Algorithm 4.
+
+    Parameters
+    ----------
+    pairs_sorted:
+        Candidate pairs in ascending ``score_key`` order (the caller keeps
+        the skyband sorted and merges new candidates in, so this order is
+        available without re-sorting).
+    K:
+        Skyband depth — the largest ``k`` any sharing query may use.
+
+    Returns
+    -------
+    ``(skyband, staircase)`` where ``skyband`` is the K-skyband in
+    ascending score order and ``staircase`` the matching
+    :class:`~repro.core.staircase.KStaircase`.
+    """
+    if K < 1:
+        raise ValueError(f"K must be >= 1, got {K}")
+    heap: MaxHeap = MaxHeap(key=lambda pair: pair.age_key)
+    skyband: list[Pair] = []
+    staircase_points: list[tuple[tuple, int]] = []
+    for pair in pairs_sorted:
+        if counters is not None:
+            counters.dominance_checks += 1
+        if len(heap) < K:
+            skyband.append(pair)
+            heap.push(pair)
+            if counters is not None:
+                counters.heap_ops += 1
+            if len(heap) == K:
+                staircase_points.append((pair.score_key, heap.peek().age_key))
+        elif pair.age_key >= heap.peek().age_key:
+            # K earlier pairs have smaller score keys and ages <= this
+            # pair's age: dominated, discard.
+            continue
+        else:
+            skyband.append(pair)
+            heap.pushpop(pair)
+            if counters is not None:
+                counters.heap_ops += 1
+            staircase_points.append((pair.score_key, heap.peek().age_key))
+    return skyband, KStaircase(staircase_points)

@@ -1,0 +1,21 @@
+"""Workload generators: Börzsönyi-style synthetic distributions and the
+Intel-lab-like sensor stream simulator."""
+
+from repro.datasets.sensor import SensorReading, SensorStreamSimulator
+from repro.datasets.synthetic import (
+    DISTRIBUTIONS,
+    anticorrelated_stream,
+    correlated_stream,
+    make_stream,
+    uniform_stream,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "SensorReading",
+    "SensorStreamSimulator",
+    "anticorrelated_stream",
+    "correlated_stream",
+    "make_stream",
+    "uniform_stream",
+]

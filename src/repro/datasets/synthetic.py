@@ -1,0 +1,97 @@
+"""Synthetic workloads (paper §VI-A).
+
+Three distributions after Börzsönyi et al.'s skyline benchmark [23]:
+
+* **uniform** — each attribute i.i.d. uniform in [0, 1);
+* **correlated** — attributes cluster around a shared per-object level,
+  so an object small in one dimension tends to be small in all;
+* **anti-correlated** — objects lie near the anti-diagonal hyperplane
+  (attribute sum ~ constant), so being small in one dimension means being
+  large in others.
+
+All generators are deterministic given their seed and yield plain value
+tuples suitable for :meth:`TopKPairsMonitor.append`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "uniform_stream",
+    "correlated_stream",
+    "anticorrelated_stream",
+    "make_stream",
+    "DISTRIBUTIONS",
+]
+
+DISTRIBUTIONS = ("uniform", "correlated", "anticorrelated")
+
+
+def uniform_stream(
+    num_attributes: int, *, seed: int = 0
+) -> Iterator[tuple[float, ...]]:
+    """I.i.d. uniform attributes in [0, 1)."""
+    rng = random.Random(seed)
+    while True:
+        yield tuple(rng.random() for _ in range(num_attributes))
+
+
+def correlated_stream(
+    num_attributes: int, *, seed: int = 0, spread: float = 0.05
+) -> Iterator[tuple[float, ...]]:
+    """Attributes jitter around a shared per-object level."""
+    rng = random.Random(seed)
+    while True:
+        level = rng.random()
+        yield tuple(
+            _clamp01(rng.gauss(level, spread)) for _ in range(num_attributes)
+        )
+
+
+def anticorrelated_stream(
+    num_attributes: int, *, seed: int = 0, spread: float = 0.05
+) -> Iterator[tuple[float, ...]]:
+    """Objects near the plane ``sum(values) = num_attributes / 2``.
+
+    Sample a point on the simplex scaled to the target sum, then jitter —
+    the standard anti-correlated skyline workload.
+    """
+    rng = random.Random(seed)
+    target_sum = num_attributes / 2.0
+    while True:
+        cuts = sorted(rng.random() for _ in range(num_attributes - 1))
+        shares = (
+            [cuts[0]]
+            + [b - a for a, b in zip(cuts, cuts[1:])]
+            + [1.0 - cuts[-1]]
+            if num_attributes > 1
+            else [1.0]
+        )
+        yield tuple(
+            _clamp01(share * target_sum + rng.gauss(0.0, spread))
+            for share in shares
+        )
+
+
+def make_stream(
+    distribution: str, num_attributes: int, *, seed: int = 0
+) -> Iterator[tuple[float, ...]]:
+    """Dispatch by distribution name (``DISTRIBUTIONS``)."""
+    if distribution == "uniform":
+        return uniform_stream(num_attributes, seed=seed)
+    if distribution == "correlated":
+        return correlated_stream(num_attributes, seed=seed)
+    if distribution == "anticorrelated":
+        return anticorrelated_stream(num_attributes, seed=seed)
+    raise InvalidParameterError(
+        f"unknown distribution {distribution!r}; expected one of "
+        f"{DISTRIBUTIONS}"
+    )
+
+
+def _clamp01(value: float) -> float:
+    return 0.0 if value < 0.0 else 1.0 if value > 1.0 else value

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+programming errors (``TypeError`` etc.) still propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A query or structure parameter is out of its legal range.
+
+    Raised, for example, for ``k < 1``, ``n < 2`` or a query window larger
+    than the stream manager's maximum window ``N``.
+    """
+
+
+class UnknownQueryError(ReproError, KeyError):
+    """A query handle does not refer to a registered query."""
+
+
+class DuplicateItemError(ReproError, ValueError):
+    """An item was inserted into a structure that already contains it."""
+
+
+class ItemNotFoundError(ReproError, KeyError):
+    """An item expected to be present in a structure is missing."""
+
+
+class EmptyStructureError(ReproError, IndexError):
+    """An operation that needs a non-empty structure was called on an
+    empty one (e.g. ``Heap.peek`` on an empty heap)."""
+
+
+class ScoringFunctionError(ReproError):
+    """A scoring function was mis-declared or evaluated on bad input.
+
+    Typical causes: a global scoring function whose combiner is not
+    monotonic in the declared sense, or a local scoring function whose
+    declared monotonicity directions do not match its behaviour.
+    """
+
+
+class WindowError(ReproError, ValueError):
+    """A sliding-window operation received inconsistent parameters
+    (e.g. a non-positive window size or a non-monotonic timestamp)."""

@@ -1,0 +1,61 @@
+"""Scoring functions: arbitrary, loose monotonic locals, monotonic
+combiners, global compositions and the paper's experiment suite."""
+
+from repro.scoring.base import LambdaScoringFunction, ScoringFunction
+from repro.scoring.combiners import (
+    Combiner,
+    MaxCombiner,
+    MinCombiner,
+    NegatedProductOfNegationsCombiner,
+    ProductCombiner,
+    SumCombiner,
+    WeightedSumCombiner,
+)
+from repro.scoring.composite import GlobalScoringFunction
+from repro.scoring.local import (
+    AbsoluteDifference,
+    CustomLocal,
+    LocalScoringFunction,
+    MaxValue,
+    MinValue,
+    NegatedAbsoluteDifference,
+    NegatedSumValues,
+    SumValues,
+    Trend,
+)
+from repro.scoring.library import (
+    k_closest_pairs,
+    k_furthest_pairs,
+    paper_scoring_functions,
+    sensor_scoring_function,
+    top_k_dissimilar_pairs,
+    top_k_similar_pairs,
+)
+
+__all__ = [
+    "AbsoluteDifference",
+    "Combiner",
+    "CustomLocal",
+    "GlobalScoringFunction",
+    "LambdaScoringFunction",
+    "LocalScoringFunction",
+    "MaxCombiner",
+    "MaxValue",
+    "MinCombiner",
+    "MinValue",
+    "NegatedAbsoluteDifference",
+    "NegatedProductOfNegationsCombiner",
+    "NegatedSumValues",
+    "ProductCombiner",
+    "ScoringFunction",
+    "SumCombiner",
+    "SumValues",
+    "Trend",
+    "WeightedSumCombiner",
+    "k_closest_pairs",
+    "k_furthest_pairs",
+    "paper_scoring_functions",
+    "sensor_scoring_function",
+    "top_k_dissimilar_pairs",
+    "top_k_similar_pairs",
+]

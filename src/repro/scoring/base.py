@@ -1,0 +1,81 @@
+"""Scoring-function interfaces.
+
+A *scoring function* maps a pair of stream objects to a real score; smaller
+is better (the paper's top-k pairs are the k smallest scores).  Two kinds
+exist in the framework:
+
+* arbitrary scoring functions — any callable over two objects; only the
+  SCase/Basic maintenance paths (paper Algorithm 3) apply;
+* *global* scoring functions (paper §V-B) — a monotonic combiner over
+  per-attribute *loose monotonic* local scores; the TA maintenance path
+  (Algorithm 5) can exploit their structure to prune most new pairs.
+
+Skybands are shared between queries per §III-B by the *identity* of the
+scoring function object (two queries passing the same instance share one
+skyband), so applications should create each scoring function once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence
+
+from repro.stream.object import StreamObject
+
+__all__ = ["ScoringFunction", "LambdaScoringFunction"]
+
+
+class ScoringFunction(ABC):
+    """Base class of all scoring functions."""
+
+    #: Human-readable name used in reports and reprs.
+    name: str = "scoring-function"
+
+    @abstractmethod
+    def score(self, a: StreamObject, b: StreamObject) -> float:
+        """The score of the pair ``(a, b)``; must be symmetric."""
+
+    @property
+    def attributes(self) -> Optional[tuple[int, ...]]:
+        """The attribute indices the function reads, if declared.
+
+        ``None`` means "unknown / possibly all", which is always safe.
+        """
+        return None
+
+    def is_global(self) -> bool:
+        """Whether the TA optimization (Algorithm 5) applies."""
+        return False
+
+    def __call__(self, a: StreamObject, b: StreamObject) -> float:
+        return self.score(a, b)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class LambdaScoringFunction(ScoringFunction):
+    """Wraps an arbitrary symmetric callable as a scoring function.
+
+    This is the "arbitrarily complex scoring function" escape hatch of the
+    paper: anything computable is allowed, at the cost of the maintenance
+    module having to examine all ``O(N)`` new pairs per arrival.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[StreamObject, StreamObject], float],
+        *,
+        name: str = "lambda",
+        attributes: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._fn = fn
+        self.name = name
+        self._attributes = tuple(attributes) if attributes is not None else None
+
+    def score(self, a: StreamObject, b: StreamObject) -> float:
+        return self._fn(a, b)
+
+    @property
+    def attributes(self) -> Optional[tuple[int, ...]]:
+        return self._attributes

@@ -1,0 +1,158 @@
+"""Monotonic combiners for global scoring functions (paper §V-B).
+
+A *global scoring function* is ``gsf(ls_1(a,b), ..., ls_d(a,b))`` where
+each ``ls_i`` is loose monotonic on one attribute and ``gsf`` is monotonic
+(non-decreasing in every argument).  Monotonicity of the combiner is what
+lets Algorithm 5 compute the TA threshold: the combiner applied to the
+per-list score frontiers lower-bounds every unseen pair's score.
+
+Combiners whose monotonicity depends on the sign of their inputs (the
+product family) declare a ``domain_check`` that is asserted lazily on the
+first few evaluations, so mis-use fails fast instead of silently returning
+wrong top-k results.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.exceptions import ScoringFunctionError
+
+__all__ = [
+    "Combiner",
+    "SumCombiner",
+    "WeightedSumCombiner",
+    "ProductCombiner",
+    "NegatedProductOfNegationsCombiner",
+    "MaxCombiner",
+    "MinCombiner",
+]
+
+_DOMAIN_PROBES = 64  # evaluations that are domain-checked before trusting
+
+
+class Combiner(ABC):
+    """A monotonic (non-decreasing in each argument) aggregation."""
+
+    name: str = "combiner"
+
+    @abstractmethod
+    def combine(self, local_scores: Sequence[float]) -> float:
+        """Aggregate the local scores into the final score."""
+
+    def check_domain(self, local_scores: Sequence[float]) -> None:
+        """Raise if the inputs leave the region where the combiner is
+        monotonic.  Default: everywhere monotonic, nothing to check."""
+
+    def __call__(self, local_scores: Sequence[float]) -> float:
+        return self.combine(local_scores)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SumCombiner(Combiner):
+    """``sum(l_i)`` — monotonic everywhere."""
+
+    name = "sum"
+
+    def combine(self, local_scores: Sequence[float]) -> float:
+        return math.fsum(local_scores)
+
+
+class WeightedSumCombiner(Combiner):
+    """``sum(w_i * l_i)`` with non-negative weights."""
+
+    name = "weighted-sum"
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if any(w < 0 for w in weights):
+            raise ScoringFunctionError(
+                "weighted sum needs non-negative weights to stay monotonic"
+            )
+        self.weights = tuple(weights)
+
+    def combine(self, local_scores: Sequence[float]) -> float:
+        if len(local_scores) != len(self.weights):
+            raise ScoringFunctionError(
+                f"expected {len(self.weights)} local scores, "
+                f"got {len(local_scores)}"
+            )
+        return math.fsum(w * s for w, s in zip(self.weights, local_scores))
+
+
+class ProductCombiner(Combiner):
+    """``prod(l_i)`` — monotonic on *non-negative* local scores.
+
+    This is the paper's ``s3``: the product of per-attribute absolute
+    differences (top-k *similar* pairs).
+    """
+
+    name = "product"
+
+    def __init__(self) -> None:
+        self._probes_left = _DOMAIN_PROBES
+
+    def combine(self, local_scores: Sequence[float]) -> float:
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            self.check_domain(local_scores)
+        return math.prod(local_scores)
+
+    def check_domain(self, local_scores: Sequence[float]) -> None:
+        if any(s < 0 for s in local_scores):
+            raise ScoringFunctionError(
+                "ProductCombiner is only monotonic over non-negative local "
+                "scores; use NegatedProductOfNegationsCombiner for the "
+                "furthest-pairs variant"
+            )
+
+
+class NegatedProductOfNegationsCombiner(Combiner):
+    """``-prod(-l_i)`` — monotonic on *non-positive* local scores.
+
+    This realizes the paper's ``s4 = -prod(|x_i - y_i|)`` (top-k
+    *dissimilar* pairs) as a monotonic combiner: take each local score as
+    ``l_i = -|x_i - y_i| <= 0``; then ``-prod(-l_i)`` is non-decreasing in
+    every ``l_i`` because each partial derivative is a product of the other
+    non-negative factors.
+    """
+
+    name = "neg-product-of-negations"
+
+    def __init__(self) -> None:
+        self._probes_left = _DOMAIN_PROBES
+
+    def combine(self, local_scores: Sequence[float]) -> float:
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            self.check_domain(local_scores)
+        return -math.prod(-s for s in local_scores)
+
+    def check_domain(self, local_scores: Sequence[float]) -> None:
+        if any(s > 0 for s in local_scores):
+            raise ScoringFunctionError(
+                "NegatedProductOfNegationsCombiner is only monotonic over "
+                "non-positive local scores (use NegatedAbsoluteDifference "
+                "locals)"
+            )
+
+
+class MaxCombiner(Combiner):
+    """``max(l_i)`` — monotonic everywhere (Chebyshev-style scores)."""
+
+    name = "max"
+
+    def combine(self, local_scores: Sequence[float]) -> float:
+        return max(local_scores)
+
+
+class MinCombiner(Combiner):
+    """``min(l_i)`` — monotonic everywhere."""
+
+    name = "min"
+
+    def combine(self, local_scores: Sequence[float]) -> float:
+        return min(local_scores)

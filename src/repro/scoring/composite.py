@@ -1,0 +1,80 @@
+"""Global scoring functions (paper §V-B).
+
+A :class:`GlobalScoringFunction` pairs each used attribute with a loose
+monotonic local function and aggregates the local scores with a monotonic
+combiner.  k-closest pairs, k-furthest pairs and their variants are all
+instances (see :mod:`repro.scoring.library`), and the TA-based maintenance
+of Algorithm 5 applies to every instance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ScoringFunctionError
+from repro.scoring.base import ScoringFunction
+from repro.scoring.combiners import Combiner
+from repro.scoring.local import LocalScoringFunction
+from repro.stream.object import StreamObject
+
+__all__ = ["GlobalScoringFunction"]
+
+
+class GlobalScoringFunction(ScoringFunction):
+    """``gsf(ls_1(a[i_1], b[i_1]), ..., ls_d(a[i_d], b[i_d]))``.
+
+    Parameters
+    ----------
+    locals_:
+        ``(attribute_index, local_function)`` terms.  The same attribute
+        may appear in several terms.
+    combiner:
+        The monotonic aggregation of the local scores.
+    name:
+        Optional display name; defaults to a structural description.
+    """
+
+    def __init__(
+        self,
+        locals_: Sequence[tuple[int, LocalScoringFunction]],
+        combiner: Combiner,
+        *,
+        name: str | None = None,
+    ) -> None:
+        if not locals_:
+            raise ScoringFunctionError(
+                "a global scoring function needs at least one local term"
+            )
+        self.terms = tuple(locals_)
+        self.combiner = combiner
+        if name is None:
+            parts = "+".join(
+                f"{fn.name}[{attr}]" for attr, fn in self.terms
+            )
+            name = f"{combiner.name}({parts})"
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def score(self, a: StreamObject, b: StreamObject) -> float:
+        return self.combiner.combine(
+            [fn.score(a.values[attr], b.values[attr]) for attr, fn in self.terms]
+        )
+
+    def local_scores(self, a: StreamObject, b: StreamObject) -> list[float]:
+        """The per-term local scores (used by tests and diagnostics)."""
+        return [fn.score(a.values[attr], b.values[attr]) for attr, fn in self.terms]
+
+    def combine(self, local_scores: Sequence[float]) -> float:
+        """Aggregate already-computed local scores (the TA threshold)."""
+        return self.combiner.combine(local_scores)
+
+    @property
+    def attributes(self) -> tuple[int, ...]:
+        return tuple(sorted({attr for attr, _ in self.terms}))
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    def is_global(self) -> bool:
+        return True

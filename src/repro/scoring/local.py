@@ -1,0 +1,197 @@
+"""Loose monotonic local scoring functions (paper §V-B).
+
+A local scoring function ``ls(x, y)`` scores a pair on *one* attribute.
+It is *loose monotonic* when, for a fixed ``x``,
+
+* as ``y`` increases above ``x`` the score is monotone (either direction),
+* as ``y`` decreases below ``x`` the score is monotone (either direction).
+
+The declared directions tell the incremental pair-retrieval iterators
+(paper Fig 6) where a new object's best partners sit in the sorted
+attribute list:
+
+* ``Trend.INCREASING_AWAY`` — the score grows as the partner moves away
+  from ``x``, so the best partner on that side is the *nearest* one and
+  the iterator walks outward (e.g. ``|x - y|``);
+* ``Trend.DECREASING_AWAY`` — the score shrinks as the partner moves away,
+  so the best partner is the *farthest* one and the iterator walks inward
+  from the end of the list (e.g. ``-|x - y|``).
+
+Every monotonic function of ``(x, y)`` is loose monotonic, but not vice
+versa: ``|x - y|`` is the canonical loose-monotonic-only example.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.exceptions import ScoringFunctionError
+
+__all__ = [
+    "Trend",
+    "LocalScoringFunction",
+    "AbsoluteDifference",
+    "NegatedAbsoluteDifference",
+    "SumValues",
+    "NegatedSumValues",
+    "MinValue",
+    "MaxValue",
+    "CustomLocal",
+]
+
+
+class Trend(enum.Enum):
+    """How a local score behaves as the partner value moves *away* from
+    the reference value on one side."""
+
+    INCREASING_AWAY = "increasing-away"
+    DECREASING_AWAY = "decreasing-away"
+
+
+class LocalScoringFunction(ABC):
+    """A loose monotonic score over one attribute's value pair."""
+
+    name: str = "local"
+
+    @abstractmethod
+    def score(self, x: float, y: float) -> float:
+        """The local score of attribute values ``x`` and ``y``; symmetric."""
+
+    @property
+    @abstractmethod
+    def trend_above(self) -> Trend:
+        """Behaviour as the partner value increases above the reference."""
+
+    @property
+    @abstractmethod
+    def trend_below(self) -> Trend:
+        """Behaviour as the partner value decreases below the reference."""
+
+    def __call__(self, x: float, y: float) -> float:
+        return self.score(x, y)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class AbsoluteDifference(LocalScoringFunction):
+    """``|x - y|`` — closest pairs.  Loose monotonic but not monotonic."""
+
+    name = "abs-diff"
+    trend_above = Trend.INCREASING_AWAY
+    trend_below = Trend.INCREASING_AWAY
+
+    def score(self, x: float, y: float) -> float:
+        return abs(x - y)
+
+
+class NegatedAbsoluteDifference(LocalScoringFunction):
+    """``-|x - y|`` — furthest pairs."""
+
+    name = "neg-abs-diff"
+    trend_above = Trend.DECREASING_AWAY
+    trend_below = Trend.DECREASING_AWAY
+
+    def score(self, x: float, y: float) -> float:
+        return -abs(x - y)
+
+
+class SumValues(LocalScoringFunction):
+    """``x + y`` — prefers pairs of small values.  Fully monotonic."""
+
+    name = "sum"
+    trend_above = Trend.INCREASING_AWAY
+    trend_below = Trend.DECREASING_AWAY
+
+    def score(self, x: float, y: float) -> float:
+        return x + y
+
+
+class NegatedSumValues(LocalScoringFunction):
+    """``-(x + y)`` — prefers pairs of large values."""
+
+    name = "neg-sum"
+    trend_above = Trend.DECREASING_AWAY
+    trend_below = Trend.INCREASING_AWAY
+
+    def score(self, x: float, y: float) -> float:
+        return -(x + y)
+
+
+class MinValue(LocalScoringFunction):
+    """``min(x, y)`` — driven by the smaller member."""
+
+    name = "min"
+    trend_above = Trend.INCREASING_AWAY  # constant above: non-decreasing
+    trend_below = Trend.DECREASING_AWAY
+
+    def score(self, x: float, y: float) -> float:
+        return min(x, y)
+
+
+class MaxValue(LocalScoringFunction):
+    """``max(x, y)`` — driven by the larger member."""
+
+    name = "max"
+    trend_above = Trend.INCREASING_AWAY
+    trend_below = Trend.INCREASING_AWAY  # constant below: non-decreasing
+
+    def score(self, x: float, y: float) -> float:
+        return max(x, y)
+
+
+class CustomLocal(LocalScoringFunction):
+    """A user-supplied loose monotonic local function.
+
+    The caller must declare the two trends truthfully; they are spot
+    checked on a few probes at construction time to catch obvious
+    mis-declarations early.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[float, float], float],
+        trend_above: Trend,
+        trend_below: Trend,
+        *,
+        name: str = "custom-local",
+        validate: bool = True,
+    ) -> None:
+        self._fn = fn
+        self._trend_above = trend_above
+        self._trend_below = trend_below
+        self.name = name
+        if validate:
+            self._spot_check()
+
+    def score(self, x: float, y: float) -> float:
+        return self._fn(x, y)
+
+    @property
+    def trend_above(self) -> Trend:
+        return self._trend_above
+
+    @property
+    def trend_below(self) -> Trend:
+        return self._trend_below
+
+    def _spot_check(self) -> None:
+        """Probe a few reference points for trend violations."""
+        for x in (-1.0, 0.0, 2.5):
+            above = [self._fn(x, x + delta) for delta in (0.5, 1.0, 3.0)]
+            below = [self._fn(x, x - delta) for delta in (0.5, 1.0, 3.0)]
+            if self._trend_above is Trend.INCREASING_AWAY:
+                ok_above = all(a <= b for a, b in zip(above, above[1:]))
+            else:
+                ok_above = all(a >= b for a, b in zip(above, above[1:]))
+            if self._trend_below is Trend.INCREASING_AWAY:
+                ok_below = all(a <= b for a, b in zip(below, below[1:]))
+            else:
+                ok_below = all(a >= b for a, b in zip(below, below[1:]))
+            if not (ok_above and ok_below):
+                raise ScoringFunctionError(
+                    f"local function {self.name!r} violates its declared "
+                    f"trends near x={x}"
+                )

@@ -1,0 +1,17 @@
+"""Stream substrate: objects, sliding windows, the stream manager and the
+incremental pair-retrieval iterators used by the TA maintenance path."""
+
+from repro.stream.manager import ArrivalEvent, StreamManager
+from repro.stream.object import StreamObject
+from repro.stream.pair_source import iter_pairs_by_age, iter_pairs_by_local_score
+from repro.stream.window import CountBasedWindow, TimeBasedWindow
+
+__all__ = [
+    "ArrivalEvent",
+    "CountBasedWindow",
+    "StreamManager",
+    "StreamObject",
+    "TimeBasedWindow",
+    "iter_pairs_by_age",
+    "iter_pairs_by_local_score",
+]

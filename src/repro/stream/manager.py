@@ -1,0 +1,143 @@
+"""The stream manager (paper §III-B, module 1).
+
+Maintains the ``N`` most recent objects and ``D + 1`` sorted lists over
+them:
+
+* for every attribute ``0 <= i < D`` an indexable skip list sorted on the
+  objects' i-th attribute values (ties broken by recency), used by the
+  TA-based maintenance (Algorithm 5, Fig 6) to enumerate a new object's
+  pairs in ascending local-score order;
+* one list sorted on age, which is simply the window deque itself (objects
+  arrive in age order, so no extra structure is needed).
+
+Storage is ``O(N * D)``, which Theorem 4 proves is the lower bound: no
+object inside the window may be dropped because a future arrival could form
+a top-ranked pair with it, and all ``D`` attributes must be kept because
+any subset may appear in a future scoring function.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.stream.object import StreamObject
+from repro.stream.window import CountBasedWindow, TimeBasedWindow
+from repro.structures.skiplist import SkipList, SkipNode
+
+__all__ = ["StreamManager", "ArrivalEvent"]
+
+
+class ArrivalEvent:
+    """What happened when one object was appended to the stream."""
+
+    __slots__ = ("new", "expired")
+
+    def __init__(self, new: StreamObject, expired: list[StreamObject]) -> None:
+        self.new = new
+        self.expired = expired
+
+    def __repr__(self) -> str:
+        gone = [o.seq for o in self.expired]
+        return f"ArrivalEvent(new={self.new.seq}, expired={gone})"
+
+
+class StreamManager:
+    """Window storage plus the ``D + 1`` sorted attribute lists."""
+
+    def __init__(
+        self,
+        window_size: int,
+        num_attributes: int,
+        *,
+        time_horizon: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_attributes < 1:
+            raise InvalidParameterError(
+                f"need at least one attribute, got {num_attributes}"
+            )
+        self.num_attributes = num_attributes
+        if time_horizon is not None:
+            self._window: CountBasedWindow | TimeBasedWindow = TimeBasedWindow(
+                time_horizon
+            )
+            self.window_size = window_size  # upper bound used for sanity only
+        else:
+            self._window = CountBasedWindow(window_size)
+            self.window_size = window_size
+        # One skip list per attribute, keyed (value, seq) so duplicates of a
+        # value keep a deterministic order and node removal is exact.
+        self._attribute_lists: list[SkipList] = [
+            SkipList(key=lambda obj, i=i: (obj.values[i], obj.seq), seed=seed + i)
+            for i in range(num_attributes)
+        ]
+        self._nodes: dict[int, list[SkipNode]] = {}
+        self._next_seq = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def now_seq(self) -> int:
+        """Sequence number of the most recent object (0 before any)."""
+        return self._next_seq - 1
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        """Window objects, oldest first (= the age-sorted list)."""
+        return iter(self._window)
+
+    def newest_first(self) -> Iterator[StreamObject]:
+        """Window objects, most recent first."""
+        return self._window.newest_first()
+
+    def objects(self) -> list[StreamObject]:
+        return list(self._window)
+
+    def oldest(self) -> Optional[StreamObject]:
+        return self._window.oldest()
+
+    def attribute_list(self, attribute: int) -> SkipList:
+        """The skip list sorted on ``attribute`` (0-based)."""
+        return self._attribute_lists[attribute]
+
+    def node_for(self, obj: StreamObject, attribute: int) -> SkipNode:
+        """The skip-list node of ``obj`` in the list of ``attribute``."""
+        return self._nodes[obj.seq][attribute]
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        values: Sequence[float],
+        *,
+        timestamp: Optional[float] = None,
+        payload: object = None,
+    ) -> ArrivalEvent:
+        """Admit one new object; returns it plus any expired objects.
+
+        Expired objects are removed from every sorted list before the
+        event is returned, so consumers always see a consistent window
+        that *includes* the new object and *excludes* the expired ones.
+        """
+        if len(values) != self.num_attributes:
+            raise InvalidParameterError(
+                f"expected {self.num_attributes} attribute values, "
+                f"got {len(values)}"
+            )
+        obj = StreamObject(self._next_seq, values, timestamp, payload)
+        self._next_seq += 1
+        expired = self._window.push(obj)
+        for gone in expired:
+            nodes = self._nodes.pop(gone.seq)
+            for attribute, node in enumerate(nodes):
+                self._attribute_lists[attribute].remove_node(node)
+        self._nodes[obj.seq] = [
+            self._attribute_lists[attribute].insert(obj)
+            for attribute in range(self.num_attributes)
+        ]
+        return ArrivalEvent(obj, expired)
+
+    def extend(self, rows: Sequence[Sequence[float]]) -> list[ArrivalEvent]:
+        """Append many rows; returns one event per row."""
+        return [self.append(values) for values in rows]

@@ -1,0 +1,138 @@
+"""Incremental sorted-pair retrieval (paper §V-B.1, Fig 6).
+
+When a new object ``o`` arrives, the TA-based maintenance (Algorithm 5)
+needs, for every local term, the pairs of ``o`` enumerated in *ascending
+local score* order without materializing all of them.  The stream
+manager's sorted attribute lists make this possible:
+
+* the partners sit in a skip list sorted on the attribute, with ``o``'s
+  own node known, so partners above/below ``o`` form two sorted runs;
+* the local function's declared trends say, per side, whether the best
+  partner is the nearest one (walk *outward* from ``o``) or the farthest
+  one (walk *inward* from the list's end);
+* a two-cursor merge then yields partners in ascending local score.
+
+A third source enumerates pairs of ``o`` in ascending *age*: the pair
+``(o, o_j)`` has age ``o_j.age`` (``o`` is the newest object), so newest
+partners first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.scoring.local import LocalScoringFunction, Trend
+from repro.stream.manager import StreamManager
+from repro.stream.object import StreamObject
+from repro.structures.skiplist import SkipList, SkipNode
+
+__all__ = ["iter_pairs_by_local_score", "iter_pairs_by_age"]
+
+
+def iter_pairs_by_local_score(
+    manager: StreamManager,
+    obj: StreamObject,
+    attribute: int,
+    local_fn: LocalScoringFunction,
+) -> Iterator[tuple[StreamObject, float]]:
+    """Yield ``(partner, local_score)`` for all pairs of ``obj`` on
+    ``attribute`` in ascending local-score order.
+
+    ``obj`` must already be inserted in the stream manager (it is the
+    freshly arrived object).  Each window partner is yielded exactly once.
+    """
+    skiplist = manager.attribute_list(attribute)
+    own_node = manager.node_for(obj, attribute)
+    reference = obj.values[attribute]
+
+    above = _side_cursor(
+        skiplist, own_node, side="above", trend=local_fn.trend_above
+    )
+    below = _side_cursor(
+        skiplist, own_node, side="below", trend=local_fn.trend_below
+    )
+
+    def scored(source: Iterator[StreamObject]) -> Iterator[tuple[StreamObject, float]]:
+        for partner in source:
+            yield partner, local_fn.score(reference, partner.values[attribute])
+
+    yield from _merge_ascending(scored(above), scored(below))
+
+
+def iter_pairs_by_age(
+    manager: StreamManager, obj: StreamObject
+) -> Iterator[StreamObject]:
+    """Yield partners of ``obj`` in ascending *pair age* order.
+
+    Since ``obj`` is the most recent object, the age of the pair
+    ``(obj, partner)`` is the partner's age — so most recent partners
+    come first.
+    """
+    for partner in manager.newest_first():
+        if partner.seq != obj.seq:
+            yield partner
+
+
+# ----------------------------------------------------------------------
+# cursors
+# ----------------------------------------------------------------------
+def _side_cursor(
+    skiplist: SkipList,
+    own_node: SkipNode,
+    *,
+    side: str,
+    trend: Trend,
+) -> Iterator[StreamObject]:
+    """Partners on one side of ``own_node``, best local score first.
+
+    ``INCREASING_AWAY`` walks outward from the object's node;
+    ``DECREASING_AWAY`` walks inward from the relevant end of the list.
+    """
+    if trend is Trend.INCREASING_AWAY:
+        if side == "above":
+            node = own_node.next_at(0)
+            while node is not None:
+                yield node.value
+                node = node.next_at(0)
+        else:
+            node = own_node.prev
+            while node is not None:
+                yield node.value
+                node = node.prev
+    else:
+        if side == "above":
+            # farthest above first: from the maximum end inward to own_node
+            node: Optional[SkipNode] = (
+                skiplist.node_at(len(skiplist) - 1) if len(skiplist) else None
+            )
+            while node is not None and node is not own_node:
+                yield node.value
+                node = node.prev
+        else:
+            # farthest below first: from the minimum end inward to own_node
+            node = skiplist.first_node()
+            while node is not None and node is not own_node:
+                yield node.value
+                node = node.next_at(0)
+
+
+def _merge_ascending(
+    a: Iterator[tuple[StreamObject, float]],
+    b: Iterator[tuple[StreamObject, float]],
+) -> Iterator[tuple[StreamObject, float]]:
+    """Merge two score-ascending streams into one."""
+    item_a = next(a, None)
+    item_b = next(b, None)
+    while item_a is not None and item_b is not None:
+        if item_a[1] <= item_b[1]:
+            yield item_a
+            item_a = next(a, None)
+        else:
+            yield item_b
+            item_b = next(b, None)
+    while item_a is not None:
+        yield item_a
+        item_a = next(a, None)
+    while item_b is not None:
+        yield item_b
+        item_b = next(b, None)

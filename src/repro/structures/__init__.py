@@ -1,0 +1,25 @@
+"""Data-structure substrates: skip list, heaps, selection, priority
+search tree.  These back the stream manager, the skyband maintenance
+module and the query answering module."""
+
+from repro.structures.heap import Heap, MaxHeap, MinHeap
+from repro.structures.pst import PrioritySearchTree, PSTNode
+from repro.structures.selection import (
+    median_of_medians,
+    quickselect_smallest,
+    select_smallest,
+)
+from repro.structures.skiplist import SkipList, SkipNode
+
+__all__ = [
+    "Heap",
+    "MaxHeap",
+    "MinHeap",
+    "PrioritySearchTree",
+    "PSTNode",
+    "SkipList",
+    "SkipNode",
+    "median_of_medians",
+    "quickselect_smallest",
+    "select_smallest",
+]

@@ -1,0 +1,150 @@
+"""Linear-time selection of the k smallest items.
+
+Paper Algorithm 2 (line 12) extracts the k pairs with the smallest scores
+from the ``O(log |SKB| + k)`` candidates gathered during the PST traversal,
+citing the median-of-medians selection algorithm of Blum, Floyd, Pratt,
+Rivest and Tarjan [21] for the linear bound.  This module implements both
+
+* :func:`select_smallest` — deterministic median-of-medians select,
+  worst-case ``O(n)``, returning the k smallest items *sorted*, and
+* :func:`quickselect_smallest` — the randomized variant (expected ``O(n)``)
+  used by default in hot paths because its constants are far smaller.
+
+Both take an optional ``key`` so callers can rank pairs by their score key.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["select_smallest", "quickselect_smallest", "median_of_medians"]
+
+_rng = random.Random(0x5EED)
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+def select_smallest(
+    items: Sequence[Any],
+    k: int,
+    *,
+    key: Optional[Callable[[Any], Any]] = None,
+) -> list[Any]:
+    """The ``k`` smallest items of ``items`` in ascending order.
+
+    Deterministic: partitions around the median of medians, so the running
+    time is ``O(n)`` even on adversarial inputs, plus ``O(k log k)`` for the
+    final sort of the selected prefix.
+    """
+    key = key if key is not None else _identity
+    if k <= 0:
+        return []
+    data = list(items)
+    if k >= len(data):
+        return sorted(data, key=key)
+    _partial_select(data, k, key, deterministic=True)
+    return sorted(data[:k], key=key)
+
+
+def quickselect_smallest(
+    items: Sequence[Any],
+    k: int,
+    *,
+    key: Optional[Callable[[Any], Any]] = None,
+    rng: Optional[random.Random] = None,
+) -> list[Any]:
+    """The ``k`` smallest items in ascending order, expected ``O(n)``.
+
+    Uses random pivots; pass ``rng`` for reproducible pivot choices.
+    """
+    key = key if key is not None else _identity
+    if k <= 0:
+        return []
+    data = list(items)
+    if k >= len(data):
+        return sorted(data, key=key)
+    _partial_select(data, k, key, deterministic=False,
+                    rng=rng if rng is not None else _rng)
+    return sorted(data[:k], key=key)
+
+
+def median_of_medians(
+    items: Sequence[Any],
+    *,
+    key: Optional[Callable[[Any], Any]] = None,
+) -> Any:
+    """An approximate median: the median of the medians of groups of 5.
+
+    Guaranteed to rank between the 30th and 70th percentile of ``items``,
+    which is what the deterministic select needs from its pivot.
+    """
+    key = key if key is not None else _identity
+    data = list(items)
+    if not data:
+        raise ValueError("median_of_medians of empty sequence")
+    while len(data) > 5:
+        groups = [data[i:i + 5] for i in range(0, len(data), 5)]
+        data = [sorted(g, key=key)[len(g) // 2] for g in groups]
+    return sorted(data, key=key)[len(data) // 2]
+
+
+def _partial_select(
+    data: list[Any],
+    k: int,
+    key: Callable[[Any], Any],
+    *,
+    deterministic: bool,
+    rng: Optional[random.Random] = None,
+) -> None:
+    """Rearrange ``data`` in place so the k smallest occupy ``data[:k]``."""
+    lo, hi = 0, len(data) - 1
+    while lo < hi:
+        if hi - lo < 16:
+            data[lo:hi + 1] = sorted(data[lo:hi + 1], key=key)
+            return
+        if deterministic:
+            pivot = median_of_medians(data[lo:hi + 1], key=key)
+            pivot_key = key(pivot)
+        else:
+            assert rng is not None
+            pivot_key = key(data[rng.randint(lo, hi)])
+        lt, gt = _three_way_partition(data, lo, hi, pivot_key, key)
+        # data[lo:lt] < pivot, data[lt:gt+1] == pivot, data[gt+1:hi+1] > pivot
+        if k <= lt:
+            hi = lt - 1
+        elif k <= gt + 1:
+            return  # the boundary falls inside the equal run: done
+        else:
+            lo = gt + 1
+
+
+def _three_way_partition(
+    data: list[Any],
+    lo: int,
+    hi: int,
+    pivot_key: Any,
+    key: Callable[[Any], Any],
+) -> tuple[int, int]:
+    """Dutch-flag partition of ``data[lo:hi+1]`` around ``pivot_key``.
+
+    Returns ``(lt, gt)`` with items ``< pivot`` in ``[lo, lt)``, ``== pivot``
+    in ``[lt, gt]`` and ``> pivot`` in ``(gt, hi]``.
+    """
+    i = lo
+    lt = lo
+    gt = hi
+    while i <= gt:
+        k_i = key(data[i])
+        if k_i < pivot_key:
+            data[i], data[lt] = data[lt], data[i]
+            lt += 1
+            i += 1
+        elif k_i > pivot_key:
+            data[i], data[gt] = data[gt], data[i]
+            gt -= 1
+        else:
+            i += 1
+    return lt, gt

@@ -1,0 +1,376 @@
+"""An indexable skip list.
+
+The stream manager (paper §III-B, module 1) keeps ``D + 1`` lists of the
+``N`` most recent objects, each sorted on one attribute.  Objects are
+inserted and deleted continuously, and the TA-style maintenance algorithm
+(paper Algorithm 5) walks outwards from a freshly inserted object's position
+to enumerate its pairs in ascending local-score order.  That workload needs
+a sorted container with
+
+* ``O(log n)`` insert and delete,
+* ``O(log n)`` rank queries (``index`` / ``bisect``),
+* ``O(1)`` neighbour access from a known node (for the outward walk),
+* ``O(log n)`` access by rank (``__getitem__``).
+
+A classic indexable skip list (Pugh 1990, with the width augmentation) gives
+all of these with straightforward code, so it is the sorted-list substrate
+for the whole library.  The random level generator is seeded per-instance so
+behaviour is reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.exceptions import EmptyStructureError, ItemNotFoundError
+
+__all__ = ["SkipList", "SkipNode"]
+
+_MAX_LEVEL = 32
+_P = 0.5
+
+
+class SkipNode:
+    """A node of the skip list.
+
+    Exposed publicly because the pair-retrieval iterators (paper Fig 6)
+    hold node references and walk ``next_at(0)`` / ``prev`` pointers.
+    """
+
+    __slots__ = ("key", "value", "forward", "width", "prev")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: list[Optional[SkipNode]] = [None] * level
+        # width[i] = number of level-0 links skipped by forward[i]
+        self.width: list[int] = [1] * level
+        self.prev: Optional[SkipNode] = None
+
+    @property
+    def level(self) -> int:
+        return len(self.forward)
+
+    def next_at(self, level: int = 0) -> Optional["SkipNode"]:
+        """The next node at ``level`` (``None`` at the end)."""
+        return self.forward[level]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkipNode(key={self.key!r}, value={self.value!r})"
+
+
+class SkipList:
+    """A sorted, indexable container with duplicate keys allowed.
+
+    Items are ordered by ``key(value)`` if a key function is given, else by
+    the values themselves.  Equal keys keep insertion order (the new item
+    goes after existing equal keys), which gives the deterministic
+    tie-breaking the paper's footnote 1 requires when values carry their
+    own ids.
+    """
+
+    def __init__(
+        self,
+        values: Iterable[Any] = (),
+        *,
+        key: Optional[Callable[[Any], Any]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._key = key if key is not None else _identity
+        self._rng = random.Random(seed)
+        self._head = SkipNode(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        for value in values:
+            self.insert(value)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.value
+            node = node.forward[0]
+
+    def __contains__(self, value: Any) -> bool:
+        node = self._find_first_node(self._key(value))
+        while node is not None and self._key(node.value) == self._key(value):
+            if node.value == value:
+                return True
+            node = node.forward[0]
+        return False
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.node_at(rank).value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkipList({list(self)!r})"
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def insert(self, value: Any) -> SkipNode:
+        """Insert ``value``; return its node.  ``O(log n)`` expected."""
+        key = self._key(value)
+        update: list[SkipNode] = [self._head] * _MAX_LEVEL
+        rank: list[int] = [0] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            if level < self._level - 1:
+                rank[level] = rank[level + 1]
+            nxt = node.forward[level]
+            # "<= key" keeps equal keys in insertion order (new goes last)
+            while nxt is not None and self._key(nxt.value) <= key:
+                rank[level] += node.width[level]
+                node = nxt
+                nxt = node.forward[level]
+            update[level] = node
+
+        new_level = self._random_level()
+        if new_level > self._level:
+            for level in range(self._level, new_level):
+                rank[level] = 0
+                update[level] = self._head
+                self._head.width[level] = self._size + 1
+            self._level = new_level
+
+        new_node = SkipNode(key, value, new_level)
+        for level in range(new_level):
+            pred = update[level]
+            new_node.forward[level] = pred.forward[level]
+            pred.forward[level] = new_node
+            # split pred's width at the insertion point
+            new_node.width[level] = pred.width[level] - (rank[0] - rank[level])
+            pred.width[level] = (rank[0] - rank[level]) + 1
+        for level in range(new_level, self._level):
+            update[level].width[level] += 1
+
+        succ = new_node.forward[0]
+        new_node.prev = update[0] if update[0] is not self._head else None
+        if succ is not None:
+            succ.prev = new_node
+        self._size += 1
+        return new_node
+
+    def remove(self, value: Any) -> None:
+        """Remove one occurrence of ``value`` (matched by ``==``).
+
+        Raises :class:`ItemNotFoundError` if absent.  ``O(log n)`` expected
+        plus a scan over equal keys.
+        """
+        key = self._key(value)
+        node = self._find_first_node(key)
+        while node is not None and self._key(node.value) == key:
+            if node.value == value:
+                self.remove_node(node)
+                return
+            node = node.forward[0]
+        raise ItemNotFoundError(value)
+
+    def remove_node(self, target: SkipNode) -> None:
+        """Remove a node previously returned by :meth:`insert` / lookup."""
+        key = target.key
+        update: list[SkipNode] = [self._head] * self._level
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and (
+                self._key(nxt.value) < key
+                or (self._key(nxt.value) == key and nxt is not target
+                    and _reaches(nxt, target))
+            ):
+                node = nxt
+                nxt = node.forward[level]
+            update[level] = node
+        found = update[0].forward[0]
+        if found is not target:
+            raise ItemNotFoundError(target.value)
+        for level in range(self._level):
+            pred = update[level]
+            if pred.forward[level] is target:
+                pred.width[level] += target.width[level] - 1
+                pred.forward[level] = target.forward[level]
+            else:
+                pred.width[level] -= 1
+        succ = target.forward[0]
+        if succ is not None:
+            succ.prev = target.prev
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+
+    def clear(self) -> None:
+        self._head = SkipNode(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _find_first_node(self, key: Any) -> Optional[SkipNode]:
+        """First node whose key is >= ``key`` (or ``None``)."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and self._key(nxt.value) < key:
+                node = nxt
+                nxt = node.forward[level]
+        return node.forward[0]
+
+    def bisect_left(self, key: Any) -> int:
+        """Rank of the first item with key >= ``key``."""
+        node = self._head
+        rank = 0
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and self._key(nxt.value) < key:
+                rank += node.width[level]
+                node = nxt
+                nxt = node.forward[level]
+        return rank
+
+    def bisect_right(self, key: Any) -> int:
+        """Rank just past the last item with key <= ``key``."""
+        node = self._head
+        rank = 0
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and self._key(nxt.value) <= key:
+                rank += node.width[level]
+                node = nxt
+                nxt = node.forward[level]
+        return rank
+
+    def find_node(self, value: Any) -> SkipNode:
+        """The node holding ``value`` (matched by ``==``)."""
+        key = self._key(value)
+        node = self._find_first_node(key)
+        while node is not None and self._key(node.value) == key:
+            if node.value == value:
+                return node
+            node = node.forward[0]
+        raise ItemNotFoundError(value)
+
+    def node_at(self, rank: int) -> SkipNode:
+        """The node at 0-based ``rank``; supports negative ranks."""
+        if rank < 0:
+            rank += self._size
+        if not 0 <= rank < self._size:
+            raise IndexError(rank)
+        node = self._head
+        remaining = rank + 1
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and node.width[level] <= remaining:
+                remaining -= node.width[level]
+                node = nxt
+                nxt = node.forward[level]
+        return node
+
+    def index(self, value: Any) -> int:
+        """Rank of ``value`` (first occurrence, matched by ``==``)."""
+        key = self._key(value)
+        rank = self.bisect_left(key)
+        node = self._find_first_node(key)
+        while node is not None and self._key(node.value) == key:
+            if node.value == value:
+                return rank
+            rank += 1
+            node = node.forward[0]
+        raise ItemNotFoundError(value)
+
+    # ------------------------------------------------------------------
+    # convenience accessors used by the algorithms
+    # ------------------------------------------------------------------
+    def first(self) -> Any:
+        if self._size == 0:
+            raise EmptyStructureError("skip list is empty")
+        return self._head.forward[0].value
+
+    def last(self) -> Any:
+        if self._size == 0:
+            raise EmptyStructureError("skip list is empty")
+        return self.node_at(self._size - 1).value
+
+    def first_node(self) -> Optional[SkipNode]:
+        return self._head.forward[0]
+
+    def irange(self, start_rank: int = 0, stop_rank: Optional[int] = None) -> Iterator[Any]:
+        """Iterate values with ranks in ``[start_rank, stop_rank)``."""
+        if stop_rank is None:
+            stop_rank = self._size
+        if start_rank >= stop_rank or start_rank >= self._size:
+            return
+        node = self.node_at(start_rank)
+        count = stop_rank - start_rank
+        while node is not None and count > 0:
+            yield node.value
+            node = node.forward[0]
+            count -= 1
+
+    def check_invariants(self) -> None:
+        """Validate ordering, width bookkeeping and prev pointers
+        (test helper)."""
+        values = list(self)
+        keys = [self._key(v) for v in values]
+        assert keys == sorted(keys), "skip list keys out of order"
+        assert len(values) == self._size, "size mismatch"
+        # Level-0 positions: head at 0, i-th node at i + 1.
+        positions: dict[int, int] = {id(self._head): 0}
+        node = self._head.forward[0]
+        index = 1
+        while node is not None:
+            positions[id(node)] = index
+            index += 1
+            node = node.forward[0]
+        # A node's width at any level must equal the level-0 distance to
+        # its successor there (tail widths are unused by the algorithms).
+        for level in range(self._level):
+            node = self._head
+            while node.forward[level] is not None:
+                successor = node.forward[level]
+                distance = positions[id(successor)] - positions[id(node)]
+                assert node.width[level] == distance, (
+                    f"width mismatch at level {level}: "
+                    f"{node.width[level]} != {distance}"
+                )
+                node = successor
+        # prev pointers
+        node = self._head.forward[0]
+        prev = None
+        while node is not None:
+            assert node.prev is prev, "broken prev pointer"
+            prev = node
+            node = node.forward[0]
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+def _reaches(start: SkipNode, target: SkipNode) -> bool:
+    """Whether ``target`` is reachable from ``start`` going forward at
+    level 0 without passing a different key — i.e. ``start`` sits at or
+    before ``target`` within a run of equal keys.  Used by
+    :meth:`remove_node` to advance the descent up to (but not onto) the
+    target among duplicates."""
+    node: Optional[SkipNode] = start
+    while node is not None and node.key == target.key:
+        if node is target:
+            return True
+        node = node.forward[0]
+    return False

@@ -1,0 +1,118 @@
+"""Tests for the closed-form expectations (Lemmas 1-2, Theorem 3)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.theory import (
+    expected_new_skyband_pairs,
+    expected_skyband_size,
+    harmonic,
+    skyband_membership_probability,
+    ta_access_bound,
+)
+from repro.baselines.brute import BruteForceReference
+from repro.scoring.library import k_closest_pairs
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert math.isclose(harmonic(4), 1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_asymptotic_agrees_with_exact(self):
+        n = 999_999
+        exact = harmonic(n)
+        asymptotic = math.log(n) + 0.5772156649 + 1 / (2 * n)
+        assert math.isclose(exact, asymptotic, rel_tol=1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+
+class TestLemma1:
+    def test_probability_capped_at_one(self):
+        assert skyband_membership_probability(K=10, age=2) == 1.0
+
+    def test_formula(self):
+        assert skyband_membership_probability(K=4, age=10) == 0.04
+
+    def test_age_one_always_member(self):
+        assert skyband_membership_probability(K=1, age=1) == 1.0
+
+    def test_decreasing_in_age(self):
+        probs = [skyband_membership_probability(5, a) for a in range(2, 50)]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestTheorem3:
+    def test_matches_K_log_N_over_K_shape(self):
+        K = 20
+        for N in (100, 1000, 10_000):
+            size = expected_skyband_size(K, N)
+            shape = K * math.log(N / K)
+            assert 0.4 * shape < size < 4.0 * shape + 4 * K
+
+    def test_grows_logarithmically_in_N(self):
+        K = 10
+        delta1 = expected_skyband_size(K, 1000) - expected_skyband_size(K, 100)
+        delta2 = expected_skyband_size(K, 10_000) - expected_skyband_size(K, 1000)
+        assert math.isclose(delta1, delta2, rel_tol=0.02)  # log growth
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            expected_skyband_size(0, 100)
+        with pytest.raises(ValueError):
+            expected_skyband_size(5, 1)
+
+    def test_against_measured_skyband(self):
+        """Empirical skyband size should be within a small constant factor
+        of the estimate (scores ~ independent of ages for uniform data)."""
+        rng = random.Random(1)
+        K, N = 5, 60
+        sf = k_closest_pairs(2)
+        ref = BruteForceReference(sf, N)
+        for _ in range(3 * N):
+            ref.append((rng.random(), rng.random()))
+        measured = len(ref.skyband(K))
+        estimate = expected_skyband_size(K, N)
+        assert estimate / 4 < measured < estimate * 4
+
+
+class TestLemma2:
+    def test_order_K(self):
+        for K in (1, 10, 100):
+            value = expected_new_skyband_pairs(K)
+            assert value < 3 * K + 3
+
+    def test_increasing_in_K(self):
+        values = [expected_new_skyband_pairs(K) for K in (1, 5, 20, 80)]
+        assert values == sorted(values)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            expected_new_skyband_pairs(0)
+
+
+class TestTABound:
+    def test_formula(self):
+        assert math.isclose(
+            ta_access_bound(1, 100, 4), 2 * math.sqrt(100) * math.sqrt(4)
+        )
+
+    def test_sublinear_in_N(self):
+        assert ta_access_bound(2, 10_000, 20) < 3 * 10_000
+
+    def test_degrades_with_d(self):
+        """Fig 12(c): more attributes means TA examines more pairs."""
+        values = [ta_access_bound(d, 10_000, 20) for d in range(2, 7)]
+        assert values == sorted(values)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ta_access_bound(0, 10, 10)

@@ -1,0 +1,75 @@
+"""Tests for the benchmark harness helpers."""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.naive import NaiveAlgorithm
+from repro.baselines.supreme import SupremeAlgorithm
+from repro.bench import harness
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs
+
+
+class TestParameters:
+    def test_table1_shape(self):
+        params = harness.PaperParameters
+        assert params.K_DEFAULT == 20
+        assert params.D_DEFAULT == 3
+        assert params.D_SWEEP == [2, 3, 4, 5, 6]
+        assert params.N_DEFAULT in params.N_SWEEP
+        assert sorted(params.N_SWEEP) == params.N_SWEEP
+        assert set(params.DISTRIBUTIONS) == {
+            "uniform", "correlated", "anticorrelated"
+        }
+
+    def test_scale_is_positive(self):
+        assert harness.SCALE > 0
+        assert all(n >= 10 for n in harness.PaperParameters.N_SWEEP)
+
+
+class TestRows:
+    def test_synthetic_rows_shape(self):
+        rows = harness.synthetic_rows(20, 3, distribution="correlated")
+        assert len(rows) == 20
+        assert all(len(row) == 3 for row in rows)
+
+    def test_synthetic_rows_deterministic(self):
+        assert harness.synthetic_rows(10, 2, seed=5) == harness.synthetic_rows(
+            10, 2, seed=5
+        )
+
+    def test_sensor_rows_are_time_temp_humidity(self):
+        rows = harness.sensor_rows(30)
+        assert all(len(row) == 3 for row in rows)
+        times = [row[0] for row in rows]
+        assert min(times) >= 0
+
+
+class TestTimers:
+    def test_time_monitor_returns_elapsed(self):
+        monitor = TopKPairsMonitor(10, 2)
+        monitor.register_query(k_closest_pairs(2), k=2)
+        elapsed = harness.time_monitor(
+            monitor, harness.synthetic_rows(15, 2)
+        )
+        assert elapsed > 0
+        assert len(monitor.manager) == 10
+
+    def test_time_naive(self):
+        naive = NaiveAlgorithm(k_closest_pairs(2), K=2, window_size=10)
+        assert harness.time_naive(naive, harness.synthetic_rows(12, 2)) > 0
+
+    def test_time_supreme_counts_chargeable_only(self):
+        supreme = SupremeAlgorithm(
+            k_closest_pairs(2), K=2, window_size=10, num_attributes=2
+        )
+        rows = harness.synthetic_rows(12, 2)
+        wall_start = time.perf_counter()
+        chargeable = harness.time_supreme(supreme, rows)
+        wall = time.perf_counter() - wall_start
+        assert 0 < chargeable < wall  # oracle work is off the clock
+
+    def test_us_per(self):
+        assert harness.us_per(0.002, 100) == 20.0
+        assert harness.us_per(1.0, 0) == 1e6  # guards division by zero

@@ -1,0 +1,51 @@
+"""Tests for the benchmark reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_figure
+
+
+class TestFormatFigure:
+    def test_basic_table(self):
+        text = format_figure(
+            "Fig X", "N", [10, 20],
+            {"algo": [1.5, 2.5], "other": [3.0, 4.0]},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig X"
+        assert "N" in lines[2]
+        assert "algo [us/update]" in lines[2]
+        assert "1.50" in text
+        assert "4.00" in text
+
+    def test_alignment_columns_consistent(self):
+        text = format_figure(
+            "T", "x", [1, 1000], {"a": [1.0, 123456.78]}
+        )
+        rows = text.splitlines()[2:]
+        widths = {len(r) for r in rows}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_custom_unit_and_precision(self):
+        text = format_figure(
+            "T", "x", [1], {"a": [3.14159]}, unit="pairs", precision=4
+        )
+        assert "a [pairs]" in text
+        assert "3.1416" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_figure("T", "x", [1, 2], {"a": [1.0]})
+
+    def test_string_x_values(self):
+        text = format_figure(
+            "T", "dist", ["uniform", "correlated"], {"a": [1.0, 2.0]}
+        )
+        assert "uniform" in text
+        assert "correlated" in text
+
+    def test_empty_x_values(self):
+        text = format_figure("T", "x", [], {"a": []})
+        assert "T" in text

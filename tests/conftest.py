@@ -1,0 +1,44 @@
+"""Shared test utilities and fixtures."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.pair import Pair
+from repro.stream.object import StreamObject
+
+_newer_seq = itertools.count(10_000)
+
+
+def make_objects(values_list, start_seq=1):
+    """Build StreamObjects with consecutive sequence numbers."""
+    return [
+        StreamObject(start_seq + i, values if isinstance(values, tuple) else (values,))
+        for i, values in enumerate(values_list)
+    ]
+
+
+def make_pair_at(age_score, now_seq=100):
+    """Build a Pair whose (age, score) at ``now_seq`` equals the given
+    tuple — handy for geometry-level tests.
+
+    The pair's older member gets ``seq = now_seq - age + 1`` and the newer
+    member a fresh larger seq, so ``pair.age(now_seq) == age``.
+    """
+    age, score = age_score
+    older = StreamObject(now_seq - age + 1, (0.0,))
+    newer = StreamObject(next(_newer_seq), (0.0,))
+    return Pair(older, newer, score)
+
+
+def random_rows(n, d, seed=0):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(d)) for _ in range(n)]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

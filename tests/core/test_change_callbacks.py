@@ -1,0 +1,77 @@
+"""Tests for the continuous-query change-notification callback."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.brute import BruteForceReference
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs
+
+
+class Recorder:
+    def __init__(self):
+        self.events: list[tuple[list, list]] = []
+
+    def __call__(self, entered, left):
+        self.events.append((list(entered), list(left)))
+
+
+class TestOnChange:
+    def test_events_replay_to_current_answer(self):
+        """Folding all change events over the initial answer must yield
+        the final answer — callbacks miss nothing and invent nothing."""
+        sf = k_closest_pairs(2)
+        monitor = TopKPairsMonitor(15, 2)
+        recorder = Recorder()
+        handle = monitor.register_query(sf, k=3, n=12, on_change=recorder)
+        current = {p.uid for p in monitor.results(handle)}
+        rng = random.Random(1)
+        for _ in range(80):
+            monitor.append((rng.random(), rng.random()))
+        for entered, left in recorder.events:
+            for pair in left:
+                current.discard(pair.uid)
+            for pair in entered:
+                current.add(pair.uid)
+        assert current == {p.uid for p in monitor.results(handle)}
+        assert recorder.events  # the answer did change along the way
+
+    def test_no_event_when_answer_stable(self):
+        sf = k_closest_pairs(1)
+        monitor = TopKPairsMonitor(50, 1)
+        recorder = Recorder()
+        monitor.append((0.0,))
+        monitor.append((0.001,))
+        handle = monitor.register_query(sf, k=1, on_change=recorder)
+        # A far-away newcomer cannot displace the existing closest pair.
+        monitor.append((100.0,))
+        assert recorder.events == []
+        assert len(monitor.results(handle)) == 1
+
+    def test_events_never_report_empty_diffs(self):
+        sf = k_closest_pairs(2)
+        monitor = TopKPairsMonitor(10, 2)
+        recorder = Recorder()
+        monitor.register_query(sf, k=2, on_change=recorder)
+        rng = random.Random(2)
+        for _ in range(40):
+            monitor.append((rng.random(), rng.random()))
+        for entered, left in recorder.events:
+            assert entered or left
+
+    def test_callback_answers_stay_exact(self):
+        """The callback machinery must not perturb correctness."""
+        sf = k_closest_pairs(2)
+        N, k, n = 12, 3, 10
+        monitor = TopKPairsMonitor(N, 2)
+        ref = BruteForceReference(sf, N)
+        handle = monitor.register_query(sf, k=k, n=n, on_change=Recorder())
+        rng = random.Random(3)
+        for _ in range(60):
+            row = (rng.random(), rng.random())
+            monitor.append(row)
+            ref.append(row)
+            assert [p.uid for p in monitor.results(handle)] == [
+                p.uid for p in ref.top_k(k, n)
+            ]

@@ -1,0 +1,200 @@
+"""Tests for the TopKPairsMonitor facade (paper Fig 2 framework)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.brute import BruteForceReference
+from repro.core.monitor import TopKPairsMonitor
+from repro.exceptions import InvalidParameterError, UnknownQueryError
+from repro.scoring.library import (
+    k_closest_pairs,
+    k_furthest_pairs,
+    sensor_scoring_function,
+)
+
+
+def random_rows(count, d, seed):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(d)) for _ in range(count)]
+
+
+class TestRegistration:
+    def test_strategy_validated(self):
+        with pytest.raises(InvalidParameterError):
+            TopKPairsMonitor(10, 2, strategy="bogus")
+
+    def test_n_defaults_to_window(self):
+        monitor = TopKPairsMonitor(10, 2)
+        handle = monitor.register_query(k_closest_pairs(2), k=2)
+        assert handle.query.n == 10
+
+    def test_n_larger_than_window_rejected(self):
+        monitor = TopKPairsMonitor(10, 2)
+        with pytest.raises(InvalidParameterError):
+            monitor.register_query(k_closest_pairs(2), k=2, n=11)
+
+    def test_unregister_unknown_raises(self):
+        monitor = TopKPairsMonitor(10, 2)
+        handle = monitor.register_query(k_closest_pairs(2), k=2)
+        monitor.unregister_query(handle)
+        with pytest.raises(UnknownQueryError):
+            monitor.unregister_query(handle)
+
+    def test_results_after_unregister_raises(self):
+        monitor = TopKPairsMonitor(10, 2)
+        handle = monitor.register_query(k_closest_pairs(2), k=2)
+        monitor.unregister_query(handle)
+        with pytest.raises(UnknownQueryError):
+            monitor.results(handle)
+
+    def test_auto_strategy_picks_ta_for_global(self):
+        monitor = TopKPairsMonitor(10, 2)
+        monitor.register_query(k_closest_pairs(2), k=2)
+        group = next(iter(monitor._groups.values()))
+        assert group.strategy == "ta"
+
+    def test_auto_strategy_picks_scase_for_arbitrary(self):
+        monitor = TopKPairsMonitor(10, 3)
+        monitor.register_query(sensor_scoring_function(), k=2)
+        group = next(iter(monitor._groups.values()))
+        assert group.strategy == "scase"
+
+
+class TestSkybandSharing:
+    """§III-B: one skyband per unique scoring function, K = max k."""
+
+    def test_same_function_shares_one_group(self):
+        monitor = TopKPairsMonitor(20, 2)
+        sf = k_closest_pairs(2)
+        monitor.register_query(sf, k=2, n=10)
+        monitor.register_query(sf, k=4, n=20)
+        assert len(monitor._groups) == 1
+        assert next(iter(monitor._groups.values())).K == 4
+
+    def test_different_functions_get_separate_groups(self):
+        monitor = TopKPairsMonitor(20, 2)
+        monitor.register_query(k_closest_pairs(2), k=2)
+        monitor.register_query(k_furthest_pairs(2), k=2)
+        assert len(monitor._groups) == 2
+
+    def test_raising_k_rebootstraps_correctly(self):
+        monitor = TopKPairsMonitor(15, 2)
+        sf = k_closest_pairs(2)
+        ref = BruteForceReference(sf, 15)
+        small = monitor.register_query(sf, k=2, n=15)
+        rows = random_rows(40, 2, seed=1)
+        for row in rows[:25]:
+            monitor.append(row)
+            ref.append(row)
+        big = monitor.register_query(sf, k=6, n=15)
+        for row in rows[25:]:
+            monitor.append(row)
+            ref.append(row)
+            assert [p.uid for p in monitor.results(big)] == [
+                p.uid for p in ref.top_k(6, 15)
+            ]
+            assert [p.uid for p in monitor.results(small)] == [
+                p.uid for p in ref.top_k(2, 15)
+            ]
+        monitor.check_invariants()
+
+    def test_group_dropped_with_last_query(self):
+        monitor = TopKPairsMonitor(10, 2)
+        sf = k_closest_pairs(2)
+        a = monitor.register_query(sf, k=2)
+        b = monitor.register_query(sf, k=3)
+        monitor.unregister_query(a)
+        assert len(monitor._groups) == 1
+        monitor.unregister_query(b)
+        assert len(monitor._groups) == 0
+
+
+class TestMultiQueryAnswers:
+    def test_many_queries_different_k_n(self):
+        N = 20
+        monitor = TopKPairsMonitor(N, 2)
+        sf = k_closest_pairs(2)
+        ref = BruteForceReference(sf, N)
+        specs = [(1, 5), (2, 10), (4, 20), (3, 7)]
+        handles = [monitor.register_query(sf, k=k, n=n) for k, n in specs]
+        for row in random_rows(80, 2, seed=2):
+            monitor.append(row)
+            ref.append(row)
+            for (k, n), handle in zip(specs, handles):
+                got = [p.uid for p in monitor.results(handle)]
+                want = [p.uid for p in ref.top_k(k, n)]
+                assert got == want, (k, n)
+
+    def test_mixed_scoring_functions(self):
+        N = 15
+        monitor = TopKPairsMonitor(N, 2)
+        close, far = k_closest_pairs(2), k_furthest_pairs(2)
+        ref_close = BruteForceReference(close, N)
+        ref_far = BruteForceReference(far, N)
+        hc = monitor.register_query(close, k=3, n=10)
+        hf = monitor.register_query(far, k=3, n=10)
+        for row in random_rows(60, 2, seed=3):
+            monitor.append(row)
+            ref_close.append(row)
+            ref_far.append(row)
+        assert [p.uid for p in monitor.results(hc)] == [
+            p.uid for p in ref_close.top_k(3, 10)
+        ]
+        assert [p.uid for p in monitor.results(hf)] == [
+            p.uid for p in ref_far.top_k(3, 10)
+        ]
+
+    def test_snapshot_query_handles(self):
+        monitor = TopKPairsMonitor(15, 2)
+        sf = k_closest_pairs(2)
+        ref = BruteForceReference(sf, 15)
+        handle = monitor.register_query(sf, k=3, n=10, continuous=False)
+        for row in random_rows(40, 2, seed=4):
+            monitor.append(row)
+            ref.append(row)
+        assert [p.uid for p in monitor.results(handle)] == [
+            p.uid for p in ref.top_k(3, 10)
+        ]
+
+    def test_one_off_snapshot_query(self):
+        monitor = TopKPairsMonitor(15, 2)
+        sf = k_closest_pairs(2)
+        ref = BruteForceReference(sf, 15)
+        for row in random_rows(40, 2, seed=5):
+            monitor.append(row)
+            ref.append(row)
+        got = monitor.snapshot_query(sf, k=4, n=12)
+        assert [p.uid for p in got] == [p.uid for p in ref.top_k(4, 12)]
+
+    def test_snapshot_query_window_validated(self):
+        monitor = TopKPairsMonitor(10, 2)
+        with pytest.raises(InvalidParameterError):
+            monitor.snapshot_query(k_closest_pairs(2), k=2, n=11)
+
+
+class TestDiagnostics:
+    def test_skyband_size(self):
+        monitor = TopKPairsMonitor(20, 2)
+        sf = k_closest_pairs(2)
+        assert monitor.skyband_size(sf) == 0
+        monitor.register_query(sf, k=3)
+        for row in random_rows(40, 2, seed=6):
+            monitor.append(row)
+        assert monitor.skyband_size(sf) >= 3
+
+    def test_payloads_flow_through(self):
+        monitor = TopKPairsMonitor(10, 1)
+        sf = k_closest_pairs(1)
+        handle = monitor.register_query(sf, k=1)
+        monitor.append((1.0,), payload="alpha")
+        monitor.append((1.1,), payload="beta")
+        (best,) = monitor.results(handle)
+        assert {best.older.payload, best.newer.payload} == {"alpha", "beta"}
+
+    def test_extend(self):
+        monitor = TopKPairsMonitor(10, 2)
+        monitor.extend(random_rows(5, 2, seed=7))
+        assert len(monitor.manager) == 5

@@ -1,0 +1,50 @@
+"""Tests for the monitor's diagnostics surface."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs, k_furthest_pairs
+
+
+class TestStats:
+    def test_empty_monitor(self):
+        monitor = TopKPairsMonitor(10, 2)
+        stats = monitor.stats()
+        assert stats["window_size"] == 10
+        assert stats["window_occupancy"] == 0
+        assert stats["now_seq"] == 0
+        assert stats["num_queries"] == 0
+        assert stats["groups"] == []
+
+    def test_groups_reported(self):
+        monitor = TopKPairsMonitor(20, 2)
+        close, far = k_closest_pairs(2), k_furthest_pairs(2)
+        monitor.register_query(close, k=3)
+        monitor.register_query(close, k=5)
+        monitor.register_query(far, k=2)
+        rng = random.Random(1)
+        for _ in range(30):
+            monitor.append((rng.random(), rng.random()))
+        stats = monitor.stats()
+        assert stats["window_occupancy"] == 20
+        assert stats["now_seq"] == 30
+        assert stats["num_queries"] == 3
+        assert len(stats["groups"]) == 2
+        by_name = {g["scoring_function"]: g for g in stats["groups"]}
+        assert by_name[close.name]["K"] == 5
+        assert by_name[close.name]["queries"] == 2
+        assert by_name[close.name]["skyband_size"] >= 5
+        assert by_name[far.name]["queries"] == 1
+        assert all(g["strategy"] == "ta" for g in stats["groups"])
+
+    def test_staircase_size_bounded_by_skyband(self):
+        monitor = TopKPairsMonitor(15, 2)
+        sf = k_closest_pairs(2)
+        monitor.register_query(sf, k=4)
+        rng = random.Random(2)
+        for _ in range(40):
+            monitor.append((rng.random(), rng.random()))
+        (group,) = monitor.stats()["groups"]
+        assert 0 < group["staircase_size"] <= group["skyband_size"]

@@ -1,0 +1,146 @@
+"""Tests for Algorithm 4 (joint K-skyband + K-staircase computation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pair import dominates
+from repro.core.skyband_update import update_skyband_and_staircase
+
+from tests.conftest import make_pair_at
+
+
+def sorted_pairs(age_scores):
+    pairs = [make_pair_at(age_score) for age_score in age_scores]
+    pairs.sort(key=lambda p: p.score_key)
+    return pairs
+
+
+def brute_skyband(pairs, K):
+    members = []
+    for p in pairs:
+        dominators = sum(1 for q in pairs if dominates(q, p))
+        if dominators < K:
+            members.append(p)
+    members.sort(key=lambda p: p.score_key)
+    return members
+
+
+class TestSkyband:
+    def test_paper_figure1_example(self):
+        """Fig 1: p6 dominated by p3 and p4, so the 2-skyband is p1..p5."""
+        coordinates = {
+            "p1": (1, 9.0), "p2": (3, 6.0), "p3": (4, 4.0),
+            "p4": (6, 2.0), "p5": (9, 1.0), "p6": (8, 5.0),
+        }
+        pairs = {name: make_pair_at(c) for name, c in coordinates.items()}
+        ordered = sorted(pairs.values(), key=lambda p: p.score_key)
+        skyband, _ = update_skyband_and_staircase(ordered, K=2)
+        got = {p.uid for p in skyband}
+        want = {pairs[name].uid for name in ("p1", "p2", "p3", "p4", "p5")}
+        assert got == want
+
+    def test_empty_input(self):
+        skyband, staircase = update_skyband_and_staircase([], K=3)
+        assert skyband == []
+        assert len(staircase) == 0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            update_skyband_and_staircase([], K=0)
+
+    def test_fewer_pairs_than_k_all_kept(self):
+        pairs = sorted_pairs([(1, 1.0), (2, 2.0)])
+        skyband, staircase = update_skyband_and_staircase(pairs, K=5)
+        assert len(skyband) == 2
+        assert len(staircase) == 0  # the heap never filled up to K
+
+    def test_k1_is_plain_skyline(self):
+        pairs = sorted_pairs([(1, 5.0), (2, 3.0), (3, 4.0), (4, 1.0)])
+        skyband, _ = update_skyband_and_staircase(pairs, K=1)
+        assert {p.uid for p in skyband} == {
+            p.uid for p in brute_skyband(pairs, 1)
+        }
+
+    def test_output_sorted_by_score(self):
+        rng = random.Random(4)
+        pairs = sorted_pairs(
+            [(rng.randint(1, 30), rng.uniform(0, 9)) for _ in range(50)]
+        )
+        skyband, _ = update_skyband_and_staircase(pairs, K=3)
+        keys = [p.score_key for p in skyband]
+        assert keys == sorted(keys)
+
+    @pytest.mark.parametrize("K", [1, 2, 3, 5, 10])
+    def test_matches_brute_force(self, K):
+        rng = random.Random(K)
+        for trial in range(15):
+            pairs = sorted_pairs(
+                [
+                    (rng.randint(1, 20), rng.choice([1.0, 2.5, 4.0, 7.0]))
+                    for _ in range(rng.randint(0, 40))
+                ]
+            )
+            skyband, _ = update_skyband_and_staircase(pairs, K)
+            assert {p.uid for p in skyband} == {
+                p.uid for p in brute_skyband(pairs, K)
+            }
+
+    def test_duplicate_ages_kept_up_to_k(self):
+        """At most K pairs of one age can be in the K-skyband (the K
+        smallest scores) — the property expiry handling relies on."""
+        pairs = sorted_pairs([(5, float(s)) for s in range(10)])
+        skyband, _ = update_skyband_and_staircase(pairs, K=3)
+        assert len(skyband) == 3
+        assert [p.score for p in skyband] == [0.0, 1.0, 2.0]
+
+
+class TestStaircase:
+    def test_invariants_hold(self):
+        rng = random.Random(9)
+        pairs = sorted_pairs(
+            [(rng.randint(1, 25), rng.uniform(0, 9)) for _ in range(60)]
+        )
+        _, staircase = update_skyband_and_staircase(pairs, K=4)
+        staircase.check_invariants()
+
+    def test_dominance_equivalence(self):
+        """A probe point is dominated by >= K skyband pairs iff the
+        staircase says so — the defining property of §V-A.1."""
+        rng = random.Random(21)
+        pairs = sorted_pairs(
+            [(rng.randint(1, 25), rng.uniform(0, 9)) for _ in range(60)]
+        )
+        K = 3
+        skyband, staircase = update_skyband_and_staircase(pairs, K)
+        for _ in range(200):
+            probe = make_pair_at((rng.randint(1, 30), rng.uniform(0, 10)))
+            brute = (
+                sum(1 for q in skyband if dominates(q, probe)) >= K
+            )
+            assert staircase.dominates(probe.score_key, probe.age_key) == brute
+
+    def test_first_point_appears_at_kth_pair(self):
+        pairs = sorted_pairs([(i, float(i)) for i in range(1, 6)])
+        _, staircase = update_skyband_and_staircase(pairs, K=3)
+        points = staircase.points()
+        assert points[0][0] == pairs[2].score_key
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 25), st.floats(0, 50)),
+        max_size=50,
+    ),
+    st.integers(1, 8),
+)
+def test_property_algorithm4_equals_brute_force(age_scores, K):
+    pairs = sorted_pairs(age_scores)
+    skyband, staircase = update_skyband_and_staircase(pairs, K)
+    assert {p.uid for p in skyband} == {p.uid for p in brute_skyband(pairs, K)}
+    staircase.check_invariants()

@@ -1,0 +1,79 @@
+"""Unit tests for the KStaircase structure itself."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.staircase import KStaircase
+
+
+def key(score):
+    """A minimal score key comparable with pair score keys."""
+    return (score, 0, 0)
+
+
+class TestEmpty:
+    def test_dominates_nothing(self):
+        staircase = KStaircase()
+        assert not staircase.dominates(key(5.0), 10)
+        assert len(staircase) == 0
+        assert not staircase
+
+
+class TestDominates:
+    @pytest.fixture
+    def staircase(self):
+        # scores ascending, age thresholds non-increasing
+        return KStaircase([(key(1.0), -10), (key(3.0), -20), (key(5.0), -30)])
+
+    def test_point_right_of_a_step_and_below(self, staircase):
+        # score 4 > 3.0 step, age_key -15 >= -20 -> dominated
+        assert staircase.dominates(key(4.0), -15)
+
+    def test_point_above_all_steps(self, staircase):
+        # score 4 but age_key -25 < -20 (more recent than the threshold)
+        assert not staircase.dominates(key(4.0), -25)
+
+    def test_point_left_of_first_step(self, staircase):
+        assert not staircase.dominates(key(0.5), 100)
+
+    def test_score_equal_to_step_not_dominated_by_it(self, staircase):
+        """Dominance needs a strictly smaller score key."""
+        assert not staircase.dominates(key(1.0), -10)
+        # but the previous step still applies for the 3.0 probe
+        assert staircase.dominates(key(3.0), -10)
+
+    def test_largest_step_applies_to_far_right(self, staircase):
+        assert staircase.dominates(key(100.0), -30)
+        assert not staircase.dominates(key(100.0), -31)
+
+    def test_threshold_probe_with_minus_inf(self, staircase):
+        """The TA dummy point uses (score, -inf, -inf) as its key."""
+        probe = (3.0, -math.inf, -math.inf)
+        assert staircase.dominates(probe, -10)
+        assert not staircase.dominates(probe, -11)
+
+
+class TestInvariants:
+    def test_valid_staircase_passes(self):
+        KStaircase([(key(1.0), 5), (key(2.0), 5), (key(3.0), 1)]).check_invariants()
+
+    def test_unsorted_scores_detected(self):
+        staircase = KStaircase.__new__(KStaircase)
+        staircase._score_keys = [key(2.0), key(1.0)]
+        staircase._age_keys = [5, 5]
+        with pytest.raises(AssertionError):
+            staircase.check_invariants()
+
+    def test_increasing_ages_detected(self):
+        staircase = KStaircase.__new__(KStaircase)
+        staircase._score_keys = [key(1.0), key(2.0)]
+        staircase._age_keys = [1, 5]
+        with pytest.raises(AssertionError):
+            staircase.check_invariants()
+
+    def test_points_roundtrip(self):
+        points = [(key(1.0), 9), (key(4.0), 2)]
+        assert KStaircase(points).points() == points

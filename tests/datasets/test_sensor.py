@@ -1,0 +1,90 @@
+"""Tests for the Intel-lab-like sensor stream simulator."""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+
+from repro.datasets.sensor import SensorStreamSimulator
+from repro.scoring.library import sensor_scoring_function
+from repro.stream.object import StreamObject
+
+
+def take(n, **kwargs):
+    sim = SensorStreamSimulator(**kwargs)
+    return list(itertools.islice(sim.readings(), n))
+
+
+class TestShape:
+    def test_reading_fields(self):
+        (reading,) = take(1, seed=1)
+        assert 0 <= reading.sensor_id < 54
+        assert reading.time >= 0
+        assert 0 <= reading.humidity <= 100
+        assert reading.voltage > 2.0
+        assert len(reading.values()) == 5
+
+    def test_deterministic(self):
+        assert take(100, seed=5) == take(100, seed=5)
+
+    def test_time_nondecreasing_between_epochs(self):
+        readings = take(500, seed=2, drop_rate=0.0)
+        epochs = [r.time // 31.0 for r in readings]
+        assert epochs == sorted(epochs)
+
+    def test_drop_rate_thins_stream(self):
+        dense = take(540, seed=3, drop_rate=0.0)
+        # With 50% drops, 10 epochs produce ~270 readings instead of 540.
+        sparse_sim = SensorStreamSimulator(seed=3, drop_rate=0.5)
+        sparse = list(itertools.islice(sparse_sim.readings(), 540))
+        assert max(r.time for r in sparse) > max(r.time for r in dense)
+
+    def test_custom_sensor_count(self):
+        readings = take(100, seed=4, num_sensors=5)
+        assert {r.sensor_id for r in readings} <= set(range(5))
+
+
+class TestStatistics:
+    def test_temperature_plausible(self):
+        temps = [r.temperature for r in take(3000, seed=6)]
+        assert 5 < statistics.fmean(temps) < 35
+
+    def test_humidity_negatively_tracks_temperature(self):
+        readings = take(3000, seed=7, anomaly_rate=0.0)
+        temps = [r.temperature for r in readings]
+        hums = [r.humidity for r in readings]
+        mt, mh = statistics.fmean(temps), statistics.fmean(hums)
+        cov = sum((t - mt) * (h - mh) for t, h in zip(temps, hums))
+        assert cov < 0
+
+    def test_anomalies_create_outlier_pairs(self):
+        """The paper's scoring function must find clearly better (smaller)
+        scores when anomalies exist than when they do not — averaged over
+        the best pairs to damp same-epoch noise."""
+        sf = sensor_scoring_function()
+
+        def best_scores_mean(anomaly_rate, seed):
+            sim = SensorStreamSimulator(seed=seed, anomaly_rate=anomaly_rate)
+            rows = list(itertools.islice(sim.value_rows(), 400))
+            objs = [StreamObject(i + 1, row[:3]) for i, row in enumerate(rows)]
+            scores = sorted(
+                sf.score(a, b)
+                for i, a in enumerate(objs)
+                for b in objs[i + 1 : i + 30]
+            )
+            return statistics.fmean(scores[:25])
+
+        with_anomalies = statistics.fmean(
+            best_scores_mean(0.2, seed) for seed in (8, 9, 10)
+        )
+        without = statistics.fmean(
+            best_scores_mean(0.0, seed) for seed in (8, 9, 10)
+        )
+        assert with_anomalies < without
+
+    def test_value_rows_match_readings(self):
+        sim_a = SensorStreamSimulator(seed=9)
+        sim_b = SensorStreamSimulator(seed=9)
+        rows = list(itertools.islice(sim_a.value_rows(), 20))
+        readings = list(itertools.islice(sim_b.readings(), 20))
+        assert rows == [r.values() for r in readings]

@@ -1,0 +1,87 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import statistics
+
+import pytest
+
+from repro.datasets.synthetic import (
+    DISTRIBUTIONS,
+    anticorrelated_stream,
+    correlated_stream,
+    make_stream,
+    uniform_stream,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+def pearson(xs, ys):
+    mx, my = statistics.fmean(xs), statistics.fmean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    sx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    sy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    return cov / (sx * sy)
+
+
+@pytest.mark.parametrize("name", DISTRIBUTIONS)
+class TestCommonProperties:
+    def test_arity_and_range(self, name):
+        rows = take(make_stream(name, 4, seed=1), 300)
+        assert all(len(row) == 4 for row in rows)
+        assert all(0.0 <= v <= 1.0 for row in rows for v in row)
+
+    def test_deterministic_given_seed(self, name):
+        a = take(make_stream(name, 3, seed=7), 50)
+        b = take(make_stream(name, 3, seed=7), 50)
+        assert a == b
+
+    def test_different_seeds_differ(self, name):
+        a = take(make_stream(name, 3, seed=1), 50)
+        b = take(make_stream(name, 3, seed=2), 50)
+        assert a != b
+
+
+class TestDistributionShapes:
+    def test_uniform_moments(self):
+        rows = take(uniform_stream(2, seed=3), 4000)
+        xs = [r[0] for r in rows]
+        assert abs(statistics.fmean(xs) - 0.5) < 0.03
+        assert abs(statistics.pvariance(xs) - 1 / 12) < 0.01
+
+    def test_correlated_attributes_positively_correlated(self):
+        rows = take(correlated_stream(2, seed=4), 3000)
+        r = pearson([x for x, _ in rows], [y for _, y in rows])
+        assert r > 0.8
+
+    def test_anticorrelated_attributes_negatively_correlated(self):
+        rows = take(anticorrelated_stream(2, seed=5), 3000)
+        r = pearson([x for x, _ in rows], [y for _, y in rows])
+        assert r < -0.5
+
+    def test_anticorrelated_sums_concentrate(self):
+        d = 3
+        rows = take(anticorrelated_stream(d, seed=6), 2000)
+        sums = [sum(row) for row in rows]
+        assert abs(statistics.fmean(sums) - d / 2) < 0.1
+
+    def test_uniform_attributes_independent(self):
+        rows = take(uniform_stream(2, seed=7), 3000)
+        r = pearson([x for x, _ in rows], [y for _, y in rows])
+        assert abs(r) < 0.1
+
+
+class TestDispatch:
+    def test_unknown_distribution(self):
+        with pytest.raises(InvalidParameterError):
+            make_stream("zipf", 2)
+
+    def test_single_attribute_anticorrelated(self):
+        rows = take(anticorrelated_stream(1, seed=8), 20)
+        assert all(len(r) == 1 for r in rows)

@@ -1,0 +1,100 @@
+"""Batched ingestion must agree with per-tick ingestion at every batch
+boundary — skyband, PST, continuous answers, everything."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.brute import BruteForceReference
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs, k_furthest_pairs
+
+
+def random_rows(count, d, seed):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(d)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("strategy", ["scase", "ta", "basic"])
+@pytest.mark.parametrize("batch_size", [2, 3, 7, 16])
+class TestBatchEquivalence:
+    def test_matches_per_tick_at_boundaries(self, strategy, batch_size):
+        sf_a, sf_b = k_closest_pairs(2), k_closest_pairs(2)
+        N, K, n = 20, 4, 15
+        per_tick = TopKPairsMonitor(N, 2, strategy=strategy)
+        batched = TopKPairsMonitor(N, 2, strategy=strategy)
+        h_tick = per_tick.register_query(sf_a, k=K, n=n)
+        h_batch = batched.register_query(sf_b, k=K, n=n)
+        rows = random_rows(90, 2, seed=batch_size)
+        for start in range(0, len(rows), batch_size):
+            chunk = rows[start:start + batch_size]
+            for row in chunk:
+                per_tick.append(row)
+            batched.extend(chunk, batch_size=batch_size)
+            got = [p.uid for p in batched.results(h_batch)]
+            want = [p.uid for p in per_tick.results(h_tick)]
+            assert got == want, f"boundary after {start + len(chunk)} rows"
+            assert batched.skyband_size(sf_b) == per_tick.skyband_size(sf_a)
+        batched.check_invariants()
+
+    def test_matches_brute_force(self, strategy, batch_size):
+        sf = k_furthest_pairs(2)
+        N, K, n = 15, 3, 12
+        monitor = TopKPairsMonitor(N, 2, strategy=strategy)
+        handle = monitor.register_query(sf, k=K, n=n)
+        ref = BruteForceReference(sf, N)
+        rows = random_rows(75, 2, seed=batch_size + 100)
+        for start in range(0, len(rows), batch_size):
+            chunk = rows[start:start + batch_size]
+            monitor.extend(chunk, batch_size=batch_size)
+            for row in chunk:
+                ref.append(row)
+            assert [p.uid for p in monitor.results(handle)] == [
+                p.uid for p in ref.top_k(K, n)
+            ]
+
+
+class TestBatchEdgeCases:
+    def test_batch_larger_than_window(self):
+        """Objects can arrive and expire inside one batch."""
+        sf = k_closest_pairs(1)
+        monitor = TopKPairsMonitor(window_size=5, num_attributes=1)
+        handle = monitor.register_query(sf, k=2, n=5)
+        ref = BruteForceReference(sf, 5)
+        rows = random_rows(40, 1, seed=3)
+        monitor.extend(rows, batch_size=12)
+        for row in rows:
+            ref.append(row)
+        assert [p.uid for p in monitor.results(handle)] == [
+            p.uid for p in ref.top_k(2, 5)
+        ]
+        monitor.check_invariants()
+
+    def test_batch_size_one_equals_append(self):
+        sf = k_closest_pairs(2)
+        a = TopKPairsMonitor(10, 2)
+        b = TopKPairsMonitor(10, 2)
+        ha = a.register_query(sf, k=2)
+        sf_b = k_closest_pairs(2)
+        hb = b.register_query(sf_b, k=2)
+        rows = random_rows(30, 2, seed=4)
+        a.extend(rows, batch_size=1)
+        b.extend(rows)
+        assert [p.uid for p in a.results(ha)] == [
+            p.uid for p in b.results(hb)
+        ]
+
+    def test_empty_batch(self):
+        monitor = TopKPairsMonitor(10, 2)
+        monitor.extend([], batch_size=4)
+        assert len(monitor.manager) == 0
+
+    def test_partial_final_batch(self):
+        sf = k_closest_pairs(2)
+        monitor = TopKPairsMonitor(10, 2)
+        monitor.register_query(sf, k=2)
+        monitor.extend(random_rows(10, 2, seed=5), batch_size=4)  # 4+4+2
+        assert len(monitor.manager) == 10
+        monitor.check_invariants()

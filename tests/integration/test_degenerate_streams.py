@@ -1,0 +1,118 @@
+"""Degenerate and adversarial streams.
+
+Tie-heavy inputs are where skyband algorithms classically go wrong: equal
+scores stress footnote 1's perturbation, equal attribute values stress the
+sorted lists and the TA iterators, and monotone streams stress the
+staircase's geometry.  Every case is checked tick-by-tick against the
+brute-force reference with all three maintenance strategies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.brute import BruteForceReference
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs, k_furthest_pairs
+
+
+STRATEGIES = ["scase", "ta", "basic"]
+
+
+def check_stream(rows, *, d=2, N=12, K=3, n=8, strategy="scase", sf=None):
+    sf = sf if sf is not None else k_closest_pairs(d)
+    monitor = TopKPairsMonitor(N, d, strategy=strategy)
+    ref = BruteForceReference(sf, N)
+    handle = monitor.register_query(sf, k=K, n=n)
+    for i, row in enumerate(rows):
+        monitor.append(row)
+        ref.append(row)
+        got = [p.uid for p in monitor.results(handle)]
+        want = [p.uid for p in ref.top_k(K, n)]
+        assert got == want, f"tick {i}: {got} != {want}"
+    monitor.check_invariants()
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestConstantStream:
+    def test_all_identical_objects(self, strategy):
+        """Every pair has score 0: pure tie-breaking territory."""
+        check_stream([(1.0, 1.0)] * 60, strategy=strategy)
+
+    def test_two_alternating_values(self, strategy):
+        rows = [(0.0, 0.0) if i % 2 else (1.0, 1.0) for i in range(60)]
+        check_stream(rows, strategy=strategy)
+
+    def test_identical_with_furthest_pairs(self, strategy):
+        check_stream(
+            [(5.0, 5.0)] * 50, strategy=strategy, sf=k_furthest_pairs(2)
+        )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestMonotoneStreams:
+    def test_strictly_increasing(self, strategy):
+        rows = [(float(i), float(2 * i)) for i in range(60)]
+        check_stream(rows, strategy=strategy)
+
+    def test_strictly_decreasing(self, strategy):
+        rows = [(float(-i), float(-3 * i)) for i in range(60)]
+        check_stream(rows, strategy=strategy)
+
+    def test_sawtooth(self, strategy):
+        rows = [(float(i % 7), float(i % 5)) for i in range(80)]
+        check_stream(rows, strategy=strategy)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestDuplicateHeavy:
+    def test_few_distinct_values(self, strategy):
+        rng = random.Random(1)
+        rows = [
+            (rng.choice([0.0, 0.5, 1.0]), rng.choice([0.0, 1.0]))
+            for _ in range(80)
+        ]
+        check_stream(rows, strategy=strategy)
+
+    def test_duplicates_in_one_attribute_only(self, strategy):
+        rng = random.Random(2)
+        rows = [(1.0, rng.random()) for _ in range(60)]
+        check_stream(rows, strategy=strategy)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestExtremeShapes:
+    def test_k_larger_than_possible_pairs(self, strategy):
+        """K exceeds the number of in-window pairs: everything is skyband."""
+        check_stream(
+            [(float(i), 0.0) for i in range(20)],
+            N=5, K=40, n=5, strategy=strategy,
+        )
+
+    def test_window_of_two(self, strategy):
+        check_stream(
+            [(float(i % 3), 1.0) for i in range(30)],
+            N=2, K=2, n=2, strategy=strategy,
+        )
+
+    def test_single_attribute(self, strategy):
+        rng = random.Random(3)
+        check_stream(
+            [(rng.random(),) for _ in range(50)],
+            d=1, strategy=strategy, sf=k_closest_pairs(1),
+        )
+
+    def test_extreme_magnitudes(self, strategy):
+        rng = random.Random(4)
+        rows = [
+            (rng.choice([1e-12, 1e12, 0.0]), rng.choice([-1e9, 1e-9]))
+            for _ in range(50)
+        ]
+        check_stream(rows, strategy=strategy)
+
+    def test_negative_values(self, strategy):
+        rng = random.Random(5)
+        rows = [(rng.uniform(-10, -1), rng.uniform(-5, 5)) for _ in range(50)]
+        check_stream(rows, strategy=strategy)

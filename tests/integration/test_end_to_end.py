@@ -1,0 +1,149 @@
+"""Cross-module integration tests: every algorithm in the framework must
+agree with the brute-force ground truth (and hence with every other) on
+long mixed streams, across strategies, scoring functions, distributions
+and window shapes."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import BruteForceReference
+from repro.baselines.naive import NaiveAlgorithm
+from repro.baselines.supreme import SupremeAlgorithm
+from repro.core.monitor import TopKPairsMonitor
+from repro.datasets.sensor import SensorStreamSimulator
+from repro.datasets.synthetic import DISTRIBUTIONS, make_stream
+from repro.scoring.library import (
+    paper_scoring_functions,
+    sensor_scoring_function,
+)
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+@pytest.mark.parametrize("strategy", ["scase", "ta", "basic"])
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_strategies_agree_on_all_distributions(strategy, distribution):
+    sf = paper_scoring_functions(2)[0]
+    N, K = 20, 4
+    monitor = TopKPairsMonitor(N, 2, strategy=strategy)
+    ref = BruteForceReference(sf, N)
+    handle = monitor.register_query(sf, k=K, n=14)
+    for row in take(make_stream(distribution, 2, seed=5), 80):
+        monitor.append(row)
+        ref.append(row)
+        got = [p.uid for p in monitor.results(handle)]
+        assert got == [p.uid for p in ref.top_k(K, 14)]
+
+
+def test_all_four_algorithms_agree_tick_by_tick():
+    """Monitor (SCase), naive, supreme and brute force, in lock-step."""
+    sf = paper_scoring_functions(2)[0]
+    N, k = 18, 4
+    monitor = TopKPairsMonitor(N, 2, strategy="scase")
+    handle = monitor.register_query(sf, k=k, n=N)
+    naive = NaiveAlgorithm(sf, K=k, window_size=N)
+    supreme = SupremeAlgorithm(sf, K=k, window_size=N, num_attributes=2)
+    ref = BruteForceReference(sf, N)
+    for row in take(make_stream("uniform", 2, seed=6), 90):
+        monitor.append(row)
+        naive.append(row)
+        supreme.append(row)
+        ref.append(row)
+        want = [p.uid for p in ref.top_k(k, N)]
+        assert [p.uid for p in monitor.results(handle)] == want
+        assert [p.uid for p in naive.top_k(k)] == want
+        assert [p.uid for p in supreme.top_k(k)] == want
+
+
+def test_sensor_workload_end_to_end():
+    """The paper's real-data setup: sensor stream + anomaly function."""
+    sf = sensor_scoring_function()
+    N = 30
+    monitor = TopKPairsMonitor(N, 3)
+    ref = BruteForceReference(sf, N)
+    handle = monitor.register_query(sf, k=5, n=20)
+    sim = SensorStreamSimulator(seed=4, anomaly_rate=0.05)
+    for values in take(sim.value_rows(), 100):
+        row = values[:3]  # (time, temperature, humidity)
+        monitor.append(row)
+        ref.append(row)
+    assert [p.uid for p in monitor.results(handle)] == [
+        p.uid for p in ref.top_k(5, 20)
+    ]
+    monitor.check_invariants()
+
+
+def test_hundred_random_queries_fig7_style():
+    """Fig 7 issues 100 queries with random k <= K and n <= N."""
+    sf = paper_scoring_functions(2)[0]
+    N, K = 25, 8
+    rng = random.Random(11)
+    monitor = TopKPairsMonitor(N, 2)
+    ref = BruteForceReference(sf, N)
+    monitor.register_query(sf, k=K, n=N)  # pin the skyband depth at K
+    for row in take(make_stream("uniform", 2, seed=12), 70):
+        monitor.append(row)
+        ref.append(row)
+    for _ in range(100):
+        k = rng.randint(1, K)
+        n = rng.randint(2, N)
+        got = monitor.snapshot_query(sf, k=k, n=n)
+        assert [p.uid for p in got] == [p.uid for p in ref.top_k(k, n)], (k, n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    N=st.integers(4, 20),
+    K=st.integers(1, 6),
+    ticks=st.integers(1, 60),
+)
+def test_property_monitor_matches_brute_force(seed, N, K, ticks):
+    """For arbitrary (seed, N, K, stream length), continuous answers and
+    skybands must match the ground truth at the end of the stream."""
+    sf = paper_scoring_functions(2)[1]  # furthest pairs
+    monitor = TopKPairsMonitor(N, 2, strategy="scase")
+    ref = BruteForceReference(sf, N)
+    n = max(2, N - 1)
+    handle = monitor.register_query(sf, k=K, n=n)
+    rng = random.Random(seed)
+    for _ in range(ticks):
+        row = (rng.random(), rng.random())
+        monitor.append(row)
+        ref.append(row)
+    assert [p.uid for p in monitor.results(handle)] == [
+        p.uid for p in ref.top_k(K, n)
+    ]
+    group = monitor._groups[(id(sf), None)]
+    assert {p.uid for p in group.maintainer.skyband} == {
+        p.uid for p in ref.skyband(K)
+    }
+
+
+def test_long_stream_stability():
+    """A longer soak: invariants hold and answers stay exact after many
+    window turnovers."""
+    sf = paper_scoring_functions(3)[2]  # similar pairs, product combiner
+    N = 15
+    monitor = TopKPairsMonitor(N, 3)
+    ref = BruteForceReference(sf, N)
+    handle = monitor.register_query(sf, k=4, n=N)
+    for i, row in enumerate(take(make_stream("correlated", 3, seed=13), 400)):
+        monitor.append(row)
+        ref.append(row)
+        if i % 50 == 0:
+            monitor.check_invariants()
+            assert [p.uid for p in monitor.results(handle)] == [
+                p.uid for p in ref.top_k(4, N)
+            ]
+    assert [p.uid for p in monitor.results(handle)] == [
+        p.uid for p in ref.top_k(4, N)
+    ]

@@ -1,0 +1,136 @@
+"""Tests for the pair-filter extension: queries restricted to a symmetric
+predicate over the two objects (e.g. same-category only)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.brute import BruteForceReference
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs, k_furthest_pairs
+
+
+def same_category(a, b) -> bool:
+    return a.payload == b.payload
+
+
+def different_category(a, b) -> bool:
+    return a.payload != b.payload
+
+
+class _Feeder:
+    """Streams categorized rows into a monitor and a reference."""
+
+    def __init__(self, monitor, refs, seed=0, num_categories=3):
+        self.monitor = monitor
+        self.refs = refs
+        self.rng = random.Random(seed)
+        self.num_categories = num_categories
+
+    def feed(self, count):
+        for _ in range(count):
+            row = (self.rng.random(), self.rng.random())
+            category = self.rng.randrange(self.num_categories)
+            self.monitor.append(row, payload=category)
+            for ref in self.refs:
+                obj = ref.append(row)
+                obj.payload = category
+
+
+def make_ref(sf, N, pair_filter):
+    return BruteForceReference(sf, N, pair_filter=pair_filter)
+
+
+@pytest.mark.parametrize("strategy", ["scase", "ta", "basic"])
+class TestFilteredQueries:
+    def test_same_category_matches_brute(self, strategy):
+        sf = k_closest_pairs(2)
+        N, k, n = 18, 3, 14
+        monitor = TopKPairsMonitor(N, 2, strategy=strategy)
+        ref = make_ref(sf, N, same_category)
+        handle = monitor.register_query(
+            sf, k=k, n=n, pair_filter=same_category
+        )
+        feeder = _Feeder(monitor, [ref], seed=1)
+        for _ in range(20):
+            feeder.feed(4)
+            got = [p.uid for p in monitor.results(handle)]
+            want = [p.uid for p in ref.top_k(k, n)]
+            assert got == want
+        monitor.check_invariants()
+
+    def test_filtered_answers_respect_predicate(self, strategy):
+        sf = k_furthest_pairs(2)
+        monitor = TopKPairsMonitor(15, 2, strategy=strategy)
+        handle = monitor.register_query(
+            sf, k=4, pair_filter=different_category
+        )
+        feeder = _Feeder(monitor, [], seed=2)
+        feeder.feed(40)
+        for pair in monitor.results(handle):
+            assert pair.older.payload != pair.newer.payload
+
+
+class TestFilterSharing:
+    def test_filtered_and_unfiltered_groups_are_separate(self):
+        sf = k_closest_pairs(2)
+        monitor = TopKPairsMonitor(15, 2)
+        plain = monitor.register_query(sf, k=2)
+        filtered = monitor.register_query(sf, k=2, pair_filter=same_category)
+        assert len(monitor._groups) == 2
+        stats = monitor.stats()
+        assert sorted(g["filtered"] for g in stats["groups"]) == [False, True]
+        monitor.unregister_query(plain)
+        monitor.unregister_query(filtered)
+        assert len(monitor._groups) == 0
+
+    def test_same_filter_instance_shares_group(self):
+        sf = k_closest_pairs(2)
+        monitor = TopKPairsMonitor(15, 2)
+        monitor.register_query(sf, k=2, pair_filter=same_category)
+        monitor.register_query(sf, k=4, pair_filter=same_category)
+        assert len(monitor._groups) == 1
+        (group,) = monitor._groups.values()
+        assert group.K == 4
+
+    def test_both_groups_answer_correctly(self):
+        sf = k_closest_pairs(2)
+        N, k, n = 15, 3, 12
+        monitor = TopKPairsMonitor(N, 2)
+        ref_all = make_ref(sf, N, None)
+        ref_same = make_ref(sf, N, same_category)
+        h_all = monitor.register_query(sf, k=k, n=n)
+        h_same = monitor.register_query(sf, k=k, n=n,
+                                        pair_filter=same_category)
+        feeder = _Feeder(monitor, [ref_all, ref_same], seed=3)
+        feeder.feed(60)
+        assert [p.uid for p in monitor.results(h_all)] == [
+            p.uid for p in ref_all.top_k(k, n)
+        ]
+        assert [p.uid for p in monitor.results(h_same)] == [
+            p.uid for p in ref_same.top_k(k, n)
+        ]
+
+    def test_snapshot_query_with_filter(self):
+        sf = k_closest_pairs(2)
+        N = 12
+        monitor = TopKPairsMonitor(N, 2)
+        ref = make_ref(sf, N, same_category)
+        feeder = _Feeder(monitor, [ref], seed=4)
+        feeder.feed(30)
+        got = monitor.snapshot_query(sf, k=3, n=10,
+                                     pair_filter=same_category)
+        assert [p.uid for p in got] == [p.uid for p in ref.top_k(3, 10)]
+
+    def test_restrictive_filter_can_empty_the_answer(self):
+        sf = k_closest_pairs(2)
+        monitor = TopKPairsMonitor(10, 2)
+        handle = monitor.register_query(
+            sf, k=3, pair_filter=lambda a, b: False
+        )
+        feeder = _Feeder(monitor, [], seed=5)
+        feeder.feed(20)
+        assert monitor.results(handle) == []
+        assert monitor.skyband_size(sf, pair_filter=handle.query.pair_filter) == 0

@@ -1,0 +1,95 @@
+"""Hypothesis stateful test: the monitor as a state machine.
+
+Hypothesis drives arbitrary interleavings of appends, query
+registrations/unregistrations and snapshot queries; after every step each
+live continuous query's answer must equal the brute-force ground truth,
+and all structural invariants must hold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.baselines.brute import BruteForceReference
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs, k_furthest_pairs
+
+N = 12
+MAX_K = 5
+
+
+class MonitorMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.monitor = TopKPairsMonitor(N, 2, strategy="scase")
+        self.close = k_closest_pairs(2)
+        self.far = k_furthest_pairs(2)
+        self.refs = {
+            id(self.close): BruteForceReference(self.close, N),
+            id(self.far): BruteForceReference(self.far, N),
+        }
+        self.handles: list = []
+
+    @rule(x=st.floats(0, 1), y=st.floats(0, 1))
+    def append(self, x: float, y: float) -> None:
+        self.monitor.append((x, y))
+        for ref in self.refs.values():
+            ref.append((x, y))
+
+    @rule(
+        k=st.integers(1, MAX_K),
+        n=st.integers(2, N),
+        use_far=st.booleans(),
+        continuous=st.booleans(),
+    )
+    def register(self, k: int, n: int, use_far: bool,
+                 continuous: bool) -> None:
+        sf = self.far if use_far else self.close
+        handle = self.monitor.register_query(
+            sf, k=k, n=n, continuous=continuous
+        )
+        self.handles.append(handle)
+
+    @rule(index=st.integers(0, 10))
+    def unregister(self, index: int) -> None:
+        if self.handles:
+            handle = self.handles.pop(index % len(self.handles))
+            self.monitor.unregister_query(handle)
+
+    @rule(k=st.integers(1, MAX_K), n=st.integers(2, N),
+          use_far=st.booleans())
+    def snapshot(self, k: int, n: int, use_far: bool) -> None:
+        sf = self.far if use_far else self.close
+        got = self.monitor.snapshot_query(sf, k=k, n=n)
+        want = self.refs[id(sf)].top_k(k, n)
+        assert [p.uid for p in got] == [p.uid for p in want]
+
+    @invariant()
+    def answers_match_ground_truth(self) -> None:
+        if not hasattr(self, "monitor"):
+            return
+        for handle in self.handles:
+            query = handle.query
+            got = self.monitor.results(handle)
+            want = self.refs[id(query.scoring_function)].top_k(
+                query.k, query.n
+            )
+            assert [p.uid for p in got] == [p.uid for p in want], query
+
+    @invariant()
+    def structures_consistent(self) -> None:
+        if hasattr(self, "monitor"):
+            self.monitor.check_invariants()
+
+
+TestMonitorStateMachine = MonitorMachine.TestCase
+TestMonitorStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

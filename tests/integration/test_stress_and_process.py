@@ -1,0 +1,122 @@
+"""Last-line-of-defense stress tests and a process-level CLI check."""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+
+from repro.baselines.brute import BruteForceReference
+from repro.baselines.supreme import SupremeAlgorithm
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs
+from repro.structures.pst import PrioritySearchTree
+
+from tests.conftest import make_pair_at
+
+
+class TestPSTStress:
+    def test_large_mixed_workload_with_heavy_age_ties(self):
+        """Thousands of ops with only 8 distinct ages — the duplicate-age
+        regime the skyband hits when one old object anchors many pairs."""
+        rng = random.Random(99)
+        pst = PrioritySearchTree()
+        alive = []
+        for step in range(3000):
+            if rng.random() < 0.6 or not alive:
+                pair = make_pair_at(
+                    (rng.randint(1, 8), rng.uniform(0, 3)), now_seq=100
+                )
+                pst.insert(pair)
+                alive.append(pair)
+            else:
+                pst.delete(alive.pop(rng.randrange(len(alive))))
+        pst.check_invariants()
+        assert len(pst) == len(alive)
+        # Balance held up: height stays logarithmic-ish, not linear.
+        assert pst.height() <= 4 * max(1, len(alive)).bit_length() + 8
+
+    def test_monotone_insert_then_drain(self):
+        pairs = [make_pair_at((i % 50 + 1, float(i)), now_seq=100)
+                 for i in range(1, 800)]
+        pst = PrioritySearchTree()
+        for pair in pairs:
+            pst.insert(pair)
+        pst.check_invariants()
+        for pair in pairs:
+            pst.delete(pair)
+        assert len(pst) == 0
+
+
+class TestSupremeUnderChurn:
+    def test_many_continuous_queries_stay_exact(self):
+        sf = k_closest_pairs(2)
+        N = 15
+        supreme = SupremeAlgorithm(sf, K=6, window_size=N, num_attributes=2)
+        ref = BruteForceReference(sf, N)
+        rng = random.Random(5)
+        specs = {qid: (rng.randint(1, 6), rng.randint(2, N))
+                 for qid in range(12)}
+        for qid, (k, n) in specs.items():
+            supreme.register_continuous(qid, k, n)
+        for _ in range(120):
+            row = (rng.random(), rng.random())
+            supreme.append(row)
+            ref.append(row)
+            for qid, (k, n) in specs.items():
+                assert [p.uid for p in supreme.answer(qid)] == [
+                    p.uid for p in ref.top_k(k, n)
+                ]
+
+
+class TestMonitorSoak:
+    def test_long_run_with_everything_on(self):
+        """Filters + callbacks + periodic snapshot queries + invariant
+        checks over a longer stream."""
+        sf = k_closest_pairs(2)
+        N = 25
+        monitor = TopKPairsMonitor(N, 2)
+        ref = BruteForceReference(sf, N)
+        changes = []
+        handle = monitor.register_query(
+            sf, k=4, n=20, on_change=lambda e, l: changes.append((e, l))
+        )
+        rng = random.Random(6)
+        for tick in range(600):
+            row = (rng.random(), rng.random())
+            monitor.append(row, payload=tick % 4)
+            ref.append(row)
+            if tick % 100 == 99:
+                monitor.check_invariants()
+                assert [p.uid for p in monitor.results(handle)] == [
+                    p.uid for p in ref.top_k(4, 20)
+                ]
+                got = monitor.snapshot_query(sf, k=2, n=10)
+                assert [p.uid for p in got] == [
+                    p.uid for p in ref.top_k(2, 10)
+                ]
+        assert changes  # the answer evolved over 600 ticks
+
+
+class TestCLIProcess:
+    def test_python_dash_m_repro_end_to_end(self):
+        rng = random.Random(7)
+        csv = "".join(
+            f"{rng.random():.6f},{rng.random():.6f}\n" for _ in range(60)
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--columns", "2", "--k", "2",
+             "--window", "30", "--report-every", "30"],
+            input=csv, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "after 30 rows" in proc.stdout
+        assert "done: 60 rows" in proc.stdout
+
+    def test_cli_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "top-k pairs" in proc.stdout.lower()

@@ -1,0 +1,82 @@
+"""Integration tests for time-based sliding windows (paper §II-B remark).
+
+A time-based window expires strictly oldest-first — the only property the
+skyband machinery relies on — so the whole stack must work unchanged; the
+ground truth is recomputed per tick over the surviving objects.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.monitor import TopKPairsMonitor
+from repro.core.pair import Pair
+from repro.scoring.library import k_closest_pairs
+
+
+def brute_top_k_timed(objects, sf, k, now_seq, n):
+    pairs = [
+        Pair(a, b, sf.score(a, b))
+        for i, a in enumerate(objects)
+        for b in objects[i + 1:]
+        if a.age(now_seq) <= n and b.age(now_seq) <= n
+    ]
+    pairs.sort(key=lambda p: p.score_key)
+    return pairs[:k]
+
+
+class TestTimeBasedMonitoring:
+    def test_continuous_query_over_time_window(self):
+        sf = k_closest_pairs(2)
+        horizon = 10.0
+        monitor = TopKPairsMonitor(
+            window_size=1000, num_attributes=2, time_horizon=horizon
+        )
+        handle = monitor.register_query(sf, k=3, n=1000)
+        rng = random.Random(1)
+        survivors = []
+        t = 0.0
+        for _ in range(120):
+            t += rng.uniform(0.1, 1.5)
+            row = (rng.random(), rng.random())
+            event = monitor.append(row, timestamp=t)
+            survivors.append(event.new)
+            expired = {o.seq for o in event.expired}
+            survivors = [o for o in survivors if o.seq not in expired]
+            want = brute_top_k_timed(
+                survivors, sf, 3, monitor.manager.now_seq, n=10**9
+            )
+            got = monitor.results(handle)
+            assert [p.uid for p in got] == [p.uid for p in want]
+        monitor.check_invariants()
+
+    def test_burst_of_expiries(self):
+        """A long quiet gap expires many objects in one tick."""
+        sf = k_closest_pairs(1)
+        monitor = TopKPairsMonitor(
+            window_size=1000, num_attributes=1, time_horizon=5.0
+        )
+        handle = monitor.register_query(sf, k=2, n=1000)
+        for i in range(10):
+            monitor.append((float(i),), timestamp=float(i) * 0.1)
+        event = monitor.append((99.0,), timestamp=100.0)
+        assert len(event.expired) == 10
+        assert monitor.results(handle) == []  # lone survivor: no pairs
+        monitor.append((99.5,), timestamp=100.5)
+        (best,) = monitor.results(handle)
+        assert best.score == 0.5
+        monitor.check_invariants()
+
+    def test_time_window_skyband_consistency(self):
+        sf = k_closest_pairs(2)
+        monitor = TopKPairsMonitor(
+            window_size=1000, num_attributes=2, time_horizon=7.0
+        )
+        monitor.register_query(sf, k=4, n=1000)
+        rng = random.Random(3)
+        t = 0.0
+        for i in range(200):
+            t += rng.uniform(0.05, 1.0)
+            monitor.append((rng.random(), rng.random()), timestamp=t)
+            if i % 40 == 0:
+                monitor.check_invariants()

@@ -1,0 +1,102 @@
+"""Tests for monotonic combiners."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ScoringFunctionError
+from repro.scoring.combiners import (
+    MaxCombiner,
+    MinCombiner,
+    NegatedProductOfNegationsCombiner,
+    ProductCombiner,
+    SumCombiner,
+    WeightedSumCombiner,
+)
+
+
+class TestValues:
+    def test_sum(self):
+        assert SumCombiner().combine([1.0, 2.0, 3.0]) == 6.0
+
+    def test_weighted_sum(self):
+        combiner = WeightedSumCombiner([2.0, 0.5])
+        assert combiner.combine([1.0, 4.0]) == 4.0
+
+    def test_weighted_sum_arity_checked(self):
+        with pytest.raises(ScoringFunctionError):
+            WeightedSumCombiner([1.0]).combine([1.0, 2.0])
+
+    def test_weighted_sum_rejects_negative_weights(self):
+        with pytest.raises(ScoringFunctionError):
+            WeightedSumCombiner([1.0, -1.0])
+
+    def test_product(self):
+        assert ProductCombiner().combine([2.0, 3.0]) == 6.0
+
+    def test_neg_product_of_negations(self):
+        # s4 = -prod(|dx|): locals are -|dx| = [-2, -3] -> -(2*3) = -6
+        combiner = NegatedProductOfNegationsCombiner()
+        assert combiner.combine([-2.0, -3.0]) == -6.0
+
+    def test_max_min(self):
+        assert MaxCombiner().combine([1.0, 5.0, 3.0]) == 5.0
+        assert MinCombiner().combine([1.0, 5.0, 3.0]) == 1.0
+
+
+class TestDomainChecks:
+    def test_product_rejects_negative_inputs(self):
+        with pytest.raises(ScoringFunctionError):
+            ProductCombiner().combine([1.0, -2.0])
+
+    def test_neg_product_rejects_positive_inputs(self):
+        with pytest.raises(ScoringFunctionError):
+            NegatedProductOfNegationsCombiner().combine([1.0, -2.0])
+
+    def test_product_accepts_zero(self):
+        assert ProductCombiner().combine([0.0, 5.0]) == 0.0
+
+
+nonneg = st.lists(st.floats(0, 100), min_size=1, max_size=5)
+nonpos = st.lists(st.floats(-100, 0), min_size=1, max_size=5)
+anyvals = st.lists(st.floats(-100, 100), min_size=1, max_size=5)
+
+
+def assert_monotone(combiner, base, index, bump):
+    """Raising one argument must not lower the combined score."""
+    bumped = list(base)
+    bumped[index] = bumped[index] + bump
+    assert combiner.combine(bumped) >= combiner.combine(base) - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(base=anyvals, bump=st.floats(0, 50), data=st.data())
+def test_property_sum_monotone(base, bump, data):
+    index = data.draw(st.integers(0, len(base) - 1))
+    assert_monotone(SumCombiner(), base, index, bump)
+
+
+@settings(max_examples=80, deadline=None)
+@given(base=nonneg, bump=st.floats(0, 50), data=st.data())
+def test_property_product_monotone_on_nonnegatives(base, bump, data):
+    index = data.draw(st.integers(0, len(base) - 1))
+    assert_monotone(ProductCombiner(), base, index, bump)
+
+
+@settings(max_examples=80, deadline=None)
+@given(base=nonpos, bump=st.floats(0, 50), data=st.data())
+def test_property_neg_product_monotone_on_nonpositives(base, bump, data):
+    """The s4 realization must be monotone non-decreasing in each local."""
+    index = data.draw(st.integers(0, len(base) - 1))
+    bump = min(bump, -base[index])  # stay within the non-positive domain
+    assert_monotone(NegatedProductOfNegationsCombiner(), base, index, bump)
+
+
+@settings(max_examples=80, deadline=None)
+@given(base=anyvals, bump=st.floats(0, 50), data=st.data())
+def test_property_max_min_monotone(base, bump, data):
+    index = data.draw(st.integers(0, len(base) - 1))
+    assert_monotone(MaxCombiner(), base, index, bump)
+    assert_monotone(MinCombiner(), base, index, bump)

@@ -1,0 +1,89 @@
+"""Tests for GlobalScoringFunction composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ScoringFunctionError
+from repro.scoring.base import LambdaScoringFunction
+from repro.scoring.combiners import SumCombiner
+from repro.scoring.composite import GlobalScoringFunction
+from repro.scoring.local import AbsoluteDifference, SumValues
+from repro.stream.object import StreamObject
+
+
+def obj(seq, *values):
+    return StreamObject(seq, values)
+
+
+class TestGlobalScoringFunction:
+    def test_needs_terms(self):
+        with pytest.raises(ScoringFunctionError):
+            GlobalScoringFunction([], SumCombiner())
+
+    def test_score_combines_locals(self):
+        sf = GlobalScoringFunction(
+            [(0, AbsoluteDifference()), (1, AbsoluteDifference())],
+            SumCombiner(),
+        )
+        a, b = obj(1, 1.0, 10.0), obj(2, 4.0, 12.0)
+        assert sf.score(a, b) == 3.0 + 2.0
+
+    def test_local_scores_exposed(self):
+        sf = GlobalScoringFunction(
+            [(0, AbsoluteDifference()), (1, SumValues())], SumCombiner()
+        )
+        a, b = obj(1, 1.0, 2.0), obj(2, 5.0, 3.0)
+        assert sf.local_scores(a, b) == [4.0, 5.0]
+
+    def test_combine_matches_score(self):
+        sf = GlobalScoringFunction([(0, AbsoluteDifference())], SumCombiner())
+        a, b = obj(1, 1.0), obj(2, 9.0)
+        assert sf.combine(sf.local_scores(a, b)) == sf.score(a, b)
+
+    def test_same_attribute_twice(self):
+        sf = GlobalScoringFunction(
+            [(0, AbsoluteDifference()), (0, SumValues())], SumCombiner()
+        )
+        a, b = obj(1, 2.0), obj(2, 5.0)
+        assert sf.score(a, b) == 3.0 + 7.0
+        assert sf.attributes == (0,)
+
+    def test_attributes_sorted_unique(self):
+        sf = GlobalScoringFunction(
+            [(2, AbsoluteDifference()), (0, AbsoluteDifference())],
+            SumCombiner(),
+        )
+        assert sf.attributes == (0, 2)
+
+    def test_is_global(self):
+        sf = GlobalScoringFunction([(0, AbsoluteDifference())], SumCombiner())
+        assert sf.is_global()
+
+    def test_default_name_is_structural(self):
+        sf = GlobalScoringFunction(
+            [(0, AbsoluteDifference())], SumCombiner()
+        )
+        assert "abs-diff[0]" in sf.name
+
+    def test_symmetry(self):
+        sf = GlobalScoringFunction(
+            [(0, AbsoluteDifference()), (1, SumValues())], SumCombiner()
+        )
+        a, b = obj(1, 1.0, 2.0), obj(2, 3.0, 4.0)
+        assert sf.score(a, b) == sf.score(b, a)
+
+
+class TestLambdaScoringFunction:
+    def test_wraps_callable(self):
+        sf = LambdaScoringFunction(
+            lambda a, b: abs(a.values[0] * b.values[0]), name="xprod"
+        )
+        assert sf.score(obj(1, 2.0), obj(2, -3.0)) == 6.0
+        assert sf.name == "xprod"
+        assert not sf.is_global()
+
+    def test_attributes_declaration(self):
+        sf = LambdaScoringFunction(lambda a, b: 0.0, attributes=(0, 2))
+        assert sf.attributes == (0, 2)
+        assert LambdaScoringFunction(lambda a, b: 0.0).attributes is None

@@ -1,0 +1,105 @@
+"""Tests for the paper's scoring-function suite (s1..s4 and the sensor
+function, §VI-A)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scoring.library import (
+    k_closest_pairs,
+    k_furthest_pairs,
+    paper_scoring_functions,
+    sensor_scoring_function,
+    top_k_dissimilar_pairs,
+    top_k_similar_pairs,
+)
+from repro.stream.object import StreamObject
+
+
+def obj(seq, *values):
+    return StreamObject(seq, values)
+
+
+vec = st.lists(st.floats(-50, 50), min_size=3, max_size=3)
+
+
+class TestS1ToS4Definitions:
+    """Each s_i must equal its closed-form definition from §VI-A."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=vec, y=vec)
+    def test_s1_is_manhattan(self, x, y):
+        a, b = obj(1, *x), obj(2, *y)
+        want = sum(abs(xi - yi) for xi, yi in zip(x, y))
+        assert math.isclose(k_closest_pairs(3).score(a, b), want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=vec, y=vec)
+    def test_s2_is_negated_manhattan(self, x, y):
+        a, b = obj(1, *x), obj(2, *y)
+        want = -sum(abs(xi - yi) for xi, yi in zip(x, y))
+        assert math.isclose(k_furthest_pairs(3).score(a, b), want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=vec, y=vec)
+    def test_s3_is_product_of_diffs(self, x, y):
+        a, b = obj(1, *x), obj(2, *y)
+        want = math.prod(abs(xi - yi) for xi, yi in zip(x, y))
+        assert math.isclose(top_k_similar_pairs(3).score(a, b), want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=vec, y=vec)
+    def test_s4_is_negated_product(self, x, y):
+        a, b = obj(1, *x), obj(2, *y)
+        want = -math.prod(abs(xi - yi) for xi, yi in zip(x, y))
+        assert math.isclose(top_k_dissimilar_pairs(3).score(a, b), want)
+
+
+class TestSuite:
+    def test_four_functions(self):
+        suite = paper_scoring_functions(2)
+        assert len(suite) == 4
+        assert all(sf.is_global() for sf in suite)
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6])
+    def test_arity_matches_d(self, d):
+        for sf in paper_scoring_functions(d):
+            assert sf.num_terms == d
+            assert sf.attributes == tuple(range(d))
+
+
+class TestSensorFunction:
+    def test_formula(self):
+        sf = sensor_scoring_function()
+        a = obj(1, 100.0, 20.0, 50.0)
+        b = obj(2, 130.0, 25.0, 40.0)
+        # |dt| / (|dtemp| * |dhum|) = 30 / (5 * 10)
+        assert math.isclose(sf.score(a, b), 30.0 / 50.0)
+
+    def test_prefers_close_in_time_far_in_readings(self):
+        sf = sensor_scoring_function()
+        base = obj(1, 0.0, 20.0, 50.0)
+        anomaly = obj(2, 10.0, 35.0, 80.0)    # near in time, far in readings
+        mundane = obj(3, 500.0, 20.5, 50.5)   # far in time, near in readings
+        assert sf.score(base, anomaly) < sf.score(base, mundane)
+
+    def test_identical_readings_guarded_by_epsilon(self):
+        sf = sensor_scoring_function()
+        a = obj(1, 0.0, 20.0, 50.0)
+        b = obj(2, 10.0, 20.0, 50.0)
+        score = sf.score(a, b)
+        assert math.isfinite(score)
+        assert score > 0
+
+    def test_not_global(self):
+        assert not sensor_scoring_function().is_global()
+
+    def test_custom_attribute_positions(self):
+        sf = sensor_scoring_function(time_attr=2, temp_attr=0, humidity_attr=1)
+        a = obj(1, 20.0, 50.0, 100.0)
+        b = obj(2, 25.0, 40.0, 130.0)
+        assert math.isclose(sf.score(a, b), 30.0 / 50.0)

@@ -1,0 +1,111 @@
+"""Tests for loose monotonic local scoring functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ScoringFunctionError
+from repro.scoring.local import (
+    AbsoluteDifference,
+    CustomLocal,
+    MaxValue,
+    MinValue,
+    NegatedAbsoluteDifference,
+    NegatedSumValues,
+    SumValues,
+    Trend,
+)
+
+ALL_LOCALS = [
+    AbsoluteDifference(),
+    NegatedAbsoluteDifference(),
+    SumValues(),
+    NegatedSumValues(),
+    MinValue(),
+    MaxValue(),
+]
+
+values = st.floats(-100, 100)
+
+
+class TestValues:
+    def test_abs_diff(self):
+        assert AbsoluteDifference().score(3.0, 7.5) == 4.5
+
+    def test_neg_abs_diff(self):
+        assert NegatedAbsoluteDifference().score(3.0, 7.5) == -4.5
+
+    def test_sum(self):
+        assert SumValues().score(2.0, 3.0) == 5.0
+
+    def test_neg_sum(self):
+        assert NegatedSumValues().score(2.0, 3.0) == -5.0
+
+    def test_min_max(self):
+        assert MinValue().score(2.0, 9.0) == 2.0
+        assert MaxValue().score(2.0, 9.0) == 9.0
+
+    def test_callable_protocol(self):
+        assert AbsoluteDifference()(1.0, 4.0) == 3.0
+
+
+@pytest.mark.parametrize("local_fn", ALL_LOCALS, ids=lambda f: f.name)
+class TestLooseMonotonicity:
+    """Each function must obey its declared trends — the exact property
+    the pair-retrieval iterators rely on (paper §V-B)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=values, deltas=st.lists(st.floats(0.01, 50), min_size=2, max_size=5))
+    def test_trend_above(self, local_fn, x, deltas):
+        points = sorted(deltas)
+        scores = [local_fn.score(x, x + d) for d in points]
+        if local_fn.trend_above is Trend.INCREASING_AWAY:
+            assert all(a <= b + 1e-12 for a, b in zip(scores, scores[1:]))
+        else:
+            assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=values, deltas=st.lists(st.floats(0.01, 50), min_size=2, max_size=5))
+    def test_trend_below(self, local_fn, x, deltas):
+        points = sorted(deltas)
+        scores = [local_fn.score(x, x - d) for d in points]
+        if local_fn.trend_below is Trend.INCREASING_AWAY:
+            assert all(a <= b + 1e-12 for a, b in zip(scores, scores[1:]))
+        else:
+            assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=values, y=values)
+    def test_symmetry(self, local_fn, x, y):
+        assert local_fn.score(x, y) == local_fn.score(y, x)
+
+
+class TestCustomLocal:
+    def test_valid_declaration_accepted(self):
+        fn = CustomLocal(
+            lambda x, y: (x - y) ** 2,
+            Trend.INCREASING_AWAY,
+            Trend.INCREASING_AWAY,
+            name="squared-diff",
+        )
+        assert fn.score(1.0, 3.0) == 4.0
+        assert fn.trend_above is Trend.INCREASING_AWAY
+
+    def test_wrong_declaration_rejected(self):
+        with pytest.raises(ScoringFunctionError):
+            CustomLocal(
+                lambda x, y: abs(x - y),
+                Trend.DECREASING_AWAY,  # wrong: |x-y| increases away
+                Trend.INCREASING_AWAY,
+            )
+
+    def test_validation_can_be_disabled(self):
+        fn = CustomLocal(
+            lambda x, y: abs(x - y),
+            Trend.DECREASING_AWAY,
+            Trend.INCREASING_AWAY,
+            validate=False,
+        )
+        assert fn.score(0.0, 2.0) == 2.0

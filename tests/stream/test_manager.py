@@ -1,0 +1,114 @@
+"""Tests for the stream manager (paper §III-B module 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stream.manager import StreamManager
+
+
+class TestBasics:
+    def test_needs_at_least_one_attribute(self):
+        with pytest.raises(InvalidParameterError):
+            StreamManager(10, 0)
+
+    def test_append_assigns_increasing_seq(self):
+        mgr = StreamManager(10, 1)
+        a = mgr.append((1.0,)).new
+        b = mgr.append((2.0,)).new
+        assert (a.seq, b.seq) == (1, 2)
+        assert mgr.now_seq == 2
+
+    def test_append_validates_arity(self):
+        mgr = StreamManager(10, 2)
+        with pytest.raises(InvalidParameterError):
+            mgr.append((1.0,))
+
+    def test_window_iteration_is_age_sorted(self):
+        mgr = StreamManager(10, 1)
+        for v in range(5):
+            mgr.append((float(v),))
+        assert [o.seq for o in mgr] == [1, 2, 3, 4, 5]
+        assert [o.seq for o in mgr.newest_first()] == [5, 4, 3, 2, 1]
+
+    def test_expiry_reported_and_lists_updated(self):
+        mgr = StreamManager(3, 1)
+        for v in range(3):
+            mgr.append((float(v),))
+        event = mgr.append((99.0,))
+        assert [o.seq for o in event.expired] == [1]
+        assert len(mgr) == 3
+        assert len(mgr.attribute_list(0)) == 3
+
+    def test_oldest(self):
+        mgr = StreamManager(2, 1)
+        assert mgr.oldest() is None
+        mgr.append((1.0,))
+        mgr.append((2.0,))
+        mgr.append((3.0,))
+        assert mgr.oldest().seq == 2
+
+    def test_extend(self):
+        mgr = StreamManager(10, 2)
+        events = mgr.extend([(1.0, 2.0), (3.0, 4.0)])
+        assert len(events) == 2
+        assert len(mgr) == 2
+
+
+class TestAttributeLists:
+    def test_sorted_per_attribute(self):
+        mgr = StreamManager(10, 2)
+        mgr.append((3.0, 10.0))
+        mgr.append((1.0, 30.0))
+        mgr.append((2.0, 20.0))
+        assert [o.values[0] for o in mgr.attribute_list(0)] == [1.0, 2.0, 3.0]
+        assert [o.values[1] for o in mgr.attribute_list(1)] == [10.0, 20.0, 30.0]
+
+    def test_duplicate_values_ordered_by_seq(self):
+        mgr = StreamManager(10, 1)
+        mgr.append((5.0,))
+        mgr.append((5.0,))
+        mgr.append((5.0,))
+        assert [o.seq for o in mgr.attribute_list(0)] == [1, 2, 3]
+
+    def test_node_for_points_into_each_list(self):
+        mgr = StreamManager(10, 2)
+        obj = mgr.append((7.0, 8.0)).new
+        for attribute in range(2):
+            node = mgr.node_for(obj, attribute)
+            assert node.value is obj
+
+    def test_expired_objects_leave_all_lists(self):
+        mgr = StreamManager(2, 3)
+        rng = random.Random(0)
+        for _ in range(30):
+            mgr.append(tuple(rng.random() for _ in range(3)))
+        for attribute in range(3):
+            lst = mgr.attribute_list(attribute)
+            assert len(lst) == 2
+            lst.check_invariants()
+
+    def test_storage_is_window_times_attributes(self):
+        """Theorem 4: O(ND) storage — one entry per object per list."""
+        mgr = StreamManager(5, 4)
+        for v in range(20):
+            mgr.append((float(v),) * 4)
+        assert len(mgr) == 5
+        total_entries = sum(
+            len(mgr.attribute_list(i)) for i in range(4)
+        )
+        assert total_entries == 5 * 4
+
+
+class TestTimeHorizon:
+    def test_time_based_expiry(self):
+        mgr = StreamManager(100, 1, time_horizon=10.0)
+        mgr.append((1.0,), timestamp=0.0)
+        mgr.append((2.0,), timestamp=5.0)
+        event = mgr.append((3.0,), timestamp=20.0)
+        assert [o.seq for o in event.expired] == [1, 2]
+        assert len(mgr) == 1
+        assert len(mgr.attribute_list(0)) == 1

@@ -1,0 +1,53 @@
+"""Tests for StreamObject."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.object import StreamObject
+
+
+class TestStreamObject:
+    def test_values_are_tuple(self):
+        obj = StreamObject(1, [1.0, 2.0])
+        assert obj.values == (1.0, 2.0)
+        assert isinstance(obj.values, tuple)
+
+    def test_age_definition(self):
+        """Paper §II-B: the i-th most recent object has age i."""
+        obj = StreamObject(5, (0.0,))
+        assert obj.age(now_seq=5) == 1
+        assert obj.age(now_seq=9) == 5
+
+    def test_getitem_reads_attribute(self):
+        obj = StreamObject(1, (10.0, 20.0, 30.0))
+        assert obj[0] == 10.0
+        assert obj[2] == 30.0
+        with pytest.raises(IndexError):
+            obj[3]
+
+    def test_len_is_attribute_count(self):
+        assert len(StreamObject(1, (1.0, 2.0, 3.0))) == 3
+
+    def test_equality_by_seq(self):
+        assert StreamObject(3, (1.0,)) == StreamObject(3, (2.0,))
+        assert StreamObject(3, (1.0,)) != StreamObject(4, (1.0,))
+
+    def test_hash_consistent_with_eq(self):
+        a, b = StreamObject(3, (1.0,)), StreamObject(3, (9.0,))
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_payload_and_timestamp(self):
+        obj = StreamObject(1, (0.0,), timestamp=12.5, payload="AAPL")
+        assert obj.timestamp == 12.5
+        assert obj.payload == "AAPL"
+
+    def test_defaults(self):
+        obj = StreamObject(1, (0.0,))
+        assert obj.timestamp is None
+        assert obj.payload is None
+
+    def test_repr_mentions_payload_when_set(self):
+        assert "AAPL" in repr(StreamObject(1, (0.0,), payload="AAPL"))
+        assert "payload" not in repr(StreamObject(1, (0.0,)))

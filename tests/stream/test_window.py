@@ -1,0 +1,104 @@
+"""Tests for count- and time-based sliding windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WindowError
+from repro.stream.object import StreamObject
+from repro.stream.window import CountBasedWindow, TimeBasedWindow
+
+
+def obj(seq, t=None):
+    return StreamObject(seq, (float(seq),), timestamp=t)
+
+
+class TestCountBasedWindow:
+    def test_capacity_validation(self):
+        with pytest.raises(WindowError):
+            CountBasedWindow(0)
+
+    def test_push_under_capacity_expires_nothing(self):
+        w = CountBasedWindow(3)
+        assert w.push(obj(1)) == []
+        assert w.push(obj(2)) == []
+        assert len(w) == 2
+
+    def test_push_over_capacity_expires_oldest(self):
+        w = CountBasedWindow(2)
+        w.push(obj(1))
+        w.push(obj(2))
+        expired = w.push(obj(3))
+        assert [o.seq for o in expired] == [1]
+        assert [o.seq for o in w] == [2, 3]
+
+    def test_iteration_oldest_first(self):
+        w = CountBasedWindow(5)
+        for s in range(1, 4):
+            w.push(obj(s))
+        assert [o.seq for o in w] == [1, 2, 3]
+        assert [o.seq for o in w.newest_first()] == [3, 2, 1]
+
+    def test_oldest_newest(self):
+        w = CountBasedWindow(5)
+        assert w.oldest() is None
+        assert w.newest() is None
+        w.push(obj(1))
+        w.push(obj(2))
+        assert w.oldest().seq == 1
+        assert w.newest().seq == 2
+
+    def test_contains(self):
+        w = CountBasedWindow(2)
+        w.push(obj(1))
+        w.push(obj(2))
+        w.push(obj(3))
+        assert obj(2) in w
+        assert obj(1) not in w
+
+
+class TestTimeBasedWindow:
+    def test_horizon_validation(self):
+        with pytest.raises(WindowError):
+            TimeBasedWindow(0)
+
+    def test_requires_timestamps(self):
+        w = TimeBasedWindow(10.0)
+        with pytest.raises(WindowError):
+            w.push(obj(1, t=None))
+
+    def test_rejects_decreasing_timestamps(self):
+        w = TimeBasedWindow(10.0)
+        w.push(obj(1, t=5.0))
+        with pytest.raises(WindowError):
+            w.push(obj(2, t=4.0))
+
+    def test_expiry_by_horizon(self):
+        w = TimeBasedWindow(10.0)
+        w.push(obj(1, t=0.0))
+        w.push(obj(2, t=5.0))
+        expired = w.push(obj(3, t=12.0))
+        assert [o.seq for o in expired] == [1]
+        assert [o.seq for o in w] == [2, 3]
+
+    def test_multiple_expiries_in_one_push(self):
+        w = TimeBasedWindow(5.0)
+        for seq, t in [(1, 0.0), (2, 1.0), (3, 2.0)]:
+            w.push(obj(seq, t=t))
+        expired = w.push(obj(4, t=50.0))
+        assert [o.seq for o in expired] == [1, 2, 3]
+        assert len(w) == 1
+
+    def test_boundary_is_inclusive(self):
+        """An object exactly ``horizon`` old stays in the window."""
+        w = TimeBasedWindow(10.0)
+        w.push(obj(1, t=0.0))
+        expired = w.push(obj(2, t=10.0))
+        assert expired == []
+        assert len(w) == 2
+
+    def test_equal_timestamps_allowed(self):
+        w = TimeBasedWindow(10.0)
+        w.push(obj(1, t=3.0))
+        w.push(obj(2, t=3.0))
+        assert len(w) == 2

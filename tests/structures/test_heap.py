@@ -1,0 +1,158 @@
+"""Unit and property tests for the binary heaps."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyStructureError
+from repro.structures.heap import Heap, MaxHeap, MinHeap
+
+
+class TestMinHeap:
+    def test_push_pop_sorted(self):
+        heap = MinHeap()
+        for v in [5, 1, 4, 2, 3]:
+            heap.push(v)
+        assert [heap.pop() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_peek_does_not_remove(self):
+        heap = MinHeap([3, 1, 2])
+        assert heap.peek() == 1
+        assert len(heap) == 3
+
+    def test_heapify_constructor(self):
+        heap = MinHeap([9, 7, 8, 1])
+        heap.check_invariants()
+        assert heap.peek() == 1
+
+
+class TestMaxHeap:
+    def test_pop_descending(self):
+        heap = MaxHeap([2, 9, 4])
+        assert [heap.pop() for _ in range(3)] == [9, 4, 2]
+
+    def test_algorithm4_usage_pattern(self):
+        """Track the K smallest ages: max-heap of size K, top = K-th
+        smallest — exactly how Algorithm 4 uses it."""
+        K = 3
+        heap = MaxHeap()
+        ages = [50, 10, 40, 20, 30, 5, 60]
+        kth_smallest_after = []
+        for age in ages:
+            if len(heap) < K:
+                heap.push(age)
+            elif age < heap.peek():
+                heap.replace_top(age)
+            if len(heap) == K:
+                kth_smallest_after.append(heap.peek())
+        assert kth_smallest_after == [50, 40, 30, 20, 20]
+
+
+class TestKeyed:
+    def test_key_extracts_comparison(self):
+        heap = MinHeap(key=lambda item: item[1])
+        heap.push(("a", 3))
+        heap.push(("b", 1))
+        heap.push(("c", 2))
+        assert heap.pop() == ("b", 1)
+        assert heap.pop() == ("c", 2)
+
+    def test_max_heap_with_key(self):
+        heap = MaxHeap([("x", 1), ("y", 9)], key=lambda item: item[1])
+        assert heap.peek() == ("y", 9)
+
+
+class TestOperations:
+    def test_pop_empty_raises(self):
+        with pytest.raises(EmptyStructureError):
+            MinHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(EmptyStructureError):
+            MinHeap().peek()
+
+    def test_replace_top_empty_raises(self):
+        with pytest.raises(EmptyStructureError):
+            MinHeap().replace_top(1)
+
+    def test_pushpop_on_empty_returns_item(self):
+        heap = MinHeap()
+        assert heap.pushpop(5) == 5
+        assert len(heap) == 0
+
+    def test_pushpop_smaller_than_min(self):
+        heap = MinHeap([3, 4])
+        assert heap.pushpop(1) == 1
+        assert sorted(heap) == [3, 4]
+
+    def test_pushpop_larger_than_min(self):
+        heap = MinHeap([3, 4])
+        assert heap.pushpop(9) == 3
+        assert sorted(heap) == [4, 9]
+
+    def test_pushpop_maxheap(self):
+        heap = MaxHeap([3, 4])
+        assert heap.pushpop(9) == 9
+        assert heap.pushpop(1) == 4
+        assert sorted(heap) == [1, 3]
+
+    def test_replace_top(self):
+        heap = MinHeap([2, 5, 7])
+        assert heap.replace_top(6) == 2
+        assert heap.pop() == 5
+
+    def test_clear(self):
+        heap = MinHeap([1, 2])
+        heap.clear()
+        assert len(heap) == 0
+
+    def test_iteration_yields_all(self):
+        heap = MinHeap([4, 2, 6])
+        assert sorted(heap) == [2, 4, 6]
+
+    def test_generic_heap_direction_flag(self):
+        assert Heap([1, 2], max_heap=True).peek() == 2
+        assert Heap([1, 2], max_heap=False).peek() == 1
+
+
+class TestRandomized:
+    def test_heapsort_matches_sorted(self):
+        rng = random.Random(13)
+        values = [rng.randint(-1000, 1000) for _ in range(500)]
+        heap = MinHeap(values)
+        heap.check_invariants()
+        assert [heap.pop() for _ in range(len(values))] == sorted(values)
+
+    def test_interleaved_ops_keep_invariant(self):
+        rng = random.Random(77)
+        heap = MaxHeap()
+        for _ in range(1000):
+            if rng.random() < 0.7 or not heap:
+                heap.push(rng.randint(0, 100))
+            else:
+                heap.pop()
+            heap.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers()))
+def test_property_min_heap_pops_sorted(values):
+    heap = MinHeap(values)
+    out = [heap.pop() for _ in range(len(values))]
+    assert out == sorted(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(), min_size=1), st.integers())
+def test_property_pushpop_equals_push_then_pop(values, extra):
+    a = MinHeap(values)
+    b = MinHeap(values)
+    result_a = a.pushpop(extra)
+    b.push(extra)
+    result_b = b.pop()
+    assert result_a == result_b
+    assert sorted(a) == sorted(b)

@@ -1,0 +1,108 @@
+"""Tests for linear-time selection (median of medians / quickselect)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.structures.selection import (
+    median_of_medians,
+    quickselect_smallest,
+    select_smallest,
+)
+
+
+@pytest.mark.parametrize("select", [select_smallest, quickselect_smallest])
+class TestSelect:
+    def test_basic(self, select):
+        assert select([5, 1, 4, 2, 3], 2) == [1, 2]
+
+    def test_k_zero(self, select):
+        assert select([1, 2, 3], 0) == []
+
+    def test_k_negative(self, select):
+        assert select([1, 2, 3], -2) == []
+
+    def test_k_equals_length(self, select):
+        assert select([3, 1, 2], 3) == [1, 2, 3]
+
+    def test_k_exceeds_length(self, select):
+        assert select([3, 1], 10) == [1, 3]
+
+    def test_empty_input(self, select):
+        assert select([], 5) == []
+
+    def test_result_sorted(self, select):
+        rng = random.Random(5)
+        data = [rng.random() for _ in range(200)]
+        result = select(data, 20)
+        assert result == sorted(result)
+        assert result == sorted(data)[:20]
+
+    def test_with_key(self, select):
+        data = [("a", 3), ("b", 1), ("c", 2)]
+        assert select(data, 2, key=lambda t: t[1]) == [("b", 1), ("c", 2)]
+
+    def test_duplicates(self, select):
+        data = [5, 5, 5, 1, 1, 3]
+        assert select(data, 4) == [1, 1, 3, 5]
+
+    def test_all_equal(self, select):
+        assert select([7] * 20, 5) == [7] * 5
+
+    def test_input_not_mutated(self, select):
+        data = [9, 2, 7, 4]
+        copy = list(data)
+        select(data, 2)
+        assert data == copy
+
+    def test_adversarial_sorted_input(self, select):
+        data = list(range(1000))
+        assert select(data, 10) == list(range(10))
+
+    def test_adversarial_reverse_sorted(self, select):
+        data = list(range(1000, 0, -1))
+        assert select(data, 10) == list(range(1, 11))
+
+
+class TestMedianOfMedians:
+    def test_single(self):
+        assert median_of_medians([42]) == 42
+
+    def test_small(self):
+        assert median_of_medians([3, 1, 2]) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_of_medians([])
+
+    def test_pivot_is_within_30_70_percentile(self):
+        rng = random.Random(11)
+        for trial in range(20):
+            data = [rng.random() for _ in range(201)]
+            pivot = median_of_medians(data)
+            rank = sorted(data).index(pivot)
+            assert 0.2 * len(data) <= rank <= 0.8 * len(data)
+
+    def test_with_key(self):
+        data = [("x", v) for v in range(25)]
+        pivot = median_of_medians(data, key=lambda t: t[1])
+        assert 5 <= pivot[1] <= 19
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(-1000, 1000)), st.integers(0, 50))
+def test_property_select_matches_sorted_prefix(values, k):
+    assert select_smallest(values, k) == sorted(values)[:k]
+    assert quickselect_smallest(values, k) == sorted(values)[:k]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1))
+def test_property_floats_supported(values):
+    k = len(values) // 2
+    assert quickselect_smallest(values, k) == sorted(values)[:k]

@@ -1,0 +1,253 @@
+"""Unit and property tests for the indexable skip list."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyStructureError, ItemNotFoundError
+from repro.structures.skiplist import SkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert not sl
+        assert list(sl) == []
+
+    def test_insert_sorted_iteration(self):
+        sl = SkipList([5, 1, 4, 2, 3])
+        assert list(sl) == [1, 2, 3, 4, 5]
+
+    def test_len_and_bool(self):
+        sl = SkipList([2, 1])
+        assert len(sl) == 2
+        assert sl
+
+    def test_contains(self):
+        sl = SkipList([10, 20, 30])
+        assert 20 in sl
+        assert 25 not in sl
+
+    def test_duplicates_allowed(self):
+        sl = SkipList([3, 3, 3, 1])
+        assert list(sl) == [1, 3, 3, 3]
+        assert len(sl) == 4
+
+    def test_getitem_by_rank(self):
+        sl = SkipList([50, 10, 40, 20, 30])
+        assert sl[0] == 10
+        assert sl[2] == 30
+        assert sl[4] == 50
+        assert sl[-1] == 50
+        assert sl[-5] == 10
+
+    def test_getitem_out_of_range(self):
+        sl = SkipList([1])
+        with pytest.raises(IndexError):
+            sl.node_at(1)
+        with pytest.raises(IndexError):
+            sl.node_at(-2)
+
+    def test_first_last(self):
+        sl = SkipList([7, 3, 9])
+        assert sl.first() == 3
+        assert sl.last() == 9
+
+    def test_first_last_empty_raises(self):
+        sl = SkipList()
+        with pytest.raises(EmptyStructureError):
+            sl.first()
+        with pytest.raises(EmptyStructureError):
+            sl.last()
+
+    def test_clear(self):
+        sl = SkipList([1, 2, 3])
+        sl.clear()
+        assert len(sl) == 0
+        assert list(sl) == []
+        sl.insert(5)
+        assert list(sl) == [5]
+
+
+class TestKeyFunction:
+    def test_key_orders_values(self):
+        sl = SkipList(["bb", "a", "ccc"], key=len)
+        assert list(sl) == ["a", "bb", "ccc"]
+
+    def test_equal_keys_keep_insertion_order(self):
+        sl = SkipList(key=lambda pair: pair[0])
+        sl.insert((1, "first"))
+        sl.insert((1, "second"))
+        sl.insert((1, "third"))
+        assert [v[1] for v in sl] == ["first", "second", "third"]
+
+
+class TestRemoval:
+    def test_remove_value(self):
+        sl = SkipList([1, 2, 3])
+        sl.remove(2)
+        assert list(sl) == [1, 3]
+
+    def test_remove_missing_raises(self):
+        sl = SkipList([1, 2])
+        with pytest.raises(ItemNotFoundError):
+            sl.remove(9)
+
+    def test_remove_one_of_duplicates(self):
+        sl = SkipList(key=lambda pair: pair[0])
+        sl.insert((5, "a"))
+        sl.insert((5, "b"))
+        sl.remove((5, "a"))
+        assert list(sl) == [(5, "b")]
+
+    def test_remove_node_returned_by_insert(self):
+        sl = SkipList([1, 3])
+        node = sl.insert(2)
+        sl.remove_node(node)
+        assert list(sl) == [1, 3]
+
+    def test_remove_node_among_equal_keys(self):
+        sl = SkipList(key=lambda pair: pair[0])
+        nodes = [sl.insert((7, tag)) for tag in "abcde"]
+        sl.remove_node(nodes[2])
+        assert [v[1] for v in sl] == ["a", "b", "d", "e"]
+        sl.check_invariants()
+
+    def test_remove_all_then_reuse(self):
+        sl = SkipList(range(10))
+        for v in range(10):
+            sl.remove(v)
+        assert len(sl) == 0
+        sl.insert(42)
+        assert list(sl) == [42]
+
+
+class TestSearch:
+    def test_bisect_left_right(self):
+        sl = SkipList([1, 3, 3, 5])
+        assert sl.bisect_left(3) == 1
+        assert sl.bisect_right(3) == 3
+        assert sl.bisect_left(0) == 0
+        assert sl.bisect_right(9) == 4
+
+    def test_index(self):
+        sl = SkipList([10, 20, 30])
+        assert sl.index(20) == 1
+        with pytest.raises(ItemNotFoundError):
+            sl.index(99)
+
+    def test_find_node(self):
+        sl = SkipList([10, 20])
+        node = sl.find_node(20)
+        assert node.value == 20
+        with pytest.raises(ItemNotFoundError):
+            sl.find_node(15)
+
+    def test_irange(self):
+        sl = SkipList(range(10))
+        assert list(sl.irange(3, 6)) == [3, 4, 5]
+        assert list(sl.irange(8)) == [8, 9]
+        assert list(sl.irange(5, 5)) == []
+        assert list(sl.irange(20, 30)) == []
+
+
+class TestNeighbourPointers:
+    """The TA pair iterators rely on prev/next walks from a node."""
+
+    def test_forward_walk(self):
+        sl = SkipList([1, 2, 3, 4])
+        node = sl.find_node(2)
+        seen = []
+        cur = node.next_at(0)
+        while cur is not None:
+            seen.append(cur.value)
+            cur = cur.next_at(0)
+        assert seen == [3, 4]
+
+    def test_backward_walk(self):
+        sl = SkipList([1, 2, 3, 4])
+        node = sl.find_node(3)
+        seen = []
+        cur = node.prev
+        while cur is not None:
+            seen.append(cur.value)
+            cur = cur.prev
+        assert seen == [2, 1]
+
+    def test_prev_of_first_is_none(self):
+        sl = SkipList([1, 2])
+        assert sl.find_node(1).prev is None
+
+    def test_prev_pointers_survive_removal(self):
+        sl = SkipList([1, 2, 3, 4, 5])
+        sl.remove(3)
+        node = sl.find_node(4)
+        assert node.prev.value == 2
+        sl.check_invariants()
+
+
+class TestRandomized:
+    def test_against_sorted_list_model(self):
+        rng = random.Random(42)
+        sl = SkipList(seed=1)
+        model: list[int] = []
+        for _ in range(2000):
+            op = rng.random()
+            if op < 0.6 or not model:
+                v = rng.randint(0, 200)
+                sl.insert(v)
+                model.append(v)
+                model.sort()
+            else:
+                v = rng.choice(model)
+                sl.remove(v)
+                model.remove(v)
+            if rng.random() < 0.02:
+                assert list(sl) == model
+        assert list(sl) == model
+        sl.check_invariants()
+
+    def test_rank_queries_against_model(self):
+        rng = random.Random(7)
+        values = [rng.randint(0, 50) for _ in range(300)]
+        sl = SkipList(values, seed=2)
+        model = sorted(values)
+        for rank in range(len(model)):
+            assert sl[rank] == model[rank]
+        for key in range(-1, 52):
+            import bisect
+
+            assert sl.bisect_left(key) == bisect.bisect_left(model, key)
+            assert sl.bisect_right(key) == bisect.bisect_right(model, key)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-100, 100)))
+def test_property_sorted_after_inserts(values):
+    sl = SkipList(values, seed=0)
+    assert list(sl) == sorted(values)
+    sl.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(-50, 50), min_size=1),
+    st.data(),
+)
+def test_property_remove_keeps_order(values, data):
+    sl = SkipList(values, seed=0)
+    model = sorted(values)
+    to_remove = data.draw(
+        st.lists(st.sampled_from(values), max_size=len(values))
+    )
+    for v in to_remove:
+        if v in model:
+            sl.remove(v)
+            model.remove(v)
+    assert list(sl) == model
+    sl.check_invariants()

@@ -1,0 +1,106 @@
+"""Tests for the ``python -m repro`` CSV monitoring CLI."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def csv_text(rows):
+    return "\n".join(",".join(str(v) for v in row) for row in rows) + "\n"
+
+
+def run_cli(args, stdin_text=""):
+    out = io.StringIO()
+    code = main(args, stdin=io.StringIO(stdin_text), stdout=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_columns(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["data.csv"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--columns", "2"])
+        assert args.csv_file == "-"
+        assert args.scoring == "closest"
+        assert args.k == 5
+        assert args.window == 1000
+
+    def test_rejects_unknown_scoring(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--columns", "2", "--scoring", "odd"])
+
+
+class TestMain:
+    def test_stdin_stream_reports(self):
+        rng = random.Random(1)
+        rows = [(rng.random(), rng.random()) for _ in range(25)]
+        code, out = run_cli(
+            ["--columns", "2", "--k", "2", "--window", "20",
+             "--report-every", "10"],
+            stdin_text=csv_text(rows),
+        )
+        assert code == 0
+        assert "after 10 rows" in out
+        assert "after 20 rows" in out
+        assert "done: 25 rows" in out
+        assert "#1:" in out
+
+    def test_file_input(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(csv_text([(1.0, 2.0), (1.1, 2.1), (5.0, 9.0)]))
+        code, out = run_cli(
+            ["--columns", "2", "--k", "1", "--window", "10",
+             "--report-every", "100", str(path)],
+        )
+        assert code == 0
+        assert "rows 1 & 2" in out  # the two close rows win
+
+    def test_skip_header(self):
+        text = "x,y\n1.0,2.0\n1.5,2.5\n"
+        code, out = run_cli(
+            ["--columns", "2", "--skip-header", "--k", "1",
+             "--window", "10"],
+            stdin_text=text,
+        )
+        assert code == 0
+        assert "done: 2 rows" in out
+
+    def test_header_without_flag_fails(self):
+        with pytest.raises(SystemExit, match="row 1"):
+            run_cli(["--columns", "2"], stdin_text="x,y\n1.0,2.0\n")
+
+    def test_short_row_fails(self):
+        with pytest.raises(SystemExit, match="columns"):
+            run_cli(["--columns", "3"], stdin_text="1.0,2.0\n")
+
+    def test_empty_input_reports_nothing_gracefully(self):
+        code, out = run_cli(["--columns", "2"], stdin_text="")
+        assert code == 0
+        assert "no pairs in the window yet" in out
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["--columns", "2", "--k", "0"])
+        with pytest.raises(SystemExit):
+            run_cli(["--columns", "2", "--window", "1"])
+
+    @pytest.mark.parametrize(
+        "scoring", ["closest", "furthest", "similar", "dissimilar"]
+    )
+    def test_all_scoring_choices_run(self, scoring):
+        rng = random.Random(2)
+        rows = [(rng.random(), rng.random()) for _ in range(15)]
+        code, out = run_cli(
+            ["--columns", "2", "--scoring", scoring, "--k", "2",
+             "--window", "10"],
+            stdin_text=csv_text(rows),
+        )
+        assert code == 0
+        assert "skyband size" in out

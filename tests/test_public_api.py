@@ -1,0 +1,73 @@
+"""Public-API surface tests: exports, exception hierarchy and the
+README quickstart contract."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.datasets
+        import repro.scoring
+        import repro.stream
+        import repro.structures
+
+        for module in (
+            repro.analysis, repro.baselines, repro.core, repro.datasets,
+            repro.scoring, repro.stream, repro.structures,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "InvalidParameterError", "UnknownQueryError",
+            "DuplicateItemError", "ItemNotFoundError",
+            "EmptyStructureError", "ScoringFunctionError", "WindowError",
+        ):
+            exc = getattr(exceptions, name)
+            assert issubclass(exc, exceptions.ReproError), name
+
+    def test_dual_inheritance_for_std_catchability(self):
+        """Library errors are also catchable as their stdlib analogues."""
+        assert issubclass(exceptions.InvalidParameterError, ValueError)
+        assert issubclass(exceptions.UnknownQueryError, KeyError)
+        assert issubclass(exceptions.ItemNotFoundError, KeyError)
+        assert issubclass(exceptions.EmptyStructureError, IndexError)
+        assert issubclass(exceptions.WindowError, ValueError)
+
+    def test_one_except_catches_everything(self):
+        with pytest.raises(exceptions.ReproError):
+            repro.TopKPairsMonitor(10, 0)
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        monitor = repro.TopKPairsMonitor(window_size=1000, num_attributes=2)
+        closest = repro.k_closest_pairs(2)
+        query = monitor.register_query(closest, k=3, n=500)
+        monitor.append((0.1, 0.9))
+        monitor.append((0.15, 0.88))
+        monitor.append((0.7, 0.2))
+        results = monitor.results(query)
+        assert len(results) == 3
+        best = results[0]
+        assert best.older.values == (0.1, 0.9)
+        assert best.newer.values == (0.15, 0.88)
+        assert best.score == pytest.approx(0.07)
