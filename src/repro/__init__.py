@@ -23,6 +23,17 @@ Quickstart::
 """
 
 from repro.analysis import Counters
+from repro.audit import (
+    MonitorAuditor,
+    Violation,
+    check_monitor,
+    check_pst,
+    check_skiplist,
+    check_skyband,
+    check_staircase,
+    check_window,
+    lint_paths,
+)
 from repro.core import (
     Pair,
     QueryHandle,
@@ -34,6 +45,7 @@ from repro.core import (
     answer_snapshot,
 )
 from repro.exceptions import (
+    AuditViolationError,
     InvalidParameterError,
     ReproError,
     ScoringFunctionError,
@@ -56,10 +68,12 @@ from repro.stream import StreamManager, StreamObject
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditViolationError",
     "Counters",
     "GlobalScoringFunction",
     "InvalidParameterError",
     "LambdaScoringFunction",
+    "MonitorAuditor",
     "Pair",
     "QueryHandle",
     "ReproError",
@@ -73,8 +87,16 @@ __all__ = [
     "TopKPairsMonitor",
     "TopKPairsQuery",
     "UnknownQueryError",
+    "Violation",
     "WindowError",
     "answer_snapshot",
+    "check_monitor",
+    "check_pst",
+    "check_skiplist",
+    "check_skyband",
+    "check_staircase",
+    "check_window",
+    "lint_paths",
     "k_closest_pairs",
     "k_furthest_pairs",
     "paper_scoring_functions",

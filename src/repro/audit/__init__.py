@@ -1,0 +1,51 @@
+"""Correctness net for the skyband pipeline: runtime invariant
+verification plus a project-specific static lint pass.
+
+* :mod:`repro.audit.invariants` — pure ``check_*`` functions that walk
+  the PST, skip lists, K-skyband, K-staircase and stream window and
+  return structured :class:`~repro.audit.report.Violation` records, and
+  the :class:`MonitorAuditor` that runs them (plus a sampled brute-force
+  K-skyband cross-check) on live :class:`~repro.TopKPairsMonitor` ticks.
+* :mod:`repro.audit.lint` — an AST-based lint pass over the source tree
+  with rules RA101-RA107 (float-score equality, mutable defaults,
+  ``__all__`` hygiene, hot-path anti-patterns, bare ``except``).
+
+Surface through the CLI: ``python -m repro lint [paths]`` and
+``python -m repro audit --dataset synthetic --steps N``.  See
+``docs/audit.md`` for the invariant and rule catalogues.
+"""
+
+from repro.audit.invariants import (
+    MonitorAuditor,
+    brute_force_skyband,
+    check_maintainer,
+    check_monitor,
+    check_pst,
+    check_skiplist,
+    check_skyband,
+    check_staircase,
+    check_window,
+    cross_check_monitor,
+)
+from repro.audit.lint import RULES, lint_file, lint_paths, lint_source
+from repro.audit.report import Violation, format_violations, summarize
+
+__all__ = [
+    "MonitorAuditor",
+    "RULES",
+    "Violation",
+    "brute_force_skyband",
+    "check_maintainer",
+    "check_monitor",
+    "check_pst",
+    "check_skiplist",
+    "check_skyband",
+    "check_staircase",
+    "check_window",
+    "cross_check_monitor",
+    "format_violations",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "summarize",
+]

@@ -1,0 +1,662 @@
+"""Runtime invariant verifier for the skyband pipeline.
+
+The paper's correctness argument rests on structural invariants that the
+code maintains but (before this module) nothing enforced at runtime:
+
+* the PST is a min-heap on ages and a search tree on score split keys
+  (§IV-A, Algorithm 1, properties 1-2);
+* the skip lists backing the stream manager are sorted with exact width
+  bookkeeping (§III-B module 1);
+* the K-skyband is a *minimal* candidate set — every member has fewer
+  than K dominators (Theorems 1-2);
+* the K-staircase is score-ascending with non-increasing age thresholds
+  and in sync with the skyband it summarizes (§V-A.1, Algorithm 4);
+* continuous answers equal what Algorithm 2 would recompute (§IV-B).
+
+Each ``check_*`` function below is pure: it walks one structure and
+returns a list of :class:`~repro.audit.report.Violation` records (empty
+when the structure is healthy).  All checkers are ``O(structure size)``
+— cheap enough to run every tick on realistic windows.  The only
+super-linear check is the brute-force K-skyband recomputation
+(:func:`brute_force_skyband`), which :class:`MonitorAuditor` therefore
+only runs on explicitly sampled ticks.
+
+The checkers read private attributes of the structures they verify
+(``SkipList._head``, ``SkybandMaintainer._by_oldest``, ...).  That is
+deliberate: an invariant verifier must see the representation, not the
+API the representation is supposed to uphold.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.audit.report import Violation
+from repro.core.pair import Pair, make_pair
+from repro.core.query import answer_snapshot
+from repro.core.skyband_update import update_skyband_and_staircase
+from repro.exceptions import AuditViolationError
+from repro.stream.window import CountBasedWindow, TimeBasedWindow
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
+    from repro.core.maintenance import SkybandMaintainer
+    from repro.core.monitor import TopKPairsMonitor
+    from repro.core.staircase import KStaircase
+    from repro.stream.manager import StreamManager
+    from repro.stream.object import StreamObject
+    from repro.structures.pst import PrioritySearchTree
+    from repro.structures.skiplist import SkipList
+
+__all__ = [
+    "MonitorAuditor",
+    "brute_force_skyband",
+    "check_maintainer",
+    "check_monitor",
+    "check_pst",
+    "check_skiplist",
+    "check_skyband",
+    "check_staircase",
+    "check_window",
+    "cross_check_monitor",
+]
+
+
+# ----------------------------------------------------------------------
+# priority search tree (§IV-A)
+# ----------------------------------------------------------------------
+def check_pst(tree: "PrioritySearchTree", *, location: str = "pst") -> list[Violation]:
+    """Verify heap-on-age, split-key partition, size bookkeeping and
+    score-key uniqueness of a :class:`PrioritySearchTree`."""
+    violations: list[Violation] = []
+    root = tree.root
+    if root is None:
+        return violations
+    # One pre-order pass checks the ordered invariants and collects the
+    # nodes; a post-order replay then validates the size bookkeeping.
+    seen_keys: dict = {}
+    preorder: list = []
+    stack = [(root, None, None, None)]  # node, min_age_key, lo, hi
+    while stack:
+        node, min_age_key, lo, hi = stack.pop()
+        preorder.append(node)
+        point = node.point
+        if min_age_key is not None and point.age_key < min_age_key:
+            violations.append(Violation(
+                "PST-HEAP",
+                f"node age_key {point.age_key} is more recent than its "
+                f"parent's {min_age_key} (min-heap on ages broken)",
+                paper_ref="paper §IV-A property 1, Algorithm 1",
+                subject=repr(node),
+                location=location,
+            ))
+        if lo is not None and not point.score_key > lo:
+            violations.append(Violation(
+                "PST-SPLIT",
+                f"score key {point.score_key!r} is not above the left "
+                f"bound {lo!r} of its subtree",
+                paper_ref="paper §IV-A property 2",
+                subject=repr(node),
+                location=location,
+            ))
+        if hi is not None and not point.score_key <= hi:
+            violations.append(Violation(
+                "PST-SPLIT",
+                f"score key {point.score_key!r} exceeds the split bound "
+                f"{hi!r} of its subtree",
+                paper_ref="paper §IV-A property 2",
+                subject=repr(node),
+                location=location,
+            ))
+        if point.score_key in seen_keys:
+            violations.append(Violation(
+                "PST-DUP",
+                f"score key {point.score_key!r} stored twice (footnote-1 "
+                "perturbed keys must be unique)",
+                paper_ref="paper footnote 1",
+                subject=repr(node),
+                location=location,
+            ))
+        seen_keys[point.score_key] = node
+        if node.left is not None:
+            stack.append((node.left, point.age_key, lo, node.split))
+        if node.right is not None:
+            stack.append((node.right, point.age_key, node.split, hi))
+    # The stack-based pre-order above pushes children after the parent,
+    # so iterating the collected list in reverse sees children before
+    # parents — sizes can be summed without recursion.
+    sizes: dict[int, int] = {}
+    for node in reversed(preorder):
+        size = 1
+        if node.left is not None:
+            size += sizes.get(id(node.left), 0)
+        if node.right is not None:
+            size += sizes.get(id(node.right), 0)
+        sizes[id(node)] = size
+        if node.size != size:
+            violations.append(Violation(
+                "PST-SIZE",
+                f"cached subtree size {node.size} != actual {size} "
+                "(weight-balance bookkeeping broken)",
+                paper_ref="scapegoat balancing, docs/algorithms.md",
+                subject=repr(node),
+                location=location,
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# indexable skip list (§III-B module 1)
+# ----------------------------------------------------------------------
+def check_skiplist(sl: "SkipList", *, location: str = "skiplist") -> list[Violation]:
+    """Verify sorted order, width bookkeeping, ``prev`` pointers and the
+    size counter of an indexable :class:`SkipList`."""
+    violations: list[Violation] = []
+    key = sl._key
+    head = sl._head
+    # Level-0 walk: collect positions, check order / keys / prev.
+    positions: dict[int, int] = {id(head): 0}
+    node = head.forward[0]
+    prev = None
+    index = 1
+    previous_key = None
+    while node is not None:
+        positions[id(node)] = index
+        actual_key = key(node.value)
+        if node.key != actual_key:
+            violations.append(Violation(
+                "SKIP-KEY",
+                f"cached key {node.key!r} != key(value) {actual_key!r}",
+                paper_ref="paper §III-B module 1",
+                subject=repr(node),
+                location=location,
+            ))
+        if previous_key is not None and not previous_key <= node.key:
+            violations.append(Violation(
+                "SKIP-ORDER",
+                f"key {node.key!r} at rank {index - 1} is below its "
+                f"predecessor {previous_key!r} (sorted order broken)",
+                paper_ref="paper §III-B module 1",
+                subject=repr(node),
+                location=location,
+            ))
+        if node.prev is not prev:
+            violations.append(Violation(
+                "SKIP-PREV",
+                f"prev pointer of rank-{index - 1} node does not point "
+                "at its level-0 predecessor",
+                paper_ref="paper Fig 6 outward walk",
+                subject=repr(node),
+                location=location,
+            ))
+        previous_key = node.key
+        prev = node
+        index += 1
+        node = node.forward[0]
+    actual_size = index - 1
+    if actual_size != len(sl):
+        violations.append(Violation(
+            "SKIP-SIZE",
+            f"size counter {len(sl)} != level-0 node count {actual_size}",
+            subject=repr(sl),
+            location=location,
+        ))
+    # Per-level walk: every forward link must land on a level-0 node and
+    # skip exactly ``width`` level-0 links.
+    for level in range(sl._level):
+        node = head
+        while node.forward[level] is not None:
+            successor = node.forward[level]
+            if id(successor) not in positions:
+                violations.append(Violation(
+                    "SKIP-LINK",
+                    f"level-{level} forward link reaches a node absent "
+                    "from level 0",
+                    subject=repr(successor),
+                    location=location,
+                ))
+                break
+            distance = positions[id(successor)] - positions[id(node)]
+            if node.width[level] != distance:
+                violations.append(Violation(
+                    "SKIP-WIDTH",
+                    f"level-{level} width {node.width[level]} != level-0 "
+                    f"distance {distance} (rank queries would be wrong)",
+                    paper_ref="indexable skip list width augmentation",
+                    subject=repr(node),
+                    location=location,
+                ))
+            node = successor
+    return violations
+
+
+# ----------------------------------------------------------------------
+# K-staircase (§V-A.1)
+# ----------------------------------------------------------------------
+def check_staircase(sc: "KStaircase", *, location: str = "staircase") -> list[Violation]:
+    """Verify strictly ascending score keys and non-increasing age
+    thresholds of a :class:`KStaircase`."""
+    violations: list[Violation] = []
+    points = sc.points()
+    for i in range(1, len(points)):
+        (prev_key, prev_age), (cur_key, cur_age) = points[i - 1], points[i]
+        if not prev_key < cur_key:
+            violations.append(Violation(
+                "STAIR-ORDER",
+                f"staircase score keys out of order at step {i}: "
+                f"{prev_key!r} !< {cur_key!r}",
+                paper_ref="paper §V-A.1",
+                subject=f"steps {i - 1}..{i}",
+                location=location,
+            ))
+        if not prev_age >= cur_age:
+            violations.append(Violation(
+                "STAIR-AGE",
+                f"staircase age thresholds increase at step {i}: "
+                f"{prev_age} < {cur_age} (monotonicity broken)",
+                paper_ref="paper §V-A.1",
+                subject=f"steps {i - 1}..{i}",
+                location=location,
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# K-skyband (Theorems 1-2)
+# ----------------------------------------------------------------------
+def check_skyband(
+    pairs: Sequence[Pair],
+    K: int,
+    window: Optional[Iterable["StreamObject"]] = None,
+    *,
+    location: str = "skyband",
+) -> list[Violation]:
+    """Verify a maintained K-skyband: ascending score order, unique
+    pairs, minimality (every member has fewer than ``K`` dominators
+    within the set — Theorem 2) and, when ``window`` is given, that both
+    members of every pair are in-window objects."""
+    violations: list[Violation] = []
+    seen_uids: set[int] = set()
+    window_seqs = {obj.seq for obj in window} if window is not None else None
+    # Sweep in stored order; ages of all strictly-smaller-score
+    # predecessors accumulate in a sorted list, so the dominator count
+    # of each pair is one bisect (dominance: smaller score key AND age
+    # at most the dominatee's — repro.core.pair.dominates).
+    ages_sorted: list[int] = []
+    previous_key = None
+    for index, pair in enumerate(pairs):
+        if previous_key is not None and not previous_key < pair.score_key:
+            violations.append(Violation(
+                "SKB-ORDER",
+                f"skyband not ascending by score key at index {index}",
+                paper_ref="paper Algorithm 4 output order",
+                subject=repr(pair),
+                location=location,
+            ))
+        previous_key = pair.score_key
+        if pair.uid in seen_uids:
+            violations.append(Violation(
+                "SKB-DUP",
+                f"pair stored twice in the skyband (uid {pair.uid})",
+                subject=repr(pair),
+                location=location,
+            ))
+        seen_uids.add(pair.uid)
+        dominators = bisect_right(ages_sorted, pair.age_key)
+        if dominators >= K:
+            violations.append(Violation(
+                "SKB-MIN",
+                f"pair has {dominators} >= K={K} dominators inside the "
+                "skyband — it is dominated out and must not be a member",
+                paper_ref="paper Theorems 1-2",
+                subject=repr(pair),
+                location=location,
+            ))
+        insort(ages_sorted, pair.age_key)
+        if window_seqs is not None:
+            for member in pair.objects():
+                if member.seq not in window_seqs:
+                    violations.append(Violation(
+                        "SKB-WINDOW",
+                        f"skyband pair references expired object "
+                        f"seq={member.seq}",
+                        paper_ref="paper §III (pair expiry)",
+                        subject=repr(pair),
+                        location=location,
+                    ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# stream manager / window (§III-B module 1)
+# ----------------------------------------------------------------------
+def check_window(mgr: "StreamManager", *, location: str = "window") -> list[Violation]:
+    """Verify the stream manager: window ordering and capacity, and that
+    every attribute skip list is healthy and holds exactly the window."""
+    violations: list[Violation] = []
+    objects = mgr.objects()
+    seqs = [obj.seq for obj in objects]
+    for i in range(1, len(seqs)):
+        if not seqs[i - 1] < seqs[i]:
+            violations.append(Violation(
+                "WIN-SEQ",
+                f"window objects out of arrival order at position {i}: "
+                f"seq {seqs[i - 1]} before {seqs[i]}",
+                paper_ref="paper §II-B",
+                subject=repr(objects[i]),
+                location=location,
+            ))
+    win = mgr._window
+    if isinstance(win, CountBasedWindow) and len(objects) > win.capacity:
+        violations.append(Violation(
+            "WIN-CAP",
+            f"count-based window holds {len(objects)} > capacity "
+            f"{win.capacity} objects",
+            paper_ref="paper §II-B",
+            location=location,
+        ))
+    if isinstance(win, TimeBasedWindow) and objects:
+        newest = objects[-1].timestamp
+        oldest = objects[0].timestamp
+        if newest is not None and oldest is not None \
+                and newest - oldest > win.horizon:
+            violations.append(Violation(
+                "WIN-TIME",
+                f"time-based window spans {newest - oldest} > horizon "
+                f"{win.horizon}",
+                paper_ref="paper §II-B",
+                location=location,
+            ))
+    window_seqs = set(seqs)
+    node_index = mgr._nodes
+    if set(node_index) != window_seqs:
+        violations.append(Violation(
+            "WIN-NODE",
+            "skip-node index keys differ from the window's sequence "
+            f"numbers ({len(node_index)} indexed vs {len(window_seqs)} "
+            "in window)",
+            location=location,
+        ))
+    for attribute in range(mgr.num_attributes):
+        sub_location = f"{location}.attribute_list[{attribute}]"
+        attr_list = mgr.attribute_list(attribute)
+        violations.extend(check_skiplist(attr_list, location=sub_location))
+        listed_seqs = {obj.seq for obj in attr_list}
+        if listed_seqs != window_seqs:
+            missing = window_seqs - listed_seqs
+            extra = listed_seqs - window_seqs
+            violations.append(Violation(
+                "WIN-LIST",
+                f"attribute list {attribute} disagrees with the window "
+                f"(missing seqs {sorted(missing)[:5]}, stale seqs "
+                f"{sorted(extra)[:5]})",
+                paper_ref="paper §III-B module 1",
+                location=sub_location,
+            ))
+        for obj in objects:
+            nodes = node_index.get(obj.seq)
+            if nodes is None:
+                continue  # already reported by WIN-NODE
+            if nodes[attribute].value is not obj:
+                violations.append(Violation(
+                    "WIN-NODE",
+                    f"indexed node for seq={obj.seq} holds a different "
+                    "object",
+                    subject=repr(nodes[attribute]),
+                    location=sub_location,
+                ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# maintainer cross-structure consistency (§V)
+# ----------------------------------------------------------------------
+def check_maintainer(
+    maintainer: "SkybandMaintainer",
+    manager: Optional["StreamManager"] = None,
+    *,
+    location: str = "maintainer",
+) -> list[Violation]:
+    """Verify one skyband maintainer: its skyband, staircase and PST
+    individually, plus their mutual consistency (same membership, fresh
+    staircase, exact expiry index)."""
+    violations: list[Violation] = []
+    skyband = maintainer.skyband
+    window = manager.objects() if manager is not None else None
+    violations.extend(check_skyband(
+        skyband, maintainer.K, window, location=f"{location}.skyband"
+    ))
+    violations.extend(check_staircase(
+        maintainer.staircase, location=f"{location}.staircase"
+    ))
+    violations.extend(check_pst(maintainer.pst, location=f"{location}.pst"))
+    skyband_uids = {p.uid for p in skyband}
+    pst_uids = {p.uid for p in maintainer.pst.points()}
+    if pst_uids != skyband_uids:
+        violations.append(Violation(
+            "SKB-PST",
+            f"PST holds {len(pst_uids)} pairs but the skyband holds "
+            f"{len(skyband_uids)} — the query index is out of sync",
+            paper_ref="paper §IV-A",
+            location=location,
+        ))
+    if maintainer._score_keys != [p.score_key for p in skyband]:
+        violations.append(Violation(
+            "SKB-CACHE",
+            "cached score-key list diverged from the skyband",
+            location=location,
+        ))
+    indexed = [
+        pair
+        for pairs in maintainer._by_oldest.values()
+        for pair in pairs
+    ]
+    if {p.uid for p in indexed} != skyband_uids or \
+            len(indexed) != len(skyband_uids):
+        violations.append(Violation(
+            "SKB-INDEX",
+            "expiry index (pairs by oldest member) disagrees with the "
+            "skyband — expiry would drop the wrong pairs",
+            paper_ref="paper §V expiry handling",
+            location=location,
+        ))
+    for oldest_seq, pairs in maintainer._by_oldest.items():
+        for pair in pairs:
+            if pair.oldest_seq != oldest_seq:
+                violations.append(Violation(
+                    "SKB-INDEX",
+                    f"pair filed under oldest_seq={oldest_seq} actually "
+                    f"expires with seq={pair.oldest_seq}",
+                    subject=repr(pair),
+                    location=location,
+                ))
+    # Staircase freshness: Algorithm 4's staircase is a pure function of
+    # the kept sequence, so recomputing over the current skyband must
+    # reproduce it exactly.  A stale staircase (e.g. one not refreshed
+    # after expiry) keeps counting dead dominators and silently prunes
+    # live candidates.
+    _, expected_staircase = update_skyband_and_staircase(
+        skyband, maintainer.K
+    )
+    if maintainer.staircase.points() != expected_staircase.points():
+        violations.append(Violation(
+            "STAIR-SYNC",
+            "staircase is stale: it differs from the staircase recomputed "
+            "over the current skyband",
+            paper_ref="paper §V-A.1, Algorithm 4",
+            location=f"{location}.staircase",
+        ))
+    return violations
+
+
+def check_monitor(monitor: "TopKPairsMonitor") -> list[Violation]:
+    """Verify a whole monitor: window, every skyband group and every
+    continuous answer (which must equal an Algorithm 2 recomputation)."""
+    violations = check_window(monitor.manager)
+    now_seq = monitor.manager.now_seq
+    for index, group in enumerate(monitor._groups.values()):
+        group_location = f"group[{index}:{group.scoring_function.name}]"
+        violations.extend(check_maintainer(
+            group.maintainer, monitor.manager, location=group_location
+        ))
+        for handle in group.queries.values():
+            state = handle.state
+            if state is None:
+                continue
+            query = handle.query
+            expected = answer_snapshot(
+                group.maintainer.pst, query.k, query.n, now_seq
+            )
+            if [p.uid for p in state.answer] != [p.uid for p in expected]:
+                violations.append(Violation(
+                    "ANS-SNAP",
+                    f"continuous answer of query {query.query_id} "
+                    f"diverged from the Algorithm 2 snapshot "
+                    f"({len(state.answer)} vs {len(expected)} pairs)",
+                    paper_ref="paper §IV-B",
+                    location=f"{group_location}.query[{query.query_id}]",
+                ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# brute-force cross-check (sampled; the only super-linear checker)
+# ----------------------------------------------------------------------
+def brute_force_skyband(
+    objects: Sequence["StreamObject"],
+    scoring_function,
+    K: int,
+    pair_filter=None,
+) -> list[Pair]:
+    """The exact K-skyband of the given objects' pair set, by an
+    implementation independent of Algorithm 4: sort all pairs by score
+    key and count each pair's dominators with a bisect over the ages of
+    every smaller-score pair.  ``O(P log P)`` for ``P = O(N^2)`` pairs —
+    use only on sampled ticks."""
+    pairs = [
+        make_pair(objects[i], objects[j], scoring_function)
+        for i in range(len(objects))
+        for j in range(i + 1, len(objects))
+        if pair_filter is None or pair_filter(objects[i], objects[j])
+    ]
+    pairs.sort(key=lambda p: p.score_key)
+    ages_sorted: list[int] = []
+    members: list[Pair] = []
+    for pair in pairs:
+        if bisect_right(ages_sorted, pair.age_key) < K:
+            members.append(pair)
+        insort(ages_sorted, pair.age_key)
+    return members
+
+
+def cross_check_monitor(monitor: "TopKPairsMonitor") -> list[Violation]:
+    """Compare every group's maintained K-skyband against a brute-force
+    recomputation over the current window (``O(N^2 log N)`` — sampled)."""
+    violations: list[Violation] = []
+    objects = monitor.manager.objects()
+    for index, group in enumerate(monitor._groups.values()):
+        expected = brute_force_skyband(
+            objects, group.scoring_function, group.K, group.pair_filter
+        )
+        expected_uids = {p.uid for p in expected}
+        actual_uids = {p.uid for p in group.maintainer.skyband}
+        if expected_uids != actual_uids:
+            missing = expected_uids - actual_uids
+            extra = actual_uids - expected_uids
+            violations.append(Violation(
+                "SKB-BRUTE",
+                f"maintained K-skyband diverged from brute force: "
+                f"{len(missing)} pairs missing, {len(extra)} spurious",
+                paper_ref="paper Theorems 1-2, Algorithms 3-5",
+                subject=(
+                    f"missing uids {sorted(missing)[:3]}, "
+                    f"spurious uids {sorted(extra)[:3]}"
+                ),
+                location=f"group[{index}:{group.scoring_function.name}]",
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# the runtime auditor
+# ----------------------------------------------------------------------
+class MonitorAuditor:
+    """Always-on correctness net for a :class:`TopKPairsMonitor`.
+
+    Created by the monitor itself when constructed with ``audit=True``
+    (or with the ``REPRO_AUDIT=1`` environment variable set).  After
+    every ``interval``-th stream tick it runs the full structural check
+    suite (:func:`check_monitor`, ``O(window + skyband)``), and after
+    every ``cross_check_interval``-th tick it additionally recomputes
+    each K-skyband by brute force (:func:`cross_check_monitor`,
+    ``O(N^2 log N)`` — keep this interval large or 0 under load).
+
+    Violations are accumulated on :attr:`violations`; with
+    ``raise_on_violation`` (the default) the offending ``append`` also
+    raises :class:`~repro.exceptions.AuditViolationError`, so a broken
+    invariant stops the stream at the tick that broke it instead of
+    surfacing as a silently wrong answer thousands of ticks later.
+    """
+
+    def __init__(
+        self,
+        monitor: "TopKPairsMonitor",
+        *,
+        interval: int = 1,
+        cross_check_interval: int = 0,
+        raise_on_violation: bool = True,
+    ) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        if cross_check_interval < 0:
+            raise ValueError(
+                "cross_check_interval must be >= 0 (0 disables), got "
+                f"{cross_check_interval}"
+            )
+        self.monitor = monitor
+        self.interval = interval
+        self.cross_check_interval = cross_check_interval
+        self.raise_on_violation = raise_on_violation
+        self.ticks = 0
+        self.checks_run = 0
+        self.cross_checks_run = 0
+        self.violations: list[Violation] = []
+
+    def after_tick(self) -> list[Violation]:
+        """Invoked by the monitor after each ingested object; runs the
+        checks due at this tick and returns any new violations."""
+        self.ticks += 1
+        found: list[Violation] = []
+        if self.ticks % self.interval == 0:
+            self.checks_run += 1
+            found.extend(check_monitor(self.monitor))
+        if self.cross_check_interval and \
+                self.ticks % self.cross_check_interval == 0:
+            self.cross_checks_run += 1
+            found.extend(cross_check_monitor(self.monitor))
+        if found:
+            self.violations.extend(found)
+            if self.raise_on_violation:
+                raise AuditViolationError(found)
+        return found
+
+    def check_now(self, *, cross_check: bool = False) -> list[Violation]:
+        """Run the structural checks (and optionally the brute-force
+        cross-check) immediately, independent of the sampling schedule."""
+        found = check_monitor(self.monitor)
+        if cross_check:
+            found.extend(cross_check_monitor(self.monitor))
+        if found:
+            self.violations.extend(found)
+            if self.raise_on_violation:
+                raise AuditViolationError(found)
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitorAuditor(ticks={self.ticks}, interval={self.interval}, "
+            f"cross_check_interval={self.cross_check_interval}, "
+            f"violations={len(self.violations)})"
+        )
+
+

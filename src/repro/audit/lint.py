@@ -1,0 +1,434 @@
+"""Static lint pass with project-specific rules (``python -m repro lint``).
+
+An AST-based checker tuned to the failure modes of this codebase —
+dominance bookkeeping over float scores, hot-path data-structure code,
+and a public API contract enforced through ``__all__``.  Rule catalogue
+(full prose in ``docs/audit.md``):
+
+========  ==============================================================
+RA101     ``==`` / ``!=`` on a float score (``score`` / ``local_score``
+          operands) outside a tolerance helper.  Equal raw scores are
+          perturbed into a total order (paper footnote 1); comparing
+          them with ``==`` reintroduces the tie bugs the perturbation
+          exists to prevent.
+RA102     Mutable default argument (list/dict/set literal or
+          constructor call).
+RA103     Public module without ``__all__``.
+RA104     ``__all__`` entry that names nothing defined or imported in
+          the module.
+RA105     ``in <list literal>`` membership test inside a loop in a
+          hot-path module (``core/``, ``structures/``) — build a set
+          once instead.
+RA106     ``list.insert(0, ...)`` inside a loop in a hot-path module —
+          O(n) per call; use a deque or append+reverse.
+RA107     Bare ``except:`` — swallows ``KeyboardInterrupt`` and hides
+          the :class:`~repro.exceptions.ReproError` hierarchy.
+========  ==============================================================
+
+Suppression: append ``# audit: allow[RA105] <reason>`` to the offending
+line.  The reason is mandatory — a bare ``allow`` tag does not suppress.
+Module-level findings (RA103/RA104 report at their ``__all__`` or at
+line 1) are suppressed the same way on that line.
+
+The pass needs nothing beyond the standard library, so it runs in CI and
+pre-commit hooks without any third-party tooling; ``[tool.ruff]`` in
+``pyproject.toml`` keeps external linters aligned with the same rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterable, Optional, Sequence
+
+from repro.audit.report import Violation
+
+__all__ = [
+    "HOT_PATH_PARTS",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+RULES = {
+    "RA100": "file does not parse",
+    "RA101": "float score compared with == / != outside a tolerance helper",
+    "RA102": "mutable default argument",
+    "RA103": "public module does not define __all__",
+    "RA104": "__all__ names an undefined attribute",
+    "RA105": "list-literal membership test inside a hot-path loop",
+    "RA106": "list.insert(0, ...) inside a hot-path loop",
+    "RA107": "bare except:",
+}
+
+#: directory names whose modules get the hot-path rules (RA105/RA106)
+HOT_PATH_PARTS = frozenset({"core", "structures"})
+
+#: identifiers treated as raw float scores by RA101 (``score_key`` and
+#: friends are perturbed total-order tuples and compare exactly)
+_SCORE_NAMES = frozenset({"score", "local_score", "raw_score"})
+
+#: a function whose name matches this is a tolerance helper — the one
+#: legitimate home for exact float comparisons
+_TOLERANCE_RE = re.compile(r"approx|close|tolerance|almost|exact", re.I)
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "deque", "Counter", "OrderedDict",
+})
+
+_ALLOW_RE = re.compile(
+    r"#\s*audit:\s*allow\[(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)\]"
+    r"\s*(?P<reason>\S.*)?$"
+)
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Per-line suppressed rule ids (only ``allow`` tags with a reason)."""
+    suppressed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match is None or not match.group("reason"):
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",")}
+        suppressed.setdefault(lineno, set()).update(rules)
+    return suppressed
+
+
+def _mentions_score(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _SCORE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SCORE_NAMES
+    return False
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _module_bindings(body: Sequence[ast.stmt]) -> set[str]:
+    """Names bound at module top level (recursing into if/try blocks)."""
+    bound: set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                bound.update(_target_names(target))
+        elif isinstance(stmt, ast.AnnAssign):
+            bound.update(_target_names(stmt.target))
+        elif isinstance(stmt, ast.AugAssign):
+            bound.update(_target_names(stmt.target))
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.If):
+            bound.update(_module_bindings(stmt.body))
+            bound.update(_module_bindings(stmt.orelse))
+        elif isinstance(stmt, ast.Try):
+            bound.update(_module_bindings(stmt.body))
+            bound.update(_module_bindings(stmt.orelse))
+            bound.update(_module_bindings(stmt.finalbody))
+            for handler in stmt.handlers:
+                bound.update(_module_bindings(handler.body))
+        elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+            if isinstance(stmt, ast.For):
+                bound.update(_target_names(stmt.target))
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        bound.update(_target_names(item.optional_vars))
+            bound.update(_module_bindings(stmt.body))
+    return bound
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()
+
+
+def _exported_names(
+    body: Sequence[ast.stmt],
+) -> Optional[list[tuple[str, int, int]]]:
+    """``(name, line, col)`` for every ``__all__`` entry, following
+    list/tuple assignments plus ``+=`` / ``.append`` / ``.extend``
+    augments; ``None`` when the module never assigns ``__all__``."""
+    entries: Optional[list[tuple[str, int, int]]] = None
+
+    def collect(value: ast.expr) -> None:
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    entries.append(
+                        (element.value, element.lineno, element.col_offset)
+                    )
+
+    for stmt in body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in stmt.targets
+        ):
+            entries = [] if entries is None else entries
+            collect(stmt.value)
+        elif isinstance(stmt, ast.AugAssign) \
+                and isinstance(stmt.target, ast.Name) \
+                and stmt.target.id == "__all__":
+            entries = [] if entries is None else entries
+            collect(stmt.value)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            func = call.func
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "__all__" \
+                    and func.attr in ("append", "extend") and call.args:
+                entries = [] if entries is None else entries
+                argument = call.args[0]
+                if func.attr == "append":
+                    if isinstance(argument, ast.Constant) \
+                            and isinstance(argument.value, str):
+                        entries.append((
+                            argument.value, argument.lineno,
+                            argument.col_offset,
+                        ))
+                else:
+                    collect(argument)
+    return entries
+
+
+class _Linter:
+    """Walks one module's AST, carrying function / loop context."""
+
+    def __init__(self, path: str, hot_path: bool) -> None:
+        self.path = path
+        self.hot_path = hot_path
+        self.violations: list[Violation] = []
+        self._function_stack: list[str] = []
+        self._loop_depth = 0
+
+    # -- reporting ------------------------------------------------------
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.violations.append(Violation(
+            rule,
+            message,
+            paper_ref="docs/audit.md rule catalogue",
+            location=f"{self.path}:{lineno}:{col}",
+        ))
+
+    # -- dispatch -------------------------------------------------------
+    def walk(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_defaults(node.args)
+            self._function_stack.append(node.name)
+            self.walk(node)
+            self._function_stack.pop()
+            return
+        if isinstance(node, ast.Lambda):
+            self._check_defaults(node.args)
+            self.walk(node)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            self._loop_depth += 1
+            self.walk(node)
+            self._loop_depth -= 1
+            return
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            self.report(
+                "RA107",
+                node,
+                "bare 'except:' also catches KeyboardInterrupt/SystemExit;"
+                " catch ReproError or a concrete exception",
+            )
+        elif isinstance(node, ast.Compare):
+            self._check_compare(node)
+        elif isinstance(node, ast.Call):
+            self._check_insert_front(node)
+        self.walk(node)
+
+    # -- individual rules ----------------------------------------------
+    def _check_defaults(self, args: ast.arguments) -> None:
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                self.report(
+                    "RA102",
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None (or an immutable value) instead",
+                )
+
+    def _in_tolerance_helper(self) -> bool:
+        return any(
+            _TOLERANCE_RE.search(name) for name in self._function_stack
+        )
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                if (_mentions_score(left) or _mentions_score(right)) \
+                        and not self._in_tolerance_helper():
+                    self.report(
+                        "RA101",
+                        node,
+                        "raw float scores must not be compared with "
+                        "== / != — compare score_key tuples or use a "
+                        "tolerance helper (math.isclose / approx_equal)",
+                    )
+            elif isinstance(op, (ast.In, ast.NotIn)) and self.hot_path \
+                    and self._loop_depth > 0 \
+                    and isinstance(right, ast.List):
+                self.report(
+                    "RA105",
+                    node,
+                    "O(n) list membership inside a hot-path loop; "
+                    "use a set (or frozenset constant)",
+                )
+
+    def _check_insert_front(self, node: ast.Call) -> None:
+        if not (self.hot_path and self._loop_depth > 0):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "insert" \
+                and len(node.args) >= 2 \
+                and isinstance(node.args[0], ast.Constant) \
+                and node.args[0].value == 0:
+            self.report(
+                "RA106",
+                node,
+                "list.insert(0, ...) is O(n) per call inside a hot-path "
+                "loop; use collections.deque.appendleft or append then "
+                "reverse",
+            )
+
+
+def _is_public_module(path: str) -> bool:
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return not stem.startswith("_") or stem == "__init__"
+
+
+def _is_hot_path(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    return any(part in HOT_PATH_PARTS for part in parts[:-1])
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    hot_path: Optional[bool] = None,
+) -> list[Violation]:
+    """Lint one module's source text; returns its violations.
+
+    ``hot_path`` forces the RA105/RA106 rules on or off; by default they
+    apply when the file lives under a ``core/`` or ``structures/``
+    directory.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(
+            "RA100",
+            f"file does not parse: {exc.msg}",
+            location=f"{path}:{exc.lineno or 1}:{exc.offset or 0}",
+        )]
+    if hot_path is None:
+        hot_path = _is_hot_path(path)
+    linter = _Linter(path, hot_path)
+    linter.walk(tree)
+
+    exported = _exported_names(tree.body)
+    if exported is None:
+        if _is_public_module(path):
+            linter.violations.append(Violation(
+                "RA103",
+                "public module must declare its API with __all__",
+                paper_ref="docs/audit.md rule catalogue",
+                location=f"{path}:1:0",
+            ))
+    else:
+        bound = _module_bindings(tree.body)
+        for name, lineno, col in exported:
+            if name not in bound:
+                linter.violations.append(Violation(
+                    "RA104",
+                    f"__all__ exports {name!r} but the module never "
+                    "defines or imports it",
+                    paper_ref="docs/audit.md rule catalogue",
+                    location=f"{path}:{lineno}:{col}",
+                ))
+
+    suppressed = _suppressions(source)
+    if not suppressed:
+        return linter.violations
+    kept: list[Violation] = []
+    for violation in linter.violations:
+        lineno = int(violation.location.rsplit(":", 2)[-2])
+        if violation.rule in suppressed.get(lineno, ()):
+            continue
+        kept.append(violation)
+    return kept
+
+
+def lint_file(path: str) -> list[Violation]:
+    """Lint one ``.py`` file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path)
+
+
+def lint_paths(paths: Iterable[str]) -> list[Violation]:
+    """Lint files and directory trees; directories are walked for
+    ``*.py`` files (skipping ``__pycache__``).  Violations come back
+    sorted by location for stable output."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            files.append(path)
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path))
+    return violations

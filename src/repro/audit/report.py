@@ -1,0 +1,84 @@
+"""Structured audit findings.
+
+Both halves of :mod:`repro.audit` — the runtime invariant verifier
+(:mod:`repro.audit.invariants`) and the static lint pass
+(:mod:`repro.audit.lint`) — report their findings as :class:`Violation`
+records instead of raising on first failure.  A record names the rule or
+invariant that broke, cites the paper section the invariant comes from
+(runtime checks) or the rule catalogue entry (lint checks, see
+``docs/audit.md``), points at the offending node / pair / source line,
+and carries a human-readable message.  Collecting *all* findings in one
+pass makes the checkers usable both as hard assertions (raise when the
+list is non-empty) and as diagnostics (print the full report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Violation", "format_violations", "summarize"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant or lint rule.
+
+    Attributes
+    ----------
+    rule:
+        Stable identifier — ``"PST-HEAP"``-style for runtime invariants,
+        ``"RA1xx"`` for lint rules (catalogue in ``docs/audit.md``).
+    message:
+        What is wrong, in one sentence.
+    paper_ref:
+        The paper section / theorem the invariant realizes (empty for
+        lint findings).
+    subject:
+        ``repr`` of the offending node, pair or structure (runtime), or
+        the offending source snippet (lint).
+    location:
+        Where: ``path:line:col`` for lint findings, a structure path
+        (e.g. ``"pst"``, ``"attribute_list[2]"``) for runtime findings.
+    """
+
+    rule: str
+    message: str
+    paper_ref: str = ""
+    subject: str = ""
+    location: str = ""
+
+    def __str__(self) -> str:
+        parts = []
+        if self.location:
+            parts.append(f"{self.location}:")
+        parts.append(self.rule)
+        parts.append(self.message)
+        text = " ".join(parts)
+        extras = []
+        if self.paper_ref:
+            extras.append(self.paper_ref)
+        if self.subject:
+            extras.append(f"subject: {self.subject}")
+        if extras:
+            text += f" ({'; '.join(extras)})"
+        return text
+
+
+def format_violations(violations: Iterable[Violation]) -> str:
+    """One violation per line, ready for terminal output."""
+    return "\n".join(str(v) for v in violations)
+
+
+def summarize(violations: Sequence[Violation]) -> str:
+    """A one-line summary: total count plus per-rule breakdown."""
+    if not violations:
+        return "no violations"
+    by_rule: dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    breakdown = ", ".join(
+        f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+    )
+    noun = "violation" if len(violations) == 1 else "violations"
+    return f"{len(violations)} {noun} ({breakdown})"

@@ -1,6 +1,7 @@
-"""Command-line interface: monitor top-k pairs over a CSV stream.
+"""Command-line interface: monitor top-k pairs over a CSV stream, plus
+the ``lint`` and ``audit`` correctness subcommands.
 
-Feeds rows from a CSV file (or stdin) through a
+The default invocation feeds rows from a CSV file (or stdin) through a
 :class:`~repro.core.monitor.TopKPairsMonitor` and periodically prints the
 current top-k pairs — a ready-made tool for trying the library on real
 data without writing code.
@@ -14,6 +15,12 @@ Usage examples::
     cat data.csv | python -m repro --columns 4 --scoring dissimilar \
         --k 5 --window 2000 --report-every 500
 
+    # static lint pass over a source tree (exit 1 on findings)
+    python -m repro lint src
+
+    # run a synthetic stream under the runtime invariant verifier
+    python -m repro audit --dataset uniform --steps 500
+
 Scoring functions: ``closest`` (s1), ``furthest`` (s2), ``similar`` (s3),
 ``dissimilar`` (s4), each over all ``--columns`` attributes.
 """
@@ -22,6 +29,8 @@ from __future__ import annotations
 
 import argparse
 import csv
+import itertools
+import os
 import sys
 from typing import Iterator, Optional, Sequence, TextIO
 
@@ -33,7 +42,14 @@ from repro.scoring.library import (
     top_k_similar_pairs,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_audit_parser",
+    "build_lint_parser",
+    "run_audit",
+    "run_lint",
+]
 
 _SCORING_FACTORIES = {
     "closest": k_closest_pairs,
@@ -117,10 +133,137 @@ def _print_report(monitor: TopKPairsMonitor, handle, tick: int,
         )
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static lint pass with project-specific rules "
+        "(RA101-RA107, see docs/audit.md); exits 1 on findings.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directory trees to lint "
+        "(default: the installed repro package)",
+    )
+    return parser
+
+
+def run_lint(argv: Sequence[str],
+             stdout: Optional[TextIO] = None) -> int:
+    """``python -m repro lint [paths]`` — exit 1 when rules fire."""
+    from repro.audit.lint import lint_paths
+    from repro.audit.report import summarize
+
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_lint_parser().parse_args(argv)
+    paths = args.paths
+    if not paths:
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        raise SystemExit(
+            "repro lint: no such file or directory: "
+            + ", ".join(missing)
+        )
+    violations = lint_paths(paths)
+    for violation in violations:
+        print(violation, file=stdout)
+    print(f"lint: {summarize(violations)}", file=stdout)
+    return 1 if violations else 0
+
+
+def build_audit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro audit",
+        description="Run a synthetic stream under the runtime invariant "
+        "verifier (structural checks every tick plus sampled brute-force "
+        "K-skyband cross-checks); exits 1 on violations.",
+    )
+    parser.add_argument(
+        "--dataset", default="synthetic",
+        choices=["synthetic", "uniform", "correlated", "anticorrelated"],
+        help="synthetic distribution ('synthetic' = uniform)",
+    )
+    parser.add_argument("--steps", type=int, default=500,
+                        help="objects to stream (default 500)")
+    parser.add_argument("--window", type=int, default=128,
+                        help="sliding window size N (default 128)")
+    parser.add_argument("--columns", type=int, default=2,
+                        help="number of attributes (default 2)")
+    parser.add_argument("--k", type=int, default=5,
+                        help="query depth k (default 5)")
+    parser.add_argument(
+        "--scoring", choices=sorted(_SCORING_FACTORIES), default="closest",
+        help="scoring function (default: closest)",
+    )
+    parser.add_argument(
+        "--strategy", choices=["auto", "scase", "ta", "basic"],
+        default="auto", help="skyband maintenance strategy",
+    )
+    parser.add_argument("--interval", type=int, default=1,
+                        help="run structural checks every this many "
+                        "ticks (default 1)")
+    parser.add_argument("--cross-check-every", type=int, default=64,
+                        help="brute-force K-skyband cross-check every "
+                        "this many ticks; 0 disables (default 64)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="stream seed (default 0)")
+    return parser
+
+
+def run_audit(argv: Sequence[str],
+              stdout: Optional[TextIO] = None) -> int:
+    """``python -m repro audit`` — exit 1 on invariant violations."""
+    from repro.audit.report import format_violations, summarize
+    from repro.datasets.synthetic import make_stream
+
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_audit_parser().parse_args(argv)
+    if args.steps < 1 or args.window < 2 or args.columns < 1 or args.k < 1:
+        raise SystemExit(
+            "--steps >= 1, --window >= 2, --columns >= 1 and --k >= 1 "
+            "required"
+        )
+    distribution = "uniform" if args.dataset == "synthetic" else args.dataset
+    monitor = TopKPairsMonitor(
+        args.window, args.columns, strategy=args.strategy,
+        audit=True, audit_interval=args.interval,
+        audit_cross_check_interval=args.cross_check_every,
+    )
+    # Collect every violation instead of stopping at the first tick.
+    monitor.auditor.raise_on_violation = False
+    scoring = _SCORING_FACTORIES[args.scoring](args.columns)
+    handle = monitor.register_query(scoring, k=args.k, continuous=True)
+    stream = make_stream(distribution, args.columns, seed=args.seed)
+    for values in itertools.islice(stream, args.steps):
+        monitor.append(values)
+    auditor = monitor.auditor
+    if auditor.violations:
+        print(format_violations(auditor.violations), file=stdout)
+    print(
+        f"audit: {args.steps} objects, {auditor.checks_run} structural "
+        f"checks, {auditor.cross_checks_run} brute-force cross-checks, "
+        f"final answer {len(monitor.results(handle))} pairs — "
+        f"{summarize(auditor.violations)}",
+        file=stdout,
+    )
+    return 1 if auditor.violations else 0
+
+
 def main(argv: Optional[Sequence[str]] = None, *,
          stdin: Optional[TextIO] = None,
          stdout: Optional[TextIO] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Dispatches the ``lint`` and ``audit`` subcommands; any other
+    invocation is the CSV monitoring tool (whose ``csv_file`` positional
+    can never collide with the subcommand names — CSV input named
+    ``lint`` must be passed as ``./lint``).
+    """
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return run_lint(argv[1:], stdout)
+    if argv and argv[0] == "audit":
+        return run_audit(argv[1:], stdout)
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     args = build_parser().parse_args(argv)

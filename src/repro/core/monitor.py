@@ -23,6 +23,7 @@ Usage::
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 from repro.analysis.cost_model import Counters
@@ -96,6 +97,9 @@ class TopKPairsMonitor:
         time_horizon: Optional[float] = None,
         counters: Optional[Counters] = None,
         seed: int = 0,
+        audit: Optional[bool] = None,
+        audit_interval: int = 1,
+        audit_cross_check_interval: int = 0,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise InvalidParameterError(
@@ -109,6 +113,22 @@ class TopKPairsMonitor:
         self.counters = counters
         self._groups: dict[int, _SkybandGroup] = {}
         self._handles: dict[int, QueryHandle] = {}
+        # Opt-in runtime invariant verification (repro.audit): explicit
+        # ``audit=True``/``False`` wins; when unset, the REPRO_AUDIT
+        # environment variable turns the auditor on process-wide.
+        if audit is None:
+            audit = os.environ.get("REPRO_AUDIT", "") not in ("", "0")
+        self.auditor = None
+        if audit:
+            # Imported lazily: repro.audit imports core modules, so a
+            # module-level import here would be cyclic.
+            from repro.audit.invariants import MonitorAuditor
+
+            self.auditor = MonitorAuditor(
+                self,
+                interval=audit_interval,
+                cross_check_interval=audit_cross_check_interval,
+            )
 
     # ------------------------------------------------------------------
     # query management
@@ -245,6 +265,8 @@ class TopKPairsMonitor:
             for handle in group.queries.values():
                 if handle.state is not None:
                     handle.state.apply(delta, group.maintainer.pst, now)
+        if self.auditor is not None:
+            self.auditor.after_tick()
         return event
 
     def extend(
@@ -286,6 +308,10 @@ class TopKPairsMonitor:
             for handle in group.queries.values():
                 if handle.state is not None:
                     handle.state.apply(delta, group.maintainer.pst, now)
+        if self.auditor is not None:
+            # One audit per batch boundary — intermediate states are
+            # never observable, so there is nothing to check mid-batch.
+            self.auditor.after_tick()
 
     # ------------------------------------------------------------------
     # answers

@@ -7,6 +7,18 @@ programming errors (``TypeError`` etc.) still propagate normally.
 
 from __future__ import annotations
 
+__all__ = [
+    "AuditViolationError",
+    "DuplicateItemError",
+    "EmptyStructureError",
+    "InvalidParameterError",
+    "ItemNotFoundError",
+    "ReproError",
+    "ScoringFunctionError",
+    "UnknownQueryError",
+    "WindowError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -49,3 +61,22 @@ class ScoringFunctionError(ReproError):
 class WindowError(ReproError, ValueError):
     """A sliding-window operation received inconsistent parameters
     (e.g. a non-positive window size or a non-monotonic timestamp)."""
+
+
+class AuditViolationError(ReproError, AssertionError):
+    """The runtime invariant verifier found one or more broken
+    invariants (see :mod:`repro.audit`).
+
+    Carries the structured :class:`~repro.audit.report.Violation`
+    records on :attr:`violations`.  Also an :class:`AssertionError`, so
+    test harnesses that treat assertion failures specially handle audit
+    failures the same way.
+    """
+
+    def __init__(self, violations) -> None:
+        self.violations = list(violations)
+        first = str(self.violations[0]) if self.violations else ""
+        count = len(self.violations)
+        noun = "violation" if count == 1 else "violations"
+        suffix = "" if count <= 1 else f" (and {count - 1} more)"
+        super().__init__(f"{count} invariant {noun}: {first}{suffix}")

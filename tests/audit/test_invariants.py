@@ -1,0 +1,329 @@
+"""Tests for the runtime invariant checkers (`repro.audit.invariants`).
+
+Two angles on every checker:
+
+* **property-style** — random insert/delete workloads on the real
+  structures must keep the checker silent;
+* **mutation** — corrupting one node (swapping ages, breaking a split
+  key, skewing a width) must make the checker report the matching rule.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.audit import (
+    brute_force_skyband,
+    check_maintainer,
+    check_monitor,
+    check_pst,
+    check_skiplist,
+    check_skyband,
+    check_staircase,
+    check_window,
+    cross_check_monitor,
+)
+from repro.core.monitor import TopKPairsMonitor
+from repro.core.staircase import KStaircase
+from repro.scoring.library import k_closest_pairs
+from repro.stream.manager import StreamManager
+from repro.structures.pst import PrioritySearchTree
+from repro.structures.skiplist import SkipList
+
+from tests.conftest import make_pair_at, random_rows
+
+
+def rules(violations):
+    return {v.rule for v in violations}
+
+
+def build_pairs(age_scores, now_seq=100):
+    return [make_pair_at(a_s, now_seq=now_seq) for a_s in age_scores]
+
+
+# ----------------------------------------------------------------------
+# priority search tree
+# ----------------------------------------------------------------------
+class TestCheckPST:
+    def test_empty_tree_clean(self):
+        assert check_pst(PrioritySearchTree()) == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_insert_delete_sequences_stay_clean(self, seed):
+        rng = random.Random(seed)
+        pst = PrioritySearchTree()
+        live = []
+        for step in range(300):
+            if live and rng.random() < 0.4:
+                pair = live.pop(rng.randrange(len(live)))
+                pst.delete(pair)
+            else:
+                pair = make_pair_at(
+                    (rng.randint(1, 90), rng.random()), now_seq=100
+                )
+                pst.insert(pair)
+                live.append(pair)
+            assert check_pst(pst) == [], f"violation at step {step}"
+
+    def test_swapped_ages_reported(self):
+        # Swap the points of a parent and its child: the child's point
+        # becomes more recent than the parent's — heap order broken.
+        pst = PrioritySearchTree(
+            build_pairs([(age, float(age)) for age in range(1, 20)])
+        )
+        root = pst.root
+        child = root.left or root.right
+        root.point, child.point = child.point, root.point
+        found = rules(check_pst(pst))
+        assert "PST-HEAP" in found
+
+    def test_broken_split_key_reported(self):
+        pst = PrioritySearchTree(
+            build_pairs([(age, float(age)) for age in range(1, 20)])
+        )
+        node = pst.root
+        while node.left is None and node.right is None:
+            node = node.left or node.right
+        # Move the split below every stored score: the left subtree now
+        # holds keys above it.
+        node.split = (float("-inf"),)
+        assert "PST-SPLIT" in rules(check_pst(pst))
+
+    def test_size_corruption_reported(self):
+        pst = PrioritySearchTree(
+            build_pairs([(age, float(age)) for age in range(1, 10)])
+        )
+        pst.root.size += 1
+        assert rules(check_pst(pst)) == {"PST-SIZE"}
+
+    def test_violation_carries_paper_reference_and_subject(self):
+        pst = PrioritySearchTree(
+            build_pairs([(age, float(age)) for age in range(1, 20)])
+        )
+        root = pst.root
+        child = root.left or root.right
+        root.point, child.point = child.point, root.point
+        violation = [
+            v for v in check_pst(pst) if v.rule == "PST-HEAP"
+        ][0]
+        assert "IV-A" in violation.paper_ref
+        assert "PSTNode" in violation.subject
+
+
+# ----------------------------------------------------------------------
+# skip list
+# ----------------------------------------------------------------------
+class TestCheckSkipList:
+    def test_empty_clean(self):
+        assert check_skiplist(SkipList(seed=0)) == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_insert_remove_sequences_stay_clean(self, seed):
+        rng = random.Random(seed)
+        sl = SkipList(seed=seed)
+        live = []
+        for step in range(300):
+            if live and rng.random() < 0.4:
+                value = live.pop(rng.randrange(len(live)))
+                sl.remove(value)
+            else:
+                value = rng.randint(0, 50)  # duplicates exercised
+                sl.insert(value)
+                live.append(value)
+            assert check_skiplist(sl) == [], f"violation at step {step}"
+
+    def _filled(self, n=40, seed=3):
+        rng = random.Random(seed)
+        return SkipList((rng.random() for _ in range(n)), seed=seed)
+
+    def test_width_corruption_reported(self):
+        sl = self._filled()
+        node = sl._head.forward[0]
+        node.width[0] += 1
+        assert "SKIP-WIDTH" in rules(check_skiplist(sl))
+
+    def test_order_corruption_reported(self):
+        sl = self._filled()
+        first = sl._head.forward[0]
+        second = first.forward[0]
+        first.key, second.key = second.key, first.key
+        first.value, second.value = second.value, first.value
+        assert "SKIP-ORDER" in rules(check_skiplist(sl))
+
+    def test_stale_cached_key_reported(self):
+        sl = self._filled()
+        sl._head.forward[0].key = -1.0
+        assert "SKIP-KEY" in rules(check_skiplist(sl))
+
+    def test_broken_prev_pointer_reported(self):
+        sl = self._filled()
+        node = sl._head.forward[0].forward[0]
+        node.prev = None
+        assert "SKIP-PREV" in rules(check_skiplist(sl))
+
+    def test_size_corruption_reported(self):
+        sl = self._filled()
+        sl._size += 2
+        assert "SKIP-SIZE" in rules(check_skiplist(sl))
+
+
+# ----------------------------------------------------------------------
+# staircase / skyband
+# ----------------------------------------------------------------------
+class TestCheckStaircase:
+    def test_valid_staircase_clean(self):
+        sc = KStaircase([((1.0, -5, 1), -3), ((2.0, -4, 2), -7)])
+        assert check_staircase(sc) == []
+
+    def test_score_order_violation(self):
+        sc = KStaircase([((2.0, -4, 2), -3), ((1.0, -5, 1), -7)])
+        assert "STAIR-ORDER" in rules(check_staircase(sc))
+
+    def test_age_monotonicity_violation(self):
+        sc = KStaircase([((1.0, -5, 1), -9), ((2.0, -4, 2), -3)])
+        assert "STAIR-AGE" in rules(check_staircase(sc))
+
+
+class TestCheckSkyband:
+    def test_valid_skyband_clean(self):
+        # Ascending scores with ascending recency: nobody dominates.
+        pairs = build_pairs([(10 - i, float(i)) for i in range(5)])
+        pairs.sort(key=lambda p: p.score_key)
+        assert check_skyband(pairs, K=1) == []
+
+    def test_dominated_member_reported(self):
+        # (age 2, score 1.0) dominates (age 5, score 2.0) — with K=1 the
+        # second pair must not be a member.
+        pairs = build_pairs([(2, 1.0), (5, 2.0)])
+        pairs.sort(key=lambda p: p.score_key)
+        assert "SKB-MIN" in rules(check_skyband(pairs, K=1))
+        # ... but is a legitimate member at K=2.
+        assert check_skyband(pairs, K=2) == []
+
+    def test_out_of_order_reported(self):
+        pairs = build_pairs([(2, 2.0), (3, 1.0)])  # descending scores
+        assert "SKB-ORDER" in rules(check_skyband(pairs, K=5))
+
+    def test_duplicate_reported(self):
+        pair = build_pairs([(2, 1.0)])[0]
+        assert "SKB-DUP" in rules(check_skyband([pair, pair], K=5))
+
+    def test_expired_member_reported(self):
+        pairs = build_pairs([(3, 1.0)])
+        assert "SKB-WINDOW" in rules(
+            check_skyband(pairs, K=5, window=[])
+        )
+
+
+# ----------------------------------------------------------------------
+# stream manager / full monitor
+# ----------------------------------------------------------------------
+class TestCheckWindow:
+    def test_live_manager_clean(self):
+        mgr = StreamManager(16, 3)
+        for values in random_rows(60, 3, seed=7):
+            mgr.append(values)
+            assert check_window(mgr) == []
+
+    def test_node_index_corruption_reported(self):
+        mgr = StreamManager(16, 2)
+        for values in random_rows(20, 2, seed=1):
+            mgr.append(values)
+        seq = next(iter(mgr._nodes))
+        mgr._nodes[seq + 1000] = mgr._nodes.pop(seq)
+        assert "WIN-NODE" in rules(check_window(mgr))
+
+    def test_attribute_list_drift_reported(self):
+        mgr = StreamManager(16, 2)
+        for values in random_rows(20, 2, seed=2):
+            mgr.append(values)
+        stale = mgr.objects()[0]
+        node = mgr.node_for(stale, 0)
+        mgr.attribute_list(0).remove_node(node)
+        assert "WIN-LIST" in rules(check_window(mgr))
+
+
+class TestMaintainerAndMonitorChecks:
+    def _monitor(self, steps=120, window=32, k=4):
+        monitor = TopKPairsMonitor(window, 2)
+        scoring = k_closest_pairs(2)
+        monitor.register_query(scoring, k=k)
+        for values in random_rows(steps, 2, seed=11):
+            monitor.append(values)
+        return monitor
+
+    def test_live_monitor_clean(self):
+        monitor = self._monitor()
+        assert check_monitor(monitor) == []
+        assert cross_check_monitor(monitor) == []
+
+    def test_stale_staircase_reported(self):
+        monitor = self._monitor()
+        group = next(iter(monitor._groups.values()))
+        maintainer = group.maintainer
+        # Simulate the forgotten-refresh-on-expiry bug: drop the last
+        # staircase step so dominance tests use stale thresholds.
+        points = maintainer.staircase.points()[:-1]
+        maintainer._staircase = KStaircase(points)
+        assert "STAIR-SYNC" in rules(check_maintainer(maintainer))
+
+    def test_pst_desync_reported(self):
+        monitor = self._monitor()
+        maintainer = next(iter(monitor._groups.values())).maintainer
+        maintainer.pst.delete(maintainer.skyband[0])
+        assert "SKB-PST" in rules(check_maintainer(maintainer))
+
+    def test_expiry_index_desync_reported(self):
+        monitor = self._monitor()
+        maintainer = next(iter(monitor._groups.values())).maintainer
+        oldest_seq = next(iter(maintainer._by_oldest))
+        maintainer._by_oldest[oldest_seq + 100_000] = \
+            maintainer._by_oldest.pop(oldest_seq)
+        assert "SKB-INDEX" in rules(check_maintainer(maintainer))
+
+    def test_continuous_answer_desync_reported(self):
+        monitor = self._monitor()
+        handle = next(iter(monitor._handles.values()))
+        handle.state._by_score = handle.state._by_score[:-1]
+        assert "ANS-SNAP" in rules(check_monitor(monitor))
+
+    def test_brute_force_catches_missing_skyband_member(self):
+        monitor = self._monitor()
+        maintainer = next(iter(monitor._groups.values())).maintainer
+        victim = maintainer.skyband[0]
+        # A consistent-looking but *incomplete* skyband: every structure
+        # agrees, yet one rightful member is missing — only the
+        # brute-force cross-check can notice.
+        survivors = [p for p in maintainer.skyband if p.uid != victim.uid]
+        from repro.core.skyband_update import update_skyband_and_staircase
+        skyband, staircase = update_skyband_and_staircase(
+            survivors, maintainer.K
+        )
+        maintainer._set_skyband(skyband, staircase)
+        maintainer.pst.delete(victim)
+        maintainer._by_oldest[victim.oldest_seq].remove(victim)
+        if not maintainer._by_oldest[victim.oldest_seq]:
+            del maintainer._by_oldest[victim.oldest_seq]
+        assert check_maintainer(maintainer) == []
+        assert "SKB-BRUTE" in rules(cross_check_monitor(monitor))
+
+
+class TestBruteForceSkyband:
+    def test_agrees_with_reference_implementation(self):
+        from repro.baselines.brute import BruteForceReference
+
+        scoring = k_closest_pairs(2)
+        reference = BruteForceReference(scoring, window_size=24)
+        rows = random_rows(40, 2, seed=5)
+        for values in rows:
+            reference.append(values)
+        objects = list(reference._window)
+        for K in (1, 3, 7):
+            expected = {p.uid for p in reference.skyband(K)}
+            actual = {
+                p.uid
+                for p in brute_force_skyband(objects, scoring, K)
+            }
+            assert actual == expected

@@ -1,0 +1,288 @@
+"""Tests for the project-specific static pass (`repro.audit.lint`)."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from repro.audit import RULES, lint_file, lint_paths, lint_source
+
+import repro
+
+
+def rules_of(violations):
+    return {v.rule for v in violations}
+
+
+def lint(source, path="pkg/module.py", **kwargs):
+    return lint_source(textwrap.dedent(source), path, **kwargs)
+
+
+def lintc(source, path="pkg/module.py", **kwargs):
+    """Dedent, prepend an empty ``__all__`` (clean RA103), then lint."""
+    return lint_source(
+        CLEAN_HEADER + textwrap.dedent(source), path, **kwargs
+    )
+
+
+CLEAN_HEADER = '__all__ = []\n'
+
+
+class TestRA100Parse:
+    def test_syntax_error_reported(self):
+        found = lint("def broken(:\n")
+        assert rules_of(found) == {"RA100"}
+        assert "module.py" in found[0].location
+
+
+class TestRA101FloatScoreEquality:
+    def test_score_equality_flagged(self):
+        found = lintc(
+            """
+            def f(pair, other):
+                return pair.score == other.score
+            """
+        )
+        assert "RA101" in rules_of(found)
+
+    def test_inequality_flagged(self):
+        found = lintc(
+            """
+            def f(score, baseline):
+                return score != baseline
+            """
+        )
+        assert "RA101" in rules_of(found)
+
+    def test_non_score_names_ignored(self):
+        found = lintc(
+            """
+            def f(count, total):
+                return count == total
+            """
+        )
+        assert "RA101" not in rules_of(found)
+
+    def test_tolerance_helper_exempt(self):
+        found = lintc(
+            """
+            def scores_close(score, other, eps=1e-9):
+                return score == other or abs(score - other) < eps
+            """
+        )
+        assert "RA101" not in rules_of(found)
+
+    def test_ordering_comparisons_allowed(self):
+        found = lintc(
+            """
+            def f(pair, other):
+                return pair.score < other.score
+            """
+        )
+        assert "RA101" not in rules_of(found)
+
+
+class TestRA102MutableDefault:
+    def test_list_default_flagged(self):
+        found = lintc("def f(items=[]):\n    return items\n")
+        assert "RA102" in rules_of(found)
+
+    def test_dict_set_call_defaults_flagged(self):
+        found = lintc(
+            "def f(a={}, b=set(), c=dict()):\n    return a, b, c\n"
+        )
+        assert sum(v.rule == "RA102" for v in found) == 3
+
+    def test_immutable_defaults_clean(self):
+        found = lintc(
+            "def f(a=(), b=None, c=1, d='x', e=frozenset()):\n"
+            + "    return a, b, c, d, e\n"
+        )
+        assert "RA102" not in rules_of(found)
+
+    def test_lambda_default_flagged(self):
+        found = lintc("g = lambda xs=[]: xs\n")
+        assert "RA102" in rules_of(found)
+
+
+class TestRA103RA104AllHygiene:
+    def test_public_module_without_all_flagged(self):
+        found = lint("def api():\n    return 1\n")
+        assert "RA103" in rules_of(found)
+
+    def test_private_module_exempt(self):
+        found = lint("def api():\n    return 1\n", path="pkg/_helpers.py")
+        assert "RA103" not in rules_of(found)
+
+    def test_dunder_main_exempt(self):
+        found = lint("def api():\n    return 1\n", path="pkg/__main__.py")
+        assert "RA103" not in rules_of(found)
+
+    def test_init_requires_all(self):
+        found = lint("def api():\n    return 1\n", path="pkg/__init__.py")
+        assert "RA103" in rules_of(found)
+
+    def test_stale_export_flagged(self):
+        found = lint('__all__ = ["missing"]\n')
+        assert "RA104" in rules_of(found)
+        assert "missing" in found[0].message
+
+    def test_imported_and_conditional_names_count(self):
+        found = lint(
+            """
+            __all__ = ["Sequence", "flag", "helper"]
+            from typing import Sequence
+
+            if True:
+                flag = 1
+            else:
+                flag = 2
+
+            def helper():
+                return flag
+            """
+        )
+        assert rules_of(found) == set()
+
+    def test_augmented_all_recognized(self):
+        found = lint(
+            """
+            __all__ = ["first"]
+            __all__ += ["second"]
+            __all__.append("third")
+
+            first, second, third = 1, 2, 3
+            """
+        )
+        assert rules_of(found) == set()
+
+
+class TestRA105RA106HotPathRules:
+    LIST_MEMBERSHIP = CLEAN_HEADER + textwrap.dedent(
+        """
+        def f(items):
+            for item in items:
+                if item in [1, 2, 3]:
+                    return item
+        """
+    )
+    INSERT_FRONT = CLEAN_HEADER + textwrap.dedent(
+        """
+        def f(items, out):
+            for item in items:
+                out.insert(0, item)
+        """
+    )
+
+    def test_flagged_in_hot_path_modules(self):
+        for path in ("src/repro/core/monitor.py",
+                     "src/repro/structures/pst.py"):
+            assert "RA105" in rules_of(
+                lint_source(self.LIST_MEMBERSHIP, path)
+            )
+            assert "RA106" in rules_of(
+                lint_source(self.INSERT_FRONT, path)
+            )
+
+    def test_ignored_outside_hot_paths(self):
+        found = lint_source(
+            self.LIST_MEMBERSHIP + self.INSERT_FRONT.replace("def f", "def g"),
+            "src/repro/datasets/synthetic.py",
+        )
+        assert rules_of(found) == set()
+
+    def test_ignored_outside_loops_even_in_hot_paths(self):
+        source = CLEAN_HEADER + textwrap.dedent(
+            """
+            def f(item, out):
+                out.insert(0, item)
+                return item in [1, 2, 3]
+            """
+        )
+        assert rules_of(lint_source(source, "src/repro/core/x.py")) == set()
+
+    def test_hot_path_override_parameter(self):
+        found = lint_source(
+            self.LIST_MEMBERSHIP, "anywhere/else.py", hot_path=True
+        )
+        assert "RA105" in rules_of(found)
+
+
+class TestRA107BareExcept:
+    def test_bare_except_flagged(self):
+        found = lintc(
+            """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 2
+            """
+        )
+        assert "RA107" in rules_of(found)
+
+    def test_typed_except_clean(self):
+        found = lintc(
+            """
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return 2
+            """
+        )
+        assert "RA107" not in rules_of(found)
+
+
+class TestSuppression:
+    def test_allow_tag_with_reason_suppresses(self):
+        found = lintc(
+            "def f(score, other):\n"
+            + "    return score == other  "
+            + "# audit: allow[RA101] sentinel compare, not arithmetic\n"
+        )
+        assert "RA101" not in rules_of(found)
+
+    def test_bare_tag_does_not_suppress(self):
+        found = lintc(
+            "def f(score, other):\n"
+            + "    return score == other  # audit: allow[RA101]\n"
+        )
+        assert "RA101" in rules_of(found)
+
+    def test_tag_only_covers_named_rule(self):
+        found = lintc(
+            "def f(score, items=[]):\n"
+            + "    return score == 1.0 or items  "
+            + "# audit: allow[RA101] fixture\n"
+        )
+        assert "RA102" in rules_of(found)
+
+
+class TestDriversAndShippedTree:
+    def test_every_rule_has_catalogue_entry(self):
+        for rule_id in ("RA100", "RA101", "RA102", "RA103",
+                        "RA104", "RA105", "RA106", "RA107"):
+            assert rule_id in RULES
+
+    def test_violation_location_has_line_and_column(self):
+        found = lintc("def f(items=[]):\n    return items\n")
+        location = found[0].location
+        path, line, _col = location.rsplit(":", 2)
+        assert path.endswith("module.py")
+        assert int(line) >= 2
+
+    def test_lint_file_and_paths_agree(self, tmp_path):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        (tmp_path / "core" / "__pycache__").mkdir()
+        (tmp_path / "core" / "__pycache__" / "junk.py").write_text("(((")
+        from_file = lint_file(str(bad))
+        from_tree = lint_paths([str(tmp_path)])
+        assert rules_of(from_file) == {"RA102", "RA103"}
+        assert from_tree == from_file  # __pycache__ skipped
+
+    def test_shipped_tree_is_clean(self):
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        assert lint_paths([package_dir]) == []

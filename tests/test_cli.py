@@ -104,3 +104,67 @@ class TestMain:
         )
         assert code == 0
         assert "skyband size" in out
+
+
+class TestLintSubcommand:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text('__all__ = ["f"]\n\n\ndef f():\n    return 1\n')
+        code, out = run_cli(["lint", str(tmp_path)])
+        assert code == 0
+        assert "no violations" in out
+
+    def test_findings_exit_nonzero_with_rule_and_location(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        code, out = run_cli(["lint", str(bad)])
+        assert code == 1
+        assert "RA102" in out
+        assert f"{bad}:1" in out
+
+    def test_default_paths_lint_shipped_package(self):
+        code, out = run_cli(["lint"])
+        assert code == 0
+        assert "no violations" in out
+
+
+class TestAuditSubcommand:
+    def test_synthetic_stream_clean(self):
+        code, out = run_cli(
+            ["audit", "--dataset", "synthetic", "--steps", "120",
+             "--window", "32", "--cross-check-every", "40"],
+        )
+        assert code == 0
+        assert "audit: 120 objects" in out
+        assert "120 structural checks" in out
+        assert "3 brute-force cross-checks" in out
+        assert "no violations" in out
+
+    @pytest.mark.parametrize("strategy", ["scase", "ta", "basic"])
+    def test_strategies_clean(self, strategy):
+        code, out = run_cli(
+            ["audit", "--steps", "60", "--window", "24",
+             "--strategy", strategy, "--scoring", "similar",
+             "--cross-check-every", "30"],
+        )
+        assert code == 0
+        assert "no violations" in out
+
+    def test_sampling_interval_forwarded(self):
+        code, out = run_cli(
+            ["audit", "--steps", "64", "--window", "16",
+             "--interval", "16", "--cross-check-every", "0"],
+        )
+        assert code == 0
+        assert "4 structural checks" in out
+        assert "0 brute-force cross-checks" in out
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["audit", "--steps", "0"])
+        with pytest.raises(SystemExit):
+            run_cli(["audit", "--window", "1"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["audit", "--dataset", "realworld"])

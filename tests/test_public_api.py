@@ -56,6 +56,41 @@ class TestExceptionHierarchy:
         with pytest.raises(exceptions.ReproError):
             repro.TopKPairsMonitor(10, 0)
 
+    def test_audit_violation_error_in_hierarchy(self):
+        assert issubclass(exceptions.AuditViolationError,
+                          exceptions.ReproError)
+        # ... and catchable by test harnesses expecting assertions.
+        assert issubclass(exceptions.AuditViolationError, AssertionError)
+
+
+class TestAuditExports:
+    def test_entry_points_exported(self):
+        for name in (
+            "MonitorAuditor", "Violation", "AuditViolationError",
+            "check_monitor", "check_pst", "check_skiplist",
+            "check_skyband", "check_staircase", "check_window",
+            "lint_paths",
+        ):
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is not None, name
+
+    def test_violation_is_structured(self):
+        violation = repro.Violation(
+            rule="PST-HEAP", message="demo", paper_ref="paper §IV-A",
+            subject="node", location="pst",
+        )
+        assert violation.rule == "PST-HEAP"
+        assert "PST-HEAP" in str(violation)
+        assert "§IV-A" in str(violation)
+
+    def test_checkers_accept_live_structures(self):
+        monitor = repro.TopKPairsMonitor(16, 2, audit=True)
+        monitor.register_query(repro.k_closest_pairs(2), k=2)
+        for i in range(20):
+            monitor.append((float(i % 7), float(i % 5)))
+        assert repro.check_monitor(monitor) == []
+        assert isinstance(monitor.auditor, repro.MonitorAuditor)
+
 
 class TestReadmeQuickstart:
     def test_quickstart_snippet_runs(self):
