@@ -23,6 +23,12 @@ Quickstart::
 """
 
 from repro.analysis import Counters
+from repro.obs import (
+    MetricsRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    TickEvent,
+)
 from repro.audit import (
     MonitorAuditor,
     Violation,
@@ -73,7 +79,10 @@ __all__ = [
     "GlobalScoringFunction",
     "InvalidParameterError",
     "LambdaScoringFunction",
+    "MetricsRecorder",
+    "MetricsRegistry",
     "MonitorAuditor",
+    "NullRecorder",
     "Pair",
     "QueryHandle",
     "ReproError",
@@ -84,6 +93,7 @@ __all__ = [
     "StreamManager",
     "StreamObject",
     "TAMaintainer",
+    "TickEvent",
     "TopKPairsMonitor",
     "TopKPairsQuery",
     "UnknownQueryError",

@@ -1,103 +1,15 @@
-"""Per-tick trace recording.
+"""Compatibility shim — per-tick tracing lives in :mod:`repro.obs.trace`.
 
-A :class:`TraceRecorder` subscribes to a maintainer (or is fed deltas
-manually) and records one row per stream tick: skyband size, staircase
-size, pairs added / removed / expired, and optionally the counter deltas.
-Useful for
-
-* plotting skyband dynamics against the Theorem 3 expectation,
-* regression-testing steady-state behaviour (the suite asserts e.g. that
-  adds and departures balance at steady state),
-* debugging a live monitor (attach, run, dump).
-
-Rows are plain dicts; :meth:`TraceRecorder.to_csv` writes them out for
-external tooling.
+:class:`TraceRecorder` (one skyband-dynamics row per observed tick, CSV
+dump) was folded into the :mod:`repro.obs` observability layer alongside
+the richer :class:`~repro.obs.trace.TickEvent` stream; this module keeps
+the historical import path (``from repro.analysis.trace import
+TraceRecorder``) working unchanged.  New code should import from
+:mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import csv
-from typing import IO, Optional
-
-from repro.analysis.cost_model import Counters
-from repro.core.maintenance import SkybandDelta, SkybandMaintainer
+from repro.obs.trace import TraceRecorder
 
 __all__ = ["TraceRecorder"]
-
-_FIELDS = (
-    "tick",
-    "skyband_size",
-    "staircase_size",
-    "added",
-    "removed",
-    "expired",
-    "score_evaluations",
-    "pairs_considered",
-    "candidate_pairs",
-)
-
-
-class TraceRecorder:
-    """Records one row of skyband dynamics per observed tick."""
-
-    def __init__(self, counters: Optional[Counters] = None) -> None:
-        self.counters = counters
-        self.rows: list[dict[str, int]] = []
-        self._tick = 0
-        self._last_counter_snapshot = (
-            counters.snapshot() if counters is not None else None
-        )
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def observe(
-        self, maintainer: SkybandMaintainer, delta: SkybandDelta
-    ) -> dict[str, int]:
-        """Record the outcome of one tick; returns the recorded row."""
-        self._tick += 1
-        row = {
-            "tick": self._tick,
-            "skyband_size": len(maintainer),
-            "staircase_size": len(maintainer.staircase),
-            "added": len(delta.added),
-            "removed": len(delta.removed),
-            "expired": len(delta.expired),
-            "score_evaluations": 0,
-            "pairs_considered": 0,
-            "candidate_pairs": 0,
-        }
-        if self.counters is not None:
-            snapshot = self.counters.snapshot()
-            previous = self._last_counter_snapshot
-            for field in ("score_evaluations", "pairs_considered",
-                          "candidate_pairs"):
-                row[field] = snapshot[field] - previous[field]
-            self._last_counter_snapshot = snapshot
-        self.rows.append(row)
-        return row
-
-    # ------------------------------------------------------------------
-    # aggregation
-    # ------------------------------------------------------------------
-    def mean(self, field: str) -> float:
-        """Average of one recorded field across all ticks."""
-        if not self.rows:
-            raise ValueError("no rows recorded")
-        return sum(row[field] for row in self.rows) / len(self.rows)
-
-    def series(self, field: str) -> list[int]:
-        return [row[field] for row in self.rows]
-
-    def steady_state(self, skip_fraction: float = 0.5) -> "TraceRecorder":
-        """A view over the later rows only (warm-up discarded)."""
-        view = TraceRecorder()
-        view.rows = self.rows[int(len(self.rows) * skip_fraction):]
-        view._tick = self._tick
-        return view
-
-    def to_csv(self, handle: IO[str]) -> None:
-        """Write all rows as CSV (header included)."""
-        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
-        writer.writeheader()
-        writer.writerows(self.rows)

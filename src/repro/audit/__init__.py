@@ -7,7 +7,7 @@ verification plus a project-specific static lint pass.
   the :class:`MonitorAuditor` that runs them (plus a sampled brute-force
   K-skyband cross-check) on live :class:`~repro.TopKPairsMonitor` ticks.
 * :mod:`repro.audit.lint` — an AST-based lint pass over the source tree
-  with rules RA101-RA107 (float-score equality, mutable defaults,
+  with rules RA101-RA108 (float-score equality, mutable defaults,
   ``__all__`` hygiene, hot-path anti-patterns, bare ``except``).
 
 Surface through the CLI: ``python -m repro lint [paths]`` and

@@ -23,6 +23,10 @@ RA106     ``list.insert(0, ...)`` inside a loop in a hot-path module —
           O(n) per call; use a deque or append+reverse.
 RA107     Bare ``except:`` — swallows ``KeyboardInterrupt`` and hides
           the :class:`~repro.exceptions.ReproError` hierarchy.
+RA108     ``time.time()`` in a hot-path module — wall-clock time is
+          subject to NTP slew and has coarse resolution on some
+          platforms; timings feeding the :mod:`repro.obs` metrics must
+          use the monotonic ``time.perf_counter()``.
 ========  ==============================================================
 
 Suppression: append ``# audit: allow[RA105] <reason>`` to the offending
@@ -61,10 +65,12 @@ RULES = {
     "RA105": "list-literal membership test inside a hot-path loop",
     "RA106": "list.insert(0, ...) inside a hot-path loop",
     "RA107": "bare except:",
+    "RA108": "time.time() in a hot-path module (use time.perf_counter)",
 }
 
-#: directory names whose modules get the hot-path rules (RA105/RA106)
-HOT_PATH_PARTS = frozenset({"core", "structures"})
+#: directory names whose modules get the hot-path rules
+#: (RA105/RA106/RA108)
+HOT_PATH_PARTS = frozenset({"core", "structures", "stream", "obs"})
 
 #: identifiers treated as raw float scores by RA101 (``score_key`` and
 #: friends are perturbed total-order tuples and compare exactly)
@@ -230,6 +236,10 @@ class _Linter:
         self.violations: list[Violation] = []
         self._function_stack: list[str] = []
         self._loop_depth = 0
+        # Names the ``time`` module / function is visible under, fed by
+        # the import statements seen so far (RA108).
+        self._time_module_aliases: set[str] = set()
+        self._time_func_aliases: set[str] = set()
 
     # -- reporting ------------------------------------------------------
     def report(self, rule: str, node: ast.AST, message: str) -> None:
@@ -263,6 +273,17 @@ class _Linter:
             self.walk(node)
             self._loop_depth -= 1
             return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    self._time_module_aliases.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        self._time_func_aliases.add(
+                            alias.asname or alias.name
+                        )
         if isinstance(node, ast.ExceptHandler) and node.type is None:
             self.report(
                 "RA107",
@@ -274,6 +295,7 @@ class _Linter:
             self._check_compare(node)
         elif isinstance(node, ast.Call):
             self._check_insert_front(node)
+            self._check_wall_clock(node)
         self.walk(node)
 
     # -- individual rules ----------------------------------------------
@@ -334,6 +356,28 @@ class _Linter:
                 "reverse",
             )
 
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        if not self.hot_path:
+            return
+        func = node.func
+        is_wall_clock = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_module_aliases
+        ) or (
+            isinstance(func, ast.Name)
+            and func.id in self._time_func_aliases
+        )
+        if is_wall_clock:
+            self.report(
+                "RA108",
+                node,
+                "time.time() is wall-clock (NTP-slewed, coarse on some "
+                "platforms); hot-path timings must use the monotonic "
+                "time.perf_counter()",
+            )
+
 
 def _is_public_module(path: str) -> bool:
     stem = os.path.splitext(os.path.basename(path))[0]
@@ -353,9 +397,10 @@ def lint_source(
 ) -> list[Violation]:
     """Lint one module's source text; returns its violations.
 
-    ``hot_path`` forces the RA105/RA106 rules on or off; by default they
-    apply when the file lives under a ``core/`` or ``structures/``
-    directory.
+    ``hot_path`` forces the RA105/RA106/RA108 rules on or off; by
+    default they apply when the file lives under one of the
+    :data:`HOT_PATH_PARTS` directories (``core/``, ``structures/``,
+    ``stream/``, ``obs/``).
     """
     try:
         tree = ast.parse(source, filename=path)

@@ -9,6 +9,12 @@ larger sweep when more time is available.
 Cost accounting mirrors §VI: each algorithm's cost is wall time per object
 update (or per query), except the supreme algorithm, which is charged only
 its oracle-exempt work via ``SupremeAlgorithm.chargeable_seconds``.
+
+Observability hook: when ``REPRO_BENCH_METRICS`` names a directory,
+:func:`bench_recorder` hands benchmarks a live
+:class:`~repro.obs.MetricsRecorder` and :func:`persist_metrics` writes
+each benchmark's registry snapshot there as ``<name>.metrics.json``
+(both are no-ops otherwise, so timing runs stay uninstrumented).
 """
 
 from __future__ import annotations
@@ -28,10 +34,12 @@ from repro.scoring.library import paper_scoring_functions
 __all__ = [
     "SCALE",
     "PaperParameters",
+    "bench_recorder",
     "take",
     "sensor_rows",
     "synthetic_rows",
     "drive_monitor",
+    "persist_metrics",
     "time_monitor",
     "time_naive",
     "time_supreme",
@@ -135,3 +143,36 @@ def time_callable(fn: Callable[[], object], repeats: int) -> float:
     for _ in range(repeats):
         fn()
     return time.perf_counter() - start
+
+
+def _metrics_dir() -> str:
+    return os.environ.get("REPRO_BENCH_METRICS", "")
+
+
+def bench_recorder():
+    """A :class:`~repro.obs.MetricsRecorder` when ``REPRO_BENCH_METRICS``
+    is set, else ``None`` (pass straight to ``TopKPairsMonitor``: ``None``
+    selects the zero-overhead NullRecorder, keeping timings honest)."""
+    if not _metrics_dir():
+        return None
+    from repro.obs import MetricsRecorder
+
+    return MetricsRecorder(trace=False)
+
+
+def persist_metrics(name: str, recorder, extra=None) -> str:
+    """Write ``recorder``'s registry snapshot to
+    ``$REPRO_BENCH_METRICS/<name>.metrics.json``; returns the path
+    (empty string when disabled or ``recorder`` is ``None``)."""
+    directory = _metrics_dir()
+    if not directory or recorder is None or recorder.registry is None:
+        return ""
+    from repro.obs import write_metrics_json
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.metrics.json")
+    payload_extra = {"benchmark": name, "scale": SCALE}
+    if extra:
+        payload_extra.update(extra)
+    write_metrics_json(recorder.registry, path, extra=payload_extra)
+    return path

@@ -1,5 +1,6 @@
 """Command-line interface: monitor top-k pairs over a CSV stream, plus
-the ``lint`` and ``audit`` correctness subcommands.
+the ``lint`` / ``audit`` correctness subcommands and the ``obs``
+observability subcommand.
 
 The default invocation feeds rows from a CSV file (or stdin) through a
 :class:`~repro.core.monitor.TopKPairsMonitor` and periodically prints the
@@ -20,6 +21,9 @@ Usage examples::
 
     # run a synthetic stream under the runtime invariant verifier
     python -m repro audit --dataset uniform --steps 500
+
+    # stream with full instrumentation, dump Prometheus text metrics
+    python -m repro obs --dataset synthetic --steps 1000 --format prometheus
 
 Scoring functions: ``closest`` (s1), ``furthest`` (s2), ``similar`` (s3),
 ``dissimilar`` (s4), each over all ``--columns`` attributes.
@@ -47,8 +51,10 @@ __all__ = [
     "build_parser",
     "build_audit_parser",
     "build_lint_parser",
+    "build_obs_parser",
     "run_audit",
     "run_lint",
+    "run_obs",
 ]
 
 _SCORING_FACTORIES = {
@@ -137,7 +143,7 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="Static lint pass with project-specific rules "
-        "(RA101-RA107, see docs/audit.md); exits 1 on findings.",
+        "(RA101-RA108, see docs/audit.md); exits 1 on findings.",
     )
     parser.add_argument(
         "paths", nargs="*", default=None,
@@ -207,6 +213,9 @@ def build_audit_parser() -> argparse.ArgumentParser:
                         "this many ticks; 0 disables (default 64)")
     parser.add_argument("--seed", type=int, default=0,
                         help="stream seed (default 0)")
+    parser.add_argument("--metrics", default=None, metavar="OUT.json",
+                        help="also collect repro.obs metrics and write a "
+                        "registry snapshot to this JSON file")
     return parser
 
 
@@ -224,10 +233,16 @@ def run_audit(argv: Sequence[str],
             "required"
         )
     distribution = "uniform" if args.dataset == "synthetic" else args.dataset
+    recorder = None
+    if args.metrics is not None:
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder()
     monitor = TopKPairsMonitor(
         args.window, args.columns, strategy=args.strategy,
         audit=True, audit_interval=args.interval,
         audit_cross_check_interval=args.cross_check_every,
+        recorder=recorder,
     )
     # Collect every violation instead of stopping at the first tick.
     monitor.auditor.raise_on_violation = False
@@ -246,7 +261,133 @@ def run_audit(argv: Sequence[str],
         f"{summarize(auditor.violations)}",
         file=stdout,
     )
+    if recorder is not None:
+        from repro.obs import write_metrics_json
+
+        write_metrics_json(
+            recorder.registry, args.metrics,
+            extra={"command": "audit", "steps": args.steps},
+        )
+        print(f"metrics written to {args.metrics}", file=stdout)
     return 1 if auditor.violations else 0
+
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Stream a synthetic dataset through a fully "
+        "instrumented monitor (repro.obs) and export the collected "
+        "metrics / per-tick trace.",
+    )
+    parser.add_argument(
+        "--dataset", default="synthetic",
+        choices=["synthetic", "uniform", "correlated", "anticorrelated"],
+        help="synthetic distribution ('synthetic' = uniform)",
+    )
+    parser.add_argument("--steps", type=int, default=1000,
+                        help="objects to stream (default 1000)")
+    parser.add_argument("--window", type=int, default=256,
+                        help="sliding window size N (default 256)")
+    parser.add_argument("--columns", type=int, default=2,
+                        help="number of attributes (default 2)")
+    parser.add_argument("--k", type=int, default=5,
+                        help="query depth k (default 5)")
+    parser.add_argument(
+        "--scoring", choices=sorted(_SCORING_FACTORIES), default="closest",
+        help="scoring function (default: closest)",
+    )
+    parser.add_argument(
+        "--strategy", choices=["auto", "scase", "ta", "basic"],
+        default="auto", help="skyband maintenance strategy",
+    )
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="ingest in batches of this size "
+                        "(default: one tick per object)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="stream seed (default 0)")
+    parser.add_argument(
+        "--format", choices=["summary", "prometheus", "json", "jsonl", "csv"],
+        default="summary",
+        help="output format: human summary, Prometheus text exposition, "
+        "JSON registry snapshot, or the per-tick trace as JSON-lines / "
+        "CSV (default: summary)",
+    )
+    parser.add_argument("--out", default="-", metavar="FILE",
+                        help="write the formatted output here "
+                        "(default '-': stdout)")
+    parser.add_argument("--metrics", default=None, metavar="OUT.json",
+                        help="additionally write a JSON registry snapshot "
+                        "to this file (any --format)")
+    return parser
+
+
+def run_obs(argv: Sequence[str],
+            stdout: Optional[TextIO] = None) -> int:
+    """``python -m repro obs`` — instrumented synthetic run + export."""
+    from repro.datasets.synthetic import make_stream
+    from repro.obs import (
+        MetricsRecorder,
+        to_prometheus,
+        write_metrics_json,
+        write_tick_csv,
+        write_tick_jsonl,
+    )
+
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_obs_parser().parse_args(argv)
+    if args.steps < 1 or args.window < 2 or args.columns < 1 or args.k < 1:
+        raise SystemExit(
+            "--steps >= 1, --window >= 2, --columns >= 1 and --k >= 1 "
+            "required"
+        )
+    distribution = "uniform" if args.dataset == "synthetic" else args.dataset
+    recorder = MetricsRecorder()
+    monitor = TopKPairsMonitor(
+        args.window, args.columns, strategy=args.strategy, recorder=recorder,
+    )
+    scoring = _SCORING_FACTORIES[args.scoring](args.columns)
+    handle = monitor.register_query(scoring, k=args.k, continuous=True)
+    stream = make_stream(distribution, args.columns, seed=args.seed)
+    rows = list(itertools.islice(stream, args.steps))
+    monitor.extend(rows, batch_size=args.batch_size)
+    monitor.results(handle)
+
+    registry = recorder.registry
+    if args.out == "-":
+        out, close = stdout, False
+    else:
+        out, close = open(args.out, "w", encoding="utf-8"), True
+    try:
+        if args.format == "prometheus":
+            out.write(to_prometheus(registry))
+        elif args.format == "json":
+            write_metrics_json(registry, out,
+                               extra={"command": "obs", "steps": args.steps})
+        elif args.format == "jsonl":
+            write_tick_jsonl(recorder.events, out)
+        elif args.format == "csv":
+            write_tick_csv(recorder.events, out)
+        else:
+            ticks = registry.value("repro_ticks_total")
+            append = registry.get("repro_append_seconds").solo
+            mean_us = append.mean() * 1e6 if append.count else 0.0
+            print(
+                f"obs: {args.steps} objects in {ticks:g} ticks, "
+                f"mean append {mean_us:.1f} us, "
+                f"skyband size {registry.value('repro_skyband_size'):g}, "
+                f"PST rebuilds "
+                f"{registry.value('repro_pst_rebuilds_total'):g}, "
+                f"{len(registry)} metric families",
+                file=out,
+            )
+    finally:
+        if close:
+            out.close()
+    if args.metrics is not None:
+        write_metrics_json(registry, args.metrics,
+                           extra={"command": "obs", "steps": args.steps})
+        print(f"metrics written to {args.metrics}", file=stdout)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None, *,
@@ -254,16 +395,18 @@ def main(argv: Optional[Sequence[str]] = None, *,
          stdout: Optional[TextIO] = None) -> int:
     """Entry point; returns the process exit code.
 
-    Dispatches the ``lint`` and ``audit`` subcommands; any other
-    invocation is the CSV monitoring tool (whose ``csv_file`` positional
-    can never collide with the subcommand names — CSV input named
-    ``lint`` must be passed as ``./lint``).
+    Dispatches the ``lint``, ``audit`` and ``obs`` subcommands; any
+    other invocation is the CSV monitoring tool (whose ``csv_file``
+    positional can never collide with the subcommand names — CSV input
+    named ``lint`` must be passed as ``./lint``).
     """
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "lint":
         return run_lint(argv[1:], stdout)
     if argv and argv[0] == "audit":
         return run_audit(argv[1:], stdout)
+    if argv and argv[0] == "obs":
+        return run_obs(argv[1:], stdout)
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     args = build_parser().parse_args(argv)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import Optional
 
 from repro.analysis.cost_model import Counters
@@ -42,6 +43,7 @@ from repro.core.pair import Pair, dominates, make_pair
 from repro.core.skyband_update import update_skyband_and_staircase
 from repro.core.staircase import KStaircase
 from repro.exceptions import InvalidParameterError, ScoringFunctionError
+from repro.obs.recorder import NULL_RECORDER
 from repro.stream.manager import StreamManager
 from repro.stream.object import StreamObject
 from repro.stream.pair_source import iter_pairs_by_age, iter_pairs_by_local_score
@@ -110,6 +112,7 @@ class SkybandMaintainer(ABC):
         *,
         counters: Optional[Counters] = None,
         pair_filter=None,
+        recorder=None,
     ) -> None:
         if K < 1:
             raise InvalidParameterError(f"K must be >= 1, got {K}")
@@ -117,10 +120,11 @@ class SkybandMaintainer(ABC):
         self.K = K
         self.counters = counters
         self.pair_filter = pair_filter
+        self._obs = recorder if recorder is not None else NULL_RECORDER
         self._skyband: list[Pair] = []
         self._score_keys: list[tuple] = []
         self._staircase = KStaircase()
-        self._pst = PrioritySearchTree()
+        self._pst = PrioritySearchTree(recorder=self._obs)
         self._by_oldest: dict[int, list[Pair]] = {}
 
     # ------------------------------------------------------------------
@@ -152,10 +156,26 @@ class SkybandMaintainer(ABC):
         expired: list[StreamObject],
     ) -> SkybandDelta:
         """Process one arrival event (expiries first, then the arrival)."""
-        expired_pairs: list[Pair] = []
+        obs = self._obs
+        if not obs.enabled:
+            expired_pairs: list[Pair] = []
+            for gone in expired:
+                expired_pairs.extend(self._expire(gone))
+            added, removed = self._arrive(manager, new_obj)
+            return SkybandDelta(added, removed, expired_pairs)
+        expired_pairs = []
+        start = perf_counter()
         for gone in expired:
             expired_pairs.extend(self._expire(gone))
-        added, removed = self._arrive(manager, new_obj)
+        obs.phase("expire", perf_counter() - start)
+        start = perf_counter()
+        candidates = self._collect_candidates(manager, new_obj)
+        obs.phase("generate", perf_counter() - start)
+        obs.on_candidates(len(candidates))
+        start = perf_counter()
+        added, removed = self._apply_candidates(candidates)
+        obs.phase("insert", perf_counter() - start)
+        obs.on_skyband_delta(len(added), len(removed), len(expired_pairs))
         return SkybandDelta(added, removed, expired_pairs)
 
     def on_batch(
@@ -177,13 +197,31 @@ class SkybandMaintainer(ABC):
         Amortizes the merge / Algorithm 4 / PST-diff work across the
         batch; throughput vs latency is measured in bench_ablation.
         """
-        expired_pairs: list[Pair] = []
+        obs = self._obs
+        if not obs.enabled:
+            expired_pairs: list[Pair] = []
+            for gone in expired:
+                expired_pairs.extend(self._expire(gone))
+            candidates: list[Pair] = []
+            for new_obj in new_objs:
+                candidates.extend(self._collect_candidates(manager, new_obj))
+            added, removed = self._apply_candidates(candidates)
+            return SkybandDelta(added, removed, expired_pairs)
+        expired_pairs = []
+        start = perf_counter()
         for gone in expired:
             expired_pairs.extend(self._expire(gone))
-        candidates: list[Pair] = []
+        obs.phase("expire", perf_counter() - start)
+        start = perf_counter()
+        candidates = []
         for new_obj in new_objs:
             candidates.extend(self._collect_candidates(manager, new_obj))
+        obs.phase("generate", perf_counter() - start)
+        obs.on_candidates(len(candidates))
+        start = perf_counter()
         added, removed = self._apply_candidates(candidates)
+        obs.phase("insert", perf_counter() - start)
+        obs.on_skyband_delta(len(added), len(removed), len(expired_pairs))
         return SkybandDelta(added, removed, expired_pairs)
 
     def _expire(self, gone: StreamObject) -> list[Pair]:
@@ -200,7 +238,16 @@ class SkybandMaintainer(ABC):
                 self.counters.skyband_removals += 1
         # Membership cannot change on expiry, but the staircase must be
         # refreshed or it would keep counting expired dominators.
-        skyband, staircase = update_skyband_and_staircase(survivors, self.K)
+        if self._obs.enabled:
+            start = perf_counter()
+            skyband, staircase = update_skyband_and_staircase(
+                survivors, self.K, recorder=self._obs
+            )
+            self._obs.phase("staircase", perf_counter() - start)
+        else:
+            skyband, staircase = update_skyband_and_staircase(
+                survivors, self.K
+            )
         self._set_skyband(skyband, staircase)
         return dropped
 
@@ -222,7 +269,7 @@ class SkybandMaintainer(ABC):
         candidates.sort(key=lambda p: p.score_key)
         merged = _merge_by_score(self._skyband, candidates)
         skyband, staircase = update_skyband_and_staircase(
-            merged, self.K, counters=self.counters
+            merged, self.K, counters=self.counters, recorder=self._obs
         )
         old_uids = {p.uid for p in self._skyband}
         new_uids = {p.uid for p in skyband}
@@ -270,7 +317,7 @@ class SkybandMaintainer(ABC):
         pairs.sort(key=lambda p: p.score_key)
         skyband, staircase = update_skyband_and_staircase(pairs, self.K)
         self._set_skyband(skyband, staircase)
-        self._pst = PrioritySearchTree(skyband)
+        self._pst = PrioritySearchTree(skyband, recorder=self._obs)
         self._by_oldest = {}
         for pair in skyband:
             self._by_oldest.setdefault(pair.oldest_seq, []).append(pair)
@@ -366,6 +413,7 @@ class TAMaintainer(SkybandMaintainer):
         counters: Optional[Counters] = None,
         schedule: str = "round-robin",
         pair_filter=None,
+        recorder=None,
     ) -> None:
         if not scoring_function.is_global():
             raise ScoringFunctionError(
@@ -378,7 +426,7 @@ class TAMaintainer(SkybandMaintainer):
                 f"got {schedule!r}"
             )
         super().__init__(scoring_function, K, counters=counters,
-                         pair_filter=pair_filter)
+                         pair_filter=pair_filter, recorder=recorder)
         self.schedule = schedule
 
     def _collect_candidates(

@@ -24,6 +24,7 @@ Usage::
 from __future__ import annotations
 
 import os
+from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.analysis.cost_model import Counters
@@ -36,6 +37,7 @@ from repro.core.maintenance import (
 from repro.core.pair import Pair
 from repro.core.query import TopKPairsQuery, answer_snapshot
 from repro.exceptions import InvalidParameterError, UnknownQueryError
+from repro.obs.recorder import NULL_RECORDER
 from repro.scoring.base import ScoringFunction
 from repro.stream.manager import ArrivalEvent, StreamManager
 
@@ -100,13 +102,19 @@ class TopKPairsMonitor:
         audit: Optional[bool] = None,
         audit_interval: int = 1,
         audit_cross_check_interval: int = 0,
+        recorder=None,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise InvalidParameterError(
                 f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
             )
+        # Observability (repro.obs): the default NullRecorder makes every
+        # hot-path hook a single attribute check; pass a MetricsRecorder
+        # to collect counters, phase timings and per-tick trace events.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.manager = StreamManager(
-            window_size, num_attributes, time_horizon=time_horizon, seed=seed
+            window_size, num_attributes, time_horizon=time_horizon, seed=seed,
+            recorder=self.recorder,
         )
         self.window_size = window_size
         self.strategy = strategy
@@ -232,15 +240,18 @@ class TopKPairsMonitor:
     ) -> SkybandMaintainer:
         if strategy == "ta":
             return TAMaintainer(scoring_function, K, counters=self.counters,
-                                pair_filter=pair_filter)
+                                pair_filter=pair_filter,
+                                recorder=self.recorder)
         if strategy == "basic":
             from repro.baselines.basic import BasicMaintainer
 
             return BasicMaintainer(scoring_function, K,
                                    counters=self.counters,
-                                   pair_filter=pair_filter)
+                                   pair_filter=pair_filter,
+                                   recorder=self.recorder)
         return SCaseMaintainer(scoring_function, K, counters=self.counters,
-                               pair_filter=pair_filter)
+                               pair_filter=pair_filter,
+                               recorder=self.recorder)
 
     # ------------------------------------------------------------------
     # stream ingestion
@@ -254,19 +265,42 @@ class TopKPairsMonitor:
     ) -> ArrivalEvent:
         """Admit one object and refresh every skyband and every continuous
         query."""
+        obs = self.recorder
+        if not obs.enabled:
+            event = self.manager.append(
+                values, timestamp=timestamp, payload=payload
+            )
+            now = self.manager.now_seq
+            for group in self._groups.values():
+                delta = group.maintainer.on_tick(
+                    self.manager, event.new, event.expired
+                )
+                for handle in group.queries.values():
+                    if handle.state is not None:
+                        handle.state.apply(delta, group.maintainer.pst, now)
+            if self.auditor is not None:
+                self.auditor.after_tick()
+            return event
+        obs.begin_tick()
+        tick_start = perf_counter()
         event = self.manager.append(
             values, timestamp=timestamp, payload=payload
         )
+        obs.phase("window", perf_counter() - tick_start)
+        obs.on_window(1, len(event.expired))
         now = self.manager.now_seq
         for group in self._groups.values():
             delta = group.maintainer.on_tick(
                 self.manager, event.new, event.expired
             )
+            start = perf_counter()
             for handle in group.queries.values():
                 if handle.state is not None:
                     handle.state.apply(delta, group.maintainer.pst, now)
+            obs.phase("queries", perf_counter() - start)
         if self.auditor is not None:
             self.auditor.after_tick()
+        self._end_tick(obs, perf_counter() - tick_start, now)
         return event
 
     def extend(
@@ -292,8 +326,15 @@ class TopKPairsMonitor:
             self._append_batch(rows[start:start + batch_size])
 
     def _append_batch(self, rows: Sequence[Sequence[float]]) -> None:
+        obs = self.recorder
+        if obs.enabled:
+            obs.begin_tick()
+        tick_start = perf_counter()
         events = [self.manager.append(values) for values in rows]
         expired = [gone for event in events for gone in event.expired]
+        if obs.enabled:
+            obs.phase("window", perf_counter() - tick_start)
+            obs.on_window(len(events), len(expired))
         expired_seqs = {gone.seq for gone in expired}
         # An object that arrived and expired within this very batch (a
         # batch larger than the window) never becomes visible.
@@ -305,13 +346,33 @@ class TopKPairsMonitor:
         for group in self._groups.values():
             delta = group.maintainer.on_batch(self.manager, survivors,
                                               expired)
+            start = perf_counter()
             for handle in group.queries.values():
                 if handle.state is not None:
                     handle.state.apply(delta, group.maintainer.pst, now)
+            if obs.enabled:
+                obs.phase("queries", perf_counter() - start)
         if self.auditor is not None:
             # One audit per batch boundary — intermediate states are
             # never observable, so there is nothing to check mid-batch.
             self.auditor.after_tick()
+        if obs.enabled:
+            self._end_tick(obs, perf_counter() - tick_start, now)
+
+    def _end_tick(self, obs, seconds: float, now: int) -> None:
+        """Close one instrumented tick (sizes summed across groups)."""
+        skyband_size = 0
+        staircase_size = 0
+        for group in self._groups.values():
+            skyband_size += len(group.maintainer)
+            staircase_size += len(group.maintainer.staircase)
+        obs.end_tick(
+            seconds,
+            now_seq=now,
+            skyband_size=skyband_size,
+            staircase_size=staircase_size,
+            window_occupancy=len(self.manager),
+        )
 
     # ------------------------------------------------------------------
     # answers
@@ -324,6 +385,15 @@ class TopKPairsMonitor:
         """
         if handle.query.query_id not in self._handles:
             raise UnknownQueryError(handle.query.query_id)
+        obs = self.recorder
+        if not obs.enabled:
+            return self._results(handle)
+        start = perf_counter()
+        answer = self._results(handle)
+        obs.observe_results(perf_counter() - start)
+        return answer
+
+    def _results(self, handle: QueryHandle) -> list[Pair]:
         if handle.state is not None:
             return list(handle.state.answer)
         group = self._groups[_group_key(handle.query.scoring_function,
@@ -370,11 +440,17 @@ class TopKPairsMonitor:
         group = self._groups.get(_group_key(scoring_function, pair_filter))
         return len(group.maintainer) if group is not None else 0
 
-    def stats(self) -> dict[str, object]:
+    def stats(self, *, include_metrics: bool = False) -> dict[str, object]:
         """A diagnostics snapshot of the whole framework (Fig 2 view):
         window occupancy plus, per skyband group, the scoring function,
-        strategy, depth K, skyband size and query count."""
-        return {
+        strategy, depth K, skyband size and query count.
+
+        With ``include_metrics=True`` the snapshot gains a ``"metrics"``
+        key holding the recorder's registry snapshot (see
+        :meth:`repro.obs.MetricsRegistry.snapshot`), or ``{}`` when the
+        monitor runs with the default :class:`~repro.obs.NullRecorder`.
+        """
+        snapshot: dict[str, object] = {
             "window_size": self.window_size,
             "window_occupancy": len(self.manager),
             "now_seq": self.manager.now_seq,
@@ -392,6 +468,12 @@ class TopKPairsMonitor:
                 for group in self._groups.values()
             ],
         }
+        if include_metrics:
+            registry = self.recorder.registry
+            snapshot["metrics"] = (
+                registry.snapshot() if registry is not None else {}
+            )
+        return snapshot
 
     def check_invariants(self) -> None:
         """Validate every group's structures (test helper)."""

@@ -33,6 +33,7 @@ def update_skyband_and_staircase(
     K: int,
     *,
     counters: Counters | None = None,
+    recorder=None,
 ) -> tuple[list[Pair], KStaircase]:
     """Paper Algorithm 4.
 
@@ -76,4 +77,6 @@ def update_skyband_and_staircase(
             if counters is not None:
                 counters.heap_ops += 1
             staircase_points.append((pair.score_key, heap.peek().age_key))
+    if recorder is not None and recorder.enabled:
+        recorder.on_sweep(len(pairs_sorted), len(skyband))
     return skyband, KStaircase(staircase_points)

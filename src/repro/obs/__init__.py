@@ -1,0 +1,86 @@
+"""repro.obs — unified observability for the monitoring pipeline.
+
+The paper's whole argument is quantitative: the K-skyband stays near the
+``O(K log(N/K))`` bound of Theorem 3 and per-update cost stays sub-linear
+(§VI).  This package makes the repo able to *see* that continuously:
+
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry`
+  with counters, gauges and fixed-bucket histograms (Prometheus-style
+  naming, no third-party dependency);
+* :mod:`repro.obs.recorder` — the instrumentation fan-in: a no-op
+  :class:`NullRecorder` (the default everywhere, so disabled overhead is
+  one attribute check per instrumented block) and the live
+  :class:`MetricsRecorder`, plus the :class:`Timer` / :func:`timed`
+  instrument for ad-hoc block timing;
+* :mod:`repro.obs.trace` — structured per-tick :class:`TickEvent`
+  records with phase timings (window eviction, new-pair generation,
+  skyband insert/expire, staircase repair, PST rebuilds), and the
+  legacy :class:`TraceRecorder` it absorbs;
+* :mod:`repro.obs.cost_model` — the machine-independent operation
+  :class:`Counters` (moved here from ``repro.analysis.cost_model``,
+  which remains a compatibility shim);
+* :mod:`repro.obs.export` — exporters: Prometheus text exposition,
+  JSON-lines tick stream, CSV, and JSON registry snapshots.
+
+Usage::
+
+    from repro import TopKPairsMonitor
+    from repro.obs import MetricsRecorder
+    from repro.obs.export import to_prometheus
+
+    recorder = MetricsRecorder()
+    monitor = TopKPairsMonitor(1000, 2, recorder=recorder)
+    ...
+    print(to_prometheus(recorder.registry))
+
+Metric catalogue and exporter formats: ``docs/observability.md``.
+"""
+
+from repro.obs.cost_model import Counters, CountingScoringFunction
+from repro.obs.export import (
+    registry_to_json,
+    to_prometheus,
+    write_metrics_json,
+    write_tick_csv,
+    write_tick_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    Timer,
+    timed,
+)
+from repro.obs.trace import PHASES, TickEvent, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Counters",
+    "CountingScoringFunction",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PHASES",
+    "TickEvent",
+    "Timer",
+    "TraceRecorder",
+    "registry_to_json",
+    "timed",
+    "to_prometheus",
+    "write_metrics_json",
+    "write_tick_csv",
+    "write_tick_jsonl",
+]

@@ -1,0 +1,146 @@
+"""Exporters: Prometheus text exposition, JSON-lines, CSV, JSON.
+
+Three surfaces, matching the three ways the metrics get consumed:
+
+* :func:`to_prometheus` — a point-in-time snapshot of a whole
+  :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+  exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers,
+  cumulative ``_bucket{le="..."}`` series plus ``_sum`` / ``_count`` for
+  histograms.  Scrape-ready, also handy to eyeball in a terminal.
+* :func:`write_tick_jsonl` / :func:`write_tick_csv` — the per-tick
+  :class:`~repro.obs.trace.TickEvent` stream, one record per tick, for
+  offline analysis of skyband / latency dynamics.
+* :func:`registry_to_json` / :func:`write_metrics_json` — a JSON-able
+  snapshot dict (used by ``--metrics out.json`` on the CLI and by the
+  benchmark harness to persist metrics alongside timings).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from typing import IO, Iterable, Optional
+
+from repro.obs.metrics import Histogram, MetricFamily, MetricsRegistry
+from repro.obs.trace import TICK_FIELDS, TickEvent
+
+__all__ = [
+    "registry_to_json",
+    "to_prometheus",
+    "write_metrics_json",
+    "write_tick_csv",
+    "write_tick_jsonl",
+]
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _fmt_le(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def _label_str(family: MetricFamily, values: tuple,
+               extra: Optional[tuple[str, str]] = None) -> str:
+    parts = [
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(family.labelnames, values)
+    ]
+    if extra is not None:
+        parts.append(f'{extra[0]}="{extra[1]}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n"
+    )
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.children():
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative():
+                    labels = _label_str(family, values,
+                                        extra=("le", _fmt_le(bound)))
+                    lines.append(
+                        f"{family.name}_bucket{labels} {cumulative}"
+                    )
+                labels = _label_str(family, values)
+                lines.append(
+                    f"{family.name}_sum{labels} {_fmt_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                labels = _label_str(family, values)
+                lines.append(
+                    f"{family.name}{labels} {_fmt_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_tick_jsonl(events: Iterable[TickEvent], handle: IO[str]) -> int:
+    """One compact JSON object per tick event; returns the record count."""
+    count = 0
+    for event in events:
+        handle.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def write_tick_csv(events: Iterable[TickEvent], handle: IO[str]) -> int:
+    """Tick events as CSV (header included, ``phase_<name>`` columns);
+    returns the record count."""
+    writer = csv.DictWriter(handle, fieldnames=TICK_FIELDS)
+    writer.writeheader()
+    count = 0
+    for event in events:
+        writer.writerow(event.to_row())
+        count += 1
+    return count
+
+
+def registry_to_json(
+    registry: MetricsRegistry,
+    extra: Optional[dict] = None,
+) -> dict[str, object]:
+    """A JSON-able snapshot: ``{"metrics": {...}, **extra}``."""
+    payload: dict[str, object] = {"metrics": registry.snapshot()}
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_metrics_json(
+    registry: MetricsRegistry,
+    path_or_handle,
+    extra: Optional[dict] = None,
+) -> None:
+    """Persist a registry snapshot as pretty-printed JSON.
+
+    ``path_or_handle`` may be a filesystem path or an open text handle —
+    the form every CLI ``--metrics out.json`` flag funnels through.
+    """
+    payload = registry_to_json(registry, extra)
+    if hasattr(path_or_handle, "write"):
+        json.dump(payload, path_or_handle, indent=2, sort_keys=True)
+        path_or_handle.write("\n")
+        return
+    with open(path_or_handle, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,329 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of metric *families*
+following Prometheus conventions: a family has a name
+(``repro_pst_inserts_total``), a type, a help string, and zero or more
+label names; each distinct label-value combination owns one child metric.
+Unlabelled families have exactly one child, and the registry accessors
+return that child directly so hot-path code holds a plain
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` and pays one
+attribute access plus one integer add per event.
+
+Histograms use *fixed* buckets chosen at registration time (no dynamic
+resizing — snapshotting must never perturb the hot path).  Bucket counts
+are stored per-interval and cumulated only at export time, so ``observe``
+is one :func:`bisect.bisect_left` plus two adds.
+
+The registry is deliberately dependency-free and synchronous; it is
+process-local state for a single-threaded monitor, matching the rest of
+the library.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+]
+
+#: latency buckets tuned for pure-Python per-tick work (10 µs .. 1 s)
+DEFAULT_SECONDS_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0,
+)
+
+#: size buckets (powers of two) for structure sizes, e.g. PST rebuilds
+DEFAULT_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counters only go up, got increment {amount}"
+            )
+        self.value += amount
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (sizes, occupancy)."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``buckets`` are ascending inclusive upper bounds; observations above
+    the last bound land in the implicit ``+Inf`` bucket.  Per-interval
+    counts are cumulated only when exported (Prometheus ``le`` buckets
+    are cumulative).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        if not buckets:
+            raise InvalidParameterError("a histogram needs >= 1 bucket")
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise InvalidParameterError(
+                f"bucket bounds must be strictly ascending, got {bounds}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                _format_bound(bound): cum for bound, cum in self.cumulative()
+            },
+        }
+
+
+class MetricFamily:
+    """One named metric with its labelled children.
+
+    Children are created on first use via :meth:`labels`; an unlabelled
+    family creates its single child eagerly (:attr:`solo`).
+    """
+
+    __slots__ = ("name", "help", "kind", "labelnames", "buckets",
+                 "_children", "solo")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise InvalidParameterError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise InvalidParameterError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple, object] = {}
+        self.solo = None if self.labelnames else self._make_child(())
+
+    def _make_child(self, key: tuple):
+        if self.kind == "counter":
+            child: object = Counter()
+        elif self.kind == "gauge":
+            child = Gauge()
+        else:
+            child = Histogram(self.buckets or DEFAULT_SECONDS_BUCKETS)
+        self._children[key] = child
+        return child
+
+    def labels(self, *values: str, **kw: str):
+        """The child for one label-value combination (created on first
+        use).  Accepts positional values in ``labelnames`` order or the
+        equivalent keywords."""
+        if kw:
+            if values:
+                raise InvalidParameterError(
+                    "pass label values positionally or by keyword, not both"
+                )
+            try:
+                values = tuple(kw[name] for name in self.labelnames)
+            except KeyError as exc:
+                raise InvalidParameterError(
+                    f"unknown label {exc.args[0]!r} for metric {self.name}"
+                ) from exc
+        if len(values) != len(self.labelnames):
+            raise InvalidParameterError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        return child if child is not None else self._make_child(key)
+
+    def children(self) -> Iterator[tuple[tuple, object]]:
+        """``(label_values, child)`` pairs in creation order."""
+        return iter(self._children.items())
+
+    def snapshot(self) -> object:
+        if self.solo is not None:
+            return self.solo.snapshot()
+        return {
+            ",".join(
+                f"{n}={v}" for n, v in zip(self.labelnames, key)
+            ): child.snapshot()
+            for key, child in self._children.items()
+        }
+
+
+class MetricsRegistry:
+    """A flat, ordered namespace of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create a family; for
+    unlabelled families they return the single child metric directly (the
+    object hot paths hold on to), for labelled families the
+    :class:`MetricFamily` itself.  Re-registering a name with a different
+    type, labels or buckets raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()):
+        return self._register(name, "counter", help, labelnames, None)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()):
+        return self._register(name, "gauge", help, labelnames, None)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ):
+        return self._register(name, "histogram", help, labelnames, buckets)
+
+    def _register(self, name, kind, help, labelnames, buckets):
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help, labelnames, buckets)
+            self._families[name] = family
+        else:
+            same = (
+                family.kind == kind
+                and family.labelnames == tuple(labelnames)
+                and (kind != "histogram"
+                     or family.buckets == tuple(buckets or ()))
+            )
+            if not same:
+                raise InvalidParameterError(
+                    f"metric {name!r} already registered as a "
+                    f"{family.kind} with labels {family.labelnames}"
+                )
+        return family.solo if family.solo is not None else family
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> Iterator[MetricFamily]:
+        return iter(self._families.values())
+
+    def __iter__(self) -> Iterator[MetricFamily]:
+        return self.families()
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def value(self, name: str, *labels: str):
+        """Convenience: the current value of a counter/gauge child (the
+        raw :class:`Histogram` for histograms)."""
+        family = self._families[name]
+        child = family.solo if not labels else family.labels(*labels)
+        return child.value if hasattr(child, "value") else child
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-able ``{name: value}`` view of every family: plain
+        numbers for unlabelled counters/gauges, nested dicts for labelled
+        families, ``{count, sum, buckets}`` dicts for histograms."""
+        return {
+            name: family.snapshot()
+            for name, family in self._families.items()
+        }
+
+    def reset(self) -> None:
+        """Zero every child metric (families and buckets are kept)."""
+        for family in self._families.values():
+            for _, child in family.children():
+                if isinstance(child, Histogram):
+                    child.counts = [0] * (len(child.buckets) + 1)
+                    child.sum = 0.0
+                    child.count = 0
+                else:
+                    child.value = 0
+
+
+def _format_bound(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return f"{bound:g}"

@@ -52,6 +52,7 @@ class StreamManager:
         *,
         time_horizon: Optional[float] = None,
         seed: int = 0,
+        recorder=None,
     ) -> None:
         if num_attributes < 1:
             raise InvalidParameterError(
@@ -69,7 +70,11 @@ class StreamManager:
         # One skip list per attribute, keyed (value, seq) so duplicates of a
         # value keep a deterministic order and node removal is exact.
         self._attribute_lists: list[SkipList] = [
-            SkipList(key=lambda obj, i=i: (obj.values[i], obj.seq), seed=seed + i)
+            SkipList(
+                key=lambda obj, i=i: (obj.values[i], obj.seq),
+                seed=seed + i,
+                recorder=recorder,
+            )
             for i in range(num_attributes)
         ]
         self._nodes: dict[int, list[SkipNode]] = {}

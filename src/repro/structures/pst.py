@@ -37,9 +37,11 @@ and an integer-ordered ``age_key`` works.  In this library smaller
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterator, Optional, Protocol, Sequence
 
 from repro.exceptions import ItemNotFoundError
+from repro.obs.recorder import NULL_RECORDER
 from repro.structures.selection import quickselect_smallest
 
 __all__ = ["AgeScorePoint", "PrioritySearchTree", "PSTNode"]
@@ -83,8 +85,14 @@ class PrioritySearchTree:
     this via the footnote-1 tie-breaking key); ages may repeat freely.
     """
 
-    def __init__(self, points: Sequence[AgeScorePoint] = ()) -> None:
+    def __init__(
+        self,
+        points: Sequence[AgeScorePoint] = (),
+        *,
+        recorder=None,
+    ) -> None:
         self._root: Optional[PSTNode] = None
+        self._obs = recorder if recorder is not None else NULL_RECORDER
         self._deletions_since_rebuild = 0
         if points:
             self._root = _build(sorted(points, key=lambda p: p.score_key))
@@ -121,6 +129,8 @@ class PrioritySearchTree:
     # ------------------------------------------------------------------
     def insert(self, point: AgeScorePoint) -> None:
         """Insert ``point`` in amortized ``O(log^2 m)``."""
+        if self._obs.enabled:
+            self._obs.on_pst_insert()
         if self._root is None:
             self._root = PSTNode(point, point.score_key)
             return
@@ -161,6 +171,8 @@ class PrioritySearchTree:
             node = node.left if went_left else node.right
         if node is None:
             raise ItemNotFoundError(point)
+        if self._obs.enabled:
+            self._obs.on_pst_delete()
         for ancestor in path:
             ancestor.size -= 1
         empty = _fill_hole(node)
@@ -179,9 +191,14 @@ class PrioritySearchTree:
 
     def rebuild(self) -> None:
         """Rebuild the whole tree with Algorithm 1 (perfect balance)."""
+        start = perf_counter()
         pts = sorted(self.points(), key=lambda p: p.score_key)
         self._root = _build(pts)
         self._deletions_since_rebuild = 0
+        if self._obs.enabled:
+            self._obs.on_pst_rebuild(
+                len(pts), perf_counter() - start, partial=False
+            )
 
     def _rebalance_path(self, path: list[PSTNode]) -> None:
         """Rebuild the *highest* α-unbalanced subtree on the insert path."""
@@ -190,6 +207,7 @@ class PrioritySearchTree:
             left = node.left.size if node.left is not None else 0
             right = node.right.size if node.right is not None else 0
             if left > threshold or right > threshold:
+                start = perf_counter()
                 rebuilt = _build(
                     sorted(_collect(node), key=lambda p: p.score_key)
                 )
@@ -201,6 +219,10 @@ class PrioritySearchTree:
                         parent.left = rebuilt
                     else:
                         parent.right = rebuilt
+                if self._obs.enabled:
+                    self._obs.on_pst_rebuild(
+                        rebuilt.size, perf_counter() - start, partial=True
+                    )
                 return
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ import random
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.exceptions import EmptyStructureError, ItemNotFoundError
+from repro.obs.recorder import NULL_RECORDER
 
 __all__ = ["SkipList", "SkipNode"]
 
@@ -76,8 +77,10 @@ class SkipList:
         *,
         key: Optional[Callable[[Any], Any]] = None,
         seed: Optional[int] = None,
+        recorder=None,
     ) -> None:
         self._key = key if key is not None else _identity
+        self._obs = recorder if recorder is not None else NULL_RECORDER
         self._rng = random.Random(seed)
         self._head = SkipNode(None, None, _MAX_LEVEL)
         self._level = 1
@@ -129,6 +132,7 @@ class SkipList:
         update: list[SkipNode] = [self._head] * _MAX_LEVEL
         rank: list[int] = [0] * _MAX_LEVEL
         node = self._head
+        steps = 0
         for level in range(self._level - 1, -1, -1):
             if level < self._level - 1:
                 rank[level] = rank[level + 1]
@@ -138,7 +142,10 @@ class SkipList:
                 rank[level] += node.width[level]
                 node = nxt
                 nxt = node.forward[level]
+                steps += 1
             update[level] = node
+        if self._obs.enabled:
+            self._obs.on_skiplist_traversal(steps)
 
         new_level = self._random_level()
         if new_level > self._level:
@@ -186,6 +193,7 @@ class SkipList:
         key = target.key
         update: list[SkipNode] = [self._head] * self._level
         node = self._head
+        steps = 0
         for level in range(self._level - 1, -1, -1):
             nxt = node.forward[level]
             while nxt is not None and (
@@ -195,7 +203,10 @@ class SkipList:
             ):
                 node = nxt
                 nxt = node.forward[level]
+                steps += 1
             update[level] = node
+        if self._obs.enabled:
+            self._obs.on_skiplist_traversal(steps)
         found = update[0].forward[0]
         if found is not target:
             raise ItemNotFoundError(target.value)

@@ -208,6 +208,85 @@ class TestRA105RA106HotPathRules:
         assert "RA105" in rules_of(found)
 
 
+class TestRA108WallClockTiming:
+    WALL_CLOCK = CLEAN_HEADER + textwrap.dedent(
+        """
+        import time
+
+        def f():
+            return time.time()
+        """
+    )
+
+    def test_flagged_in_hot_path_modules(self):
+        for path in ("src/repro/core/maintenance.py",
+                     "src/repro/structures/skiplist.py",
+                     "src/repro/stream/manager.py",
+                     "src/repro/obs/recorder.py"):
+            assert "RA108" in rules_of(lint_source(self.WALL_CLOCK, path))
+
+    def test_aliased_module_import_flagged(self):
+        found = lintc(
+            """
+            import time as t
+
+            def f():
+                return t.time()
+            """,
+            path="src/repro/core/x.py",
+        )
+        assert "RA108" in rules_of(found)
+
+    def test_from_import_flagged(self):
+        found = lintc(
+            """
+            from time import time
+
+            def f():
+                return time()
+            """,
+            path="src/repro/core/x.py",
+        )
+        assert "RA108" in rules_of(found)
+
+    def test_perf_counter_clean(self):
+        found = lintc(
+            """
+            from time import perf_counter
+            import time
+
+            def f():
+                return perf_counter() + time.perf_counter()
+            """,
+            path="src/repro/core/x.py",
+        )
+        assert "RA108" not in rules_of(found)
+
+    def test_other_modules_time_attr_clean(self):
+        found = lintc(
+            """
+            def f(event):
+                return event.time()
+            """,
+            path="src/repro/core/x.py",
+        )
+        assert "RA108" not in rules_of(found)
+
+    def test_ignored_outside_hot_paths(self):
+        found = lint_source(self.WALL_CLOCK, "src/repro/datasets/loader.py")
+        assert "RA108" not in rules_of(found)
+
+    def test_suppressible(self):
+        found = lintc(
+            "import time\n"
+            + "def f():\n"
+            + "    return time.time()  "
+            + "# audit: allow[RA108] epoch stamp for export metadata\n",
+            path="src/repro/core/x.py",
+        )
+        assert "RA108" not in rules_of(found)
+
+
 class TestRA107BareExcept:
     def test_bare_except_flagged(self):
         found = lintc(
@@ -262,7 +341,7 @@ class TestSuppression:
 class TestDriversAndShippedTree:
     def test_every_rule_has_catalogue_entry(self):
         for rule_id in ("RA100", "RA101", "RA102", "RA103",
-                        "RA104", "RA105", "RA106", "RA107"):
+                        "RA104", "RA105", "RA106", "RA107", "RA108"):
             assert rule_id in RULES
 
     def test_violation_location_has_line_and_column(self):

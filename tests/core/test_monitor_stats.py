@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 
 from repro.core.monitor import TopKPairsMonitor
+from repro.obs import MetricsRecorder
 from repro.scoring.library import k_closest_pairs, k_furthest_pairs
 
 
@@ -48,3 +49,37 @@ class TestStats:
             monitor.append((rng.random(), rng.random()))
         (group,) = monitor.stats()["groups"]
         assert 0 < group["staircase_size"] <= group["skyband_size"]
+
+
+class TestStatsIncludeMetrics:
+    def _instrumented_monitor(self, steps=50):
+        monitor = TopKPairsMonitor(20, 2, recorder=MetricsRecorder())
+        monitor.register_query(k_closest_pairs(2), k=3)
+        rng = random.Random(5)
+        for _ in range(steps):
+            monitor.append((rng.random(), rng.random()))
+        return monitor, steps
+
+    def test_metrics_absent_without_flag(self):
+        monitor, _ = self._instrumented_monitor(steps=5)
+        assert "metrics" not in monitor.stats()
+
+    def test_metrics_snapshot_merged(self):
+        monitor, steps = self._instrumented_monitor()
+        stats = monitor.stats(include_metrics=True)
+        metrics = stats["metrics"]
+        assert metrics["repro_ticks_total"] == steps == stats["now_seq"]
+        assert metrics["repro_window_occupancy"] \
+            == stats["window_occupancy"]
+        assert metrics["repro_skyband_size"] \
+            == sum(g["skyband_size"] for g in stats["groups"])
+        # Histograms appear in snapshot form.
+        append = metrics["repro_append_seconds"]
+        assert set(append) == {"count", "sum", "buckets"}
+        assert append["count"] == steps
+
+    def test_null_recorder_gives_empty_metrics(self):
+        monitor = TopKPairsMonitor(10, 2)
+        stats = monitor.stats(include_metrics=True)
+        assert stats["metrics"] == {}
+        assert stats["window_size"] == 10

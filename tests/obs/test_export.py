@@ -1,0 +1,116 @@
+"""Tests for the exporters (`repro.obs.export`)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    TickEvent,
+    registry_to_json,
+    to_prometheus,
+    write_metrics_json,
+    write_tick_csv,
+    write_tick_jsonl,
+)
+from repro.obs.trace import TICK_FIELDS
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_ticks_total", "stream ticks").inc(3)
+    registry.gauge("repro_skyband_size").set(12)
+    registry.histogram("repro_append_seconds", "per append",
+                       buckets=(0.001, 0.01)).observe(0.005)
+    family = registry.histogram("repro_phase_seconds", buckets=(1.0,),
+                                labelnames=("phase",))
+    family.labels("window").observe(0.5)
+    return registry
+
+
+def make_events():
+    return [
+        TickEvent(tick=i, seconds=0.01 * i, arrivals=1, evictions=0,
+                  candidates=2, skyband_added=1, skyband_removed=0,
+                  skyband_expired=0, pst_rebuilds=0, skyband_size=i,
+                  staircase_size=1, window_occupancy=i,
+                  phases={"window": 0.001})
+        for i in range(1, 4)
+    ]
+
+
+class TestPrometheus:
+    def test_exposition_structure(self):
+        text = to_prometheus(make_registry())
+        lines = text.splitlines()
+        assert "# HELP repro_ticks_total stream ticks" in lines
+        assert "# TYPE repro_ticks_total counter" in lines
+        assert "repro_ticks_total 3" in lines
+        assert "# TYPE repro_skyband_size gauge" in lines
+        assert "repro_skyband_size 12" in lines
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_cumulative(self):
+        lines = to_prometheus(make_registry()).splitlines()
+        assert 'repro_append_seconds_bucket{le="0.001"} 0' in lines
+        assert 'repro_append_seconds_bucket{le="0.01"} 1' in lines
+        assert 'repro_append_seconds_bucket{le="+Inf"} 1' in lines
+        assert "repro_append_seconds_sum 0.005" in lines
+        assert "repro_append_seconds_count 1" in lines
+
+    def test_labelled_histogram_children(self):
+        lines = to_prometheus(make_registry()).splitlines()
+        assert 'repro_phase_seconds_bucket{phase="window",le="1"} 1' in lines
+        assert 'repro_phase_seconds_count{phase="window"} 1' in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_g", labelnames=("name",)).labels(
+            'we"ird\\x\n'
+        ).set(1)
+        text = to_prometheus(registry)
+        assert 'name="we\\"ird\\\\x\\n"' in text
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestTickStreams:
+    def test_jsonl_one_parseable_record_per_tick(self):
+        buffer = io.StringIO()
+        count = write_tick_jsonl(make_events(), buffer)
+        lines = buffer.getvalue().splitlines()
+        assert count == len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert [r["tick"] for r in records] == [1, 2, 3]
+        assert records[0]["phases"] == {"window": 0.001}
+
+    def test_csv_schema_and_flat_phases(self):
+        buffer = io.StringIO()
+        count = write_tick_csv(make_events(), buffer)
+        assert count == 3
+        rows = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert tuple(rows[0].keys()) == TICK_FIELDS
+        assert rows[0]["phase_window"] == "0.001"
+        assert rows[0]["phase_queries"] == "0.0"
+
+
+class TestJsonSnapshot:
+    def test_registry_to_json(self):
+        payload = registry_to_json(make_registry(), extra={"steps": 3})
+        assert payload["steps"] == 3
+        assert payload["metrics"]["repro_ticks_total"] == 3
+        json.dumps(payload)  # fully JSON-able
+
+    def test_write_metrics_json_path_and_handle(self, tmp_path):
+        registry = make_registry()
+        path = tmp_path / "metrics.json"
+        write_metrics_json(registry, str(path))
+        from_path = json.loads(path.read_text())
+        buffer = io.StringIO()
+        write_metrics_json(registry, buffer)
+        from_handle = json.loads(buffer.getvalue())
+        assert from_path == from_handle
+        assert from_path["metrics"]["repro_skyband_size"] == 12

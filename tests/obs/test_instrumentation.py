@@ -1,0 +1,160 @@
+"""End-to-end instrumentation: a monitored stream populates the
+registry and the tick trace coherently."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.monitor import TopKPairsMonitor
+from repro.obs import MetricsRecorder
+from repro.scoring.library import k_closest_pairs
+
+
+STEPS = 120
+WINDOW = 40
+
+
+@pytest.fixture(scope="module")
+def run():
+    recorder = MetricsRecorder()
+    monitor = TopKPairsMonitor(WINDOW, 2, recorder=recorder, seed=3)
+    handle = monitor.register_query(k_closest_pairs(2), k=4)
+    rng = random.Random(9)
+    for _ in range(STEPS):
+        monitor.append((rng.random(), rng.random()))
+    monitor.results(handle)
+    return monitor, recorder, handle
+
+
+class TestRegistryCoherence:
+    def test_tick_and_object_counts(self, run):
+        _, recorder, _ = run
+        registry = recorder.registry
+        assert registry.value("repro_ticks_total") == STEPS
+        assert registry.value("repro_objects_total") == STEPS
+        assert registry.value("repro_evictions_total") == STEPS - WINDOW
+
+    def test_gauges_match_monitor_stats(self, run):
+        monitor, recorder, _ = run
+        registry = recorder.registry
+        stats = monitor.stats()
+        assert registry.value("repro_window_occupancy") \
+            == stats["window_occupancy"]
+        assert registry.value("repro_skyband_size") \
+            == sum(g["skyband_size"] for g in stats["groups"])
+        assert registry.value("repro_staircase_size") \
+            == sum(g["staircase_size"] for g in stats["groups"])
+
+    def test_append_histogram_one_observation_per_tick(self, run):
+        _, recorder, _ = run
+        append = recorder.registry.get("repro_append_seconds").solo
+        assert append.count == STEPS
+        assert append.sum > 0.0
+
+    def test_results_latency_observed(self, run):
+        _, recorder, _ = run
+        assert recorder.registry.get("repro_results_seconds").solo.count == 1
+
+    def test_structure_activity_recorded(self, run):
+        _, recorder, _ = run
+        registry = recorder.registry
+        # Two attribute skip lists, each traversed on insert and removal.
+        assert registry.value("repro_skiplist_node_traversals_total") > 0
+        assert registry.value("repro_pst_inserts_total") \
+            >= registry.value("repro_skyband_inserts_total") > 0
+        assert registry.value("repro_sweeps_total") > 0
+        assert registry.value("repro_pst_rebuilds_total") > 0
+        rebuild_size = registry.get("repro_pst_rebuild_size").solo
+        assert rebuild_size.count \
+            == registry.value("repro_pst_rebuilds_total")
+
+    def test_phase_family_covers_pipeline(self, run):
+        _, recorder, _ = run
+        family = recorder.registry.get("repro_phase_seconds")
+        observed = {labels[0] for labels, _ in family.children()}
+        assert {"window", "expire", "generate", "insert",
+                "queries"} <= observed
+
+
+class TestTickTrace:
+    def test_one_event_per_tick_in_order(self, run):
+        _, recorder, _ = run
+        assert len(recorder.events) == STEPS
+        assert [e.tick for e in recorder.events] \
+            == list(range(1, STEPS + 1))
+
+    def test_events_sum_to_registry_counters(self, run):
+        _, recorder, _ = run
+        registry = recorder.registry
+        events = recorder.events
+        assert sum(e.arrivals for e in events) \
+            == registry.value("repro_objects_total")
+        assert sum(e.candidates for e in events) \
+            == registry.value("repro_candidate_pairs_total")
+        assert sum(e.skyband_added for e in events) \
+            == registry.value("repro_skyband_inserts_total")
+        assert sum(e.pst_rebuilds for e in events) \
+            == registry.value("repro_pst_rebuilds_total")
+
+    def test_final_event_matches_gauges(self, run):
+        _, recorder, _ = run
+        last = recorder.events[-1]
+        registry = recorder.registry
+        assert last.skyband_size == registry.value("repro_skyband_size")
+        assert last.window_occupancy \
+            == registry.value("repro_window_occupancy")
+
+
+class TestStatsIncludeMetrics:
+    def test_metrics_key_present_and_schema(self, run):
+        monitor, _, _ = run
+        stats = monitor.stats(include_metrics=True)
+        metrics = stats["metrics"]
+        assert metrics["repro_ticks_total"] == STEPS
+        append = metrics["repro_append_seconds"]
+        assert set(append) == {"count", "sum", "buckets"}
+        assert append["buckets"]["+Inf"] == STEPS
+        # Plain stats() stays metrics-free.
+        assert "metrics" not in monitor.stats()
+
+    def test_null_recorder_yields_empty_metrics(self):
+        monitor = TopKPairsMonitor(10, 2)
+        assert monitor.stats(include_metrics=True)["metrics"] == {}
+
+
+class TestBatchedIngestion:
+    def test_batches_count_as_single_ticks(self):
+        recorder = MetricsRecorder()
+        monitor = TopKPairsMonitor(30, 2, recorder=recorder, seed=1)
+        monitor.register_query(k_closest_pairs(2), k=3)
+        rng = random.Random(4)
+        rows = [(rng.random(), rng.random()) for _ in range(80)]
+        monitor.extend(rows, batch_size=20)
+        registry = recorder.registry
+        assert registry.value("repro_ticks_total") == 4
+        assert registry.value("repro_objects_total") == 80
+        assert len(recorder.events) == 4
+        assert recorder.events[0].arrivals == 20
+
+
+class TestDisabledMonitorUntouched:
+    def test_default_monitor_exposes_null_recorder(self):
+        monitor = TopKPairsMonitor(10, 2)
+        assert monitor.recorder.enabled is False
+        assert monitor.recorder.registry is None
+
+    def test_answers_identical_with_and_without_recorder(self):
+        rng = random.Random(11)
+        rows = [(rng.random(), rng.random()) for _ in range(60)]
+        answers = []
+        for recorder in (None, MetricsRecorder()):
+            monitor = TopKPairsMonitor(25, 2, recorder=recorder, seed=5)
+            handle = monitor.register_query(k_closest_pairs(2), k=3)
+            for row in rows:
+                monitor.append(row)
+            answers.append([
+                (p.older.seq, p.newer.seq) for p in monitor.results(handle)
+            ])
+        assert answers[0] == answers[1]

@@ -1,0 +1,149 @@
+"""Tests for the metrics registry (`repro.obs.metrics`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs import (
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        with pytest.raises(InvalidParameterError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_size")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_observe_lands_in_inclusive_upper_bound(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 99.0):
+            hist.observe(value)
+        # per-interval: (<=1): 0.5, 1.0 | (<=2): 1.5 | (<=4): 4.0 | +Inf: 99
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(106.0)
+
+    def test_cumulative_ends_with_inf_total(self):
+        hist = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        cumulative = hist.cumulative()
+        assert cumulative == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_mean(self):
+        hist = Histogram((1.0,))
+        assert hist.mean() == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean() == pytest.approx(3.0)
+
+    def test_snapshot_shape(self):
+        hist = Histogram((0.5, 1.0))
+        hist.observe(0.25)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["sum"] == pytest.approx(0.25)
+        assert snap["buckets"] == {"0.5": 1, "1": 1, "+Inf": 1}
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            Histogram(())
+
+    def test_default_bucket_sets_are_ascending(self):
+        for buckets in (DEFAULT_SECONDS_BUCKETS, DEFAULT_SIZE_BUCKETS):
+            assert list(buckets) == sorted(set(buckets))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_a_total", "help text")
+        b = registry.counter("repro_a_total")
+        assert a is b
+        assert len(registry) == 1
+        assert "repro_a_total" in registry
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(InvalidParameterError):
+            registry.gauge("repro_a_total")
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(1.0, 2.0))
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("repro_h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(InvalidParameterError):
+            registry.counter("0bad")
+        with pytest.raises(InvalidParameterError):
+            registry.counter("repro_ok", labelnames=("bad-label",))
+
+    def test_labelled_family_children(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "repro_phase_seconds", buckets=(1.0,), labelnames=("phase",)
+        )
+        family.labels("window").observe(0.5)
+        family.labels(phase="window").observe(0.7)
+        family.labels("insert").observe(2.0)
+        assert family.labels("window").count == 2
+        assert dict(family.children())[("insert",)].count == 1
+        with pytest.raises(InvalidParameterError):
+            family.labels("a", "b")
+        with pytest.raises(InvalidParameterError):
+            family.labels(bogus="x")
+
+    def test_value_accessor(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(7)
+        gauge_family = registry.gauge("repro_g", labelnames=("kind",))
+        gauge_family.labels("x").set(3)
+        assert registry.value("repro_a_total") == 7
+        assert registry.value("repro_g", "x") == 3
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(2)
+        registry.histogram("repro_h", buckets=(1.0,)).observe(0.5)
+        family = registry.gauge("repro_g", labelnames=("kind",))
+        family.labels("x").set(5)
+        snap = registry.snapshot()
+        assert snap["repro_a_total"] == 2
+        assert snap["repro_h"]["count"] == 1
+        assert snap["repro_g"] == {"kind=x": 5}
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["repro_a_total"] == 0
+        assert snap["repro_h"]["count"] == 0
+        assert snap["repro_g"] == {"kind=x": 0}

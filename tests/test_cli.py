@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import io
+import json
 import random
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_obs_parser, build_parser, main
 
 
 def csv_text(rows):
@@ -168,3 +169,92 @@ class TestAuditSubcommand:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             run_cli(["audit", "--dataset", "realworld"])
+
+
+class TestObsSubcommand:
+    def test_parser_defaults(self):
+        args = build_obs_parser().parse_args([])
+        assert args.dataset == "synthetic"
+        assert args.steps == 1000
+        assert args.window == 256
+        assert args.format == "summary"
+        assert args.out == "-"
+        assert args.metrics is None
+
+    def test_summary_format(self):
+        code, out = run_cli(
+            ["obs", "--steps", "80", "--window", "24", "--k", "3"]
+        )
+        assert code == 0
+        assert "obs: 80 objects in 80 ticks" in out
+        assert "metric families" in out
+
+    def test_prometheus_format(self):
+        code, out = run_cli(
+            ["obs", "--steps", "60", "--window", "20", "--format",
+             "prometheus"]
+        )
+        assert code == 0
+        lines = out.splitlines()
+        assert "# TYPE repro_ticks_total counter" in lines
+        assert "repro_ticks_total 60" in lines
+        assert "# TYPE repro_append_seconds histogram" in lines
+        assert any(line.startswith("repro_skyband_size ")
+                   for line in lines)
+        assert any(line.startswith("repro_pst_rebuilds_total ")
+                   for line in lines)
+
+    def test_jsonl_format_one_record_per_tick(self):
+        code, out = run_cli(
+            ["obs", "--steps", "40", "--window", "16", "--format", "jsonl"]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in out.splitlines()]
+        assert len(records) == 40
+        assert records[-1]["tick"] == 40
+        assert "phases" in records[0]
+
+    def test_out_file_and_metrics_sidecar(self, tmp_path):
+        out_file = tmp_path / "trace.csv"
+        metrics_file = tmp_path / "metrics.json"
+        code, out = run_cli(
+            ["obs", "--steps", "30", "--window", "12", "--format", "csv",
+             "--out", str(out_file), "--metrics", str(metrics_file)]
+        )
+        assert code == 0
+        assert f"metrics written to {metrics_file}" in out
+        assert out_file.read_text().count("\n") == 31  # header + 30 ticks
+        payload = json.loads(metrics_file.read_text())
+        assert payload["command"] == "obs"
+        assert payload["metrics"]["repro_ticks_total"] == 30
+
+    def test_batched_ingestion(self):
+        code, out = run_cli(
+            ["obs", "--steps", "60", "--window", "20",
+             "--batch-size", "15"]
+        )
+        assert code == 0
+        assert "obs: 60 objects in 4 ticks" in out
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["obs", "--steps", "0"])
+        with pytest.raises(SystemExit):
+            run_cli(["obs", "--window", "1"])
+        with pytest.raises(SystemExit):
+            run_cli(["obs", "--dataset", "realworld"])
+
+
+class TestAuditMetricsFlag:
+    def test_audit_writes_metrics_json(self, tmp_path):
+        metrics_file = tmp_path / "audit-metrics.json"
+        code, out = run_cli(
+            ["audit", "--steps", "60", "--window", "16",
+             "--cross-check-every", "0", "--metrics", str(metrics_file)],
+        )
+        assert code == 0
+        assert "no violations" in out
+        assert f"metrics written to {metrics_file}" in out
+        payload = json.loads(metrics_file.read_text())
+        assert payload["command"] == "audit"
+        assert payload["metrics"]["repro_ticks_total"] == 60
