@@ -1,0 +1,40 @@
+"""Fast-path vs legacy maintenance throughput (docs/performance.md).
+
+Thin wrapper around :mod:`repro.bench.throughput` — the same suite the
+``repro bench throughput`` CLI runs.  Streams the §VI-A synthetic
+distributions plus an expiry-heavy time-horizon workload through
+identical monitors with ``fast_path=True`` (coalesced expiry + seeded
+suffix re-sweep) and ``fast_path=False`` (the pre-fast-path
+rebuild-per-expiry / full-MaxHeap-sweep baseline), and writes
+``BENCH_throughput.json`` with ticks/sec, the speedup ratio, p50/p99
+tick latency and a per-phase breakdown.
+
+Scaled by ``REPRO_BENCH_SCALE``; CI's bench-smoke job runs a reduced
+pass and uploads the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.throughput import (
+    DEFAULT_OUTPUT,
+    run_throughput,
+    write_throughput_json,
+)
+
+
+def test_fast_path_no_slower_on_expiry_heavy():
+    """Smoke gate: the fast path must never lose to the legacy path on
+    the workload built to favour it (full-scale runs show >=2x; the
+    smoke threshold leaves headroom for CI timer noise)."""
+    result = run_throughput(repeats=2, ticks=120, window=150)
+    heavy = result["workloads"]["expiry_heavy"]
+    assert heavy["speedup"] >= 1.0, heavy
+
+
+if __name__ == "__main__":
+    outcome = run_throughput()
+    path = write_throughput_json(outcome, DEFAULT_OUTPUT)
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    print(f"written to {path}")

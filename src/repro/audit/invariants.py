@@ -446,6 +446,12 @@ def check_maintainer(
             "cached score-key list diverged from the skyband",
             location=location,
         ))
+    if maintainer._age_keys != [p.age_key for p in skyband]:
+        violations.append(Violation(
+            "SKB-CACHE",
+            "cached age-key list diverged from the skyband",
+            location=location,
+        ))
     indexed = [
         pair
         for pairs in maintainer._by_oldest.values()
@@ -483,6 +489,17 @@ def check_maintainer(
             "STAIR-SYNC",
             "staircase is stale: it differs from the staircase recomputed "
             "over the current skyband",
+            paper_ref="paper §V-A.1, Algorithm 4",
+            location=f"{location}.staircase",
+        ))
+    # Algorithm 4 emits one staircase point per kept pair from the K-th
+    # on — a size law the incremental prefix/suffix stitching relies on.
+    expected_points = max(0, len(skyband) - maintainer.K + 1)
+    if len(maintainer.staircase) != expected_points:
+        violations.append(Violation(
+            "STAIR-COUNT",
+            f"staircase has {len(maintainer.staircase)} points, expected "
+            f"max(0, |SKB| - K + 1) = {expected_points}",
             paper_ref="paper §V-A.1, Algorithm 4",
             location=f"{location}.staircase",
         ))

@@ -1,0 +1,219 @@
+"""Per-tick maintenance throughput: the bench behind ``repro bench
+throughput`` and ``benchmarks/bench_throughput.py``.
+
+Measures the incremental fast path (coalesced expiry + seeded suffix
+re-sweep, ``fast_path=True``, the default) against the legacy
+rebuild-per-expiry / full-sweep path (``fast_path=False``) on identical
+synthetic streams:
+
+* the three §VI-A distributions (uniform / correlated / anticorrelated)
+  over a count-based window — one expiry per tick, the paper's steady
+  state;
+* an **expiry-heavy** workload over a time-based window whose timestamps
+  periodically jump, so a single tick evicts a whole burst of objects —
+  the case where the legacy path pays one full Algorithm 4 rebuild *per
+  expired object* and the fast path pays a single staircase refresh.
+
+Each workload reports uninstrumented ticks/sec for both paths (the
+speedup ratio is the number the ≥2× acceptance gate reads) plus p50/p99
+tick latency and a per-phase time breakdown from an instrumented
+fast-path run (:class:`~repro.obs.MetricsRecorder` tick trace).
+
+Results go to ``BENCH_throughput.json``; see docs/performance.md for how
+to read them.  ``REPRO_BENCH_SCALE`` shrinks or grows every stream (CI
+runs a reduced smoke pass).
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+from repro.bench.harness import SCALE, PaperParameters, synthetic_rows
+from repro.core.monitor import TopKPairsMonitor
+from repro.obs import MetricsRecorder
+from repro.scoring.library import k_closest_pairs
+
+__all__ = [
+    "DEFAULT_OUTPUT",
+    "DISTRIBUTIONS",
+    "expiry_heavy_rows",
+    "run_throughput",
+    "write_throughput_json",
+]
+
+DEFAULT_OUTPUT = "BENCH_throughput.json"
+DISTRIBUTIONS = ("uniform", "correlated", "anticorrelated")
+
+#: expiry-heavy workload shape: every ``_BURST_EVERY`` ticks the stream
+#: time jumps far enough to expire the objects of one whole burst cycle.
+_BURST_EVERY = 48
+
+
+def expiry_heavy_rows(
+    count: int,
+    d: int,
+    *,
+    horizon: float,
+    burst_every: int = _BURST_EVERY,
+    seed: int = 11,
+) -> list[tuple[tuple[float, ...], float]]:
+    """``(values, timestamp)`` rows whose timestamps advance by 1 per
+    tick, plus a jump of ``horizon / 4`` every ``burst_every`` ticks —
+    so most ticks expire nothing and burst ticks expire dozens of
+    objects at once from the time-based window."""
+    values = synthetic_rows(count, d, seed=seed)
+    rows = []
+    now = 0.0
+    for index, row in enumerate(values):
+        now += horizon / 4 if index and index % burst_every == 0 else 1.0
+        rows.append((row, now))
+    return rows
+
+
+def _build_monitor(k: int, d: int, *, window, horizon, fast_path,
+                   recorder=None) -> tuple[TopKPairsMonitor, object]:
+    monitor = TopKPairsMonitor(
+        window, d, time_horizon=horizon, recorder=recorder,
+        fast_path=fast_path,
+    )
+    handle = monitor.register_query(k_closest_pairs(d), k=k)
+    return monitor, handle
+
+
+def _timed_run(rows, k, d, *, window, horizon, fast_path) -> float:
+    """Wall seconds to stream ``rows`` (uninstrumented monitor)."""
+    monitor, handle = _build_monitor(
+        k, d, window=window, horizon=horizon, fast_path=fast_path
+    )
+    start = perf_counter()
+    monitor.extend(rows)
+    elapsed = perf_counter() - start
+    assert monitor.results(handle) is not None
+    return elapsed
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _instrumented_stats(rows, k, d, *, window, horizon) -> dict:
+    """p50/p99 tick latency and per-phase µs/tick from a fast-path run."""
+    recorder = MetricsRecorder()
+    monitor, handle = _build_monitor(
+        k, d, window=window, horizon=horizon, fast_path=True,
+        recorder=recorder,
+    )
+    monitor.extend(rows)
+    monitor.results(handle)
+    events = list(recorder.events)
+    latencies = sorted(event.seconds for event in events)
+    phase_totals: dict[str, float] = {}
+    for event in events:
+        for name, seconds in event.phases.items():
+            phase_totals[name] = phase_totals.get(name, 0.0) + seconds
+    ticks = max(1, len(events))
+    registry = recorder.registry
+    return {
+        "latency_us": {
+            "p50": _percentile(latencies, 0.50) * 1e6,
+            "p99": _percentile(latencies, 0.99) * 1e6,
+            "max": (latencies[-1] if latencies else 0.0) * 1e6,
+        },
+        "phase_us_per_tick": {
+            name: total * 1e6 / ticks
+            for name, total in sorted(phase_totals.items())
+        },
+        "evictions": registry.value("repro_evictions_total"),
+        "sweeps": registry.value("repro_sweeps_total"),
+        "apply_paths": {
+            "incremental": registry.value(
+                "repro_apply_path_total", "incremental"
+            ),
+            "sweep": registry.value("repro_apply_path_total", "sweep"),
+        },
+    }
+
+
+def _bench_workload(name: str, rows, k, d, *, window, horizon,
+                    repeats: int) -> dict:
+    fast = min(
+        _timed_run(rows, k, d, window=window, horizon=horizon,
+                   fast_path=True)
+        for _ in range(repeats)
+    )
+    legacy = min(
+        _timed_run(rows, k, d, window=window, horizon=horizon,
+                   fast_path=False)
+        for _ in range(repeats)
+    )
+    ticks = len(rows)
+    result = {
+        "ticks": ticks,
+        "fast": {
+            "seconds": fast,
+            "ticks_per_sec": ticks / fast if fast else 0.0,
+        },
+        "legacy": {
+            "seconds": legacy,
+            "ticks_per_sec": ticks / legacy if legacy else 0.0,
+        },
+        "speedup": legacy / fast if fast else 0.0,
+    }
+    result.update(
+        _instrumented_stats(rows, k, d, window=window, horizon=horizon)
+    )
+    return result
+
+
+def run_throughput(*, repeats: int = 3, k: int | None = None,
+                   window: int | None = None,
+                   ticks: int | None = None) -> dict:
+    """Run every workload; returns the BENCH_throughput.json payload."""
+    d = 2
+    k = PaperParameters.K_DEFAULT if k is None else k
+    window = PaperParameters.N_DEFAULT if window is None else window
+    ticks = 4 * PaperParameters.TICKS if ticks is None else ticks
+    workloads: dict[str, dict] = {}
+    for distribution in DISTRIBUTIONS:
+        rows = synthetic_rows(window + ticks, d, distribution=distribution,
+                              seed=7)
+        workloads[distribution] = _bench_workload(
+            distribution, rows, k, d, window=window, horizon=None,
+            repeats=repeats,
+        )
+    # Time-based window: occupancy is governed by the horizon; the
+    # count-based cap is set high enough to never bind.  K = 50 (a paper
+    # K-sweep value) so the skyband the legacy path rebuilds per expired
+    # object is deep enough to expose the coalescing win.
+    heavy_k = max(k, 50)
+    horizon = float(window)
+    heavy_rows = expiry_heavy_rows(window + ticks, d, horizon=horizon)
+    workloads["expiry_heavy"] = _bench_workload(
+        "expiry_heavy", heavy_rows, heavy_k, d, window=4 * window,
+        horizon=horizon, repeats=repeats,
+    )
+    return {
+        "scale": SCALE,
+        "params": {
+            "k": k,
+            "k_expiry_heavy": max(k, 50),
+            "d": d,
+            "window": window,
+            "ticks": ticks,
+            "repeats": repeats,
+            "burst_every": _BURST_EVERY,
+        },
+        "workloads": workloads,
+    }
+
+
+def write_throughput_json(result: dict, path: str = DEFAULT_OUTPUT) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

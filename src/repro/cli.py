@@ -1,6 +1,6 @@
 """Command-line interface: monitor top-k pairs over a CSV stream, plus
-the ``lint`` / ``audit`` correctness subcommands and the ``obs``
-observability subcommand.
+the ``lint`` / ``audit`` correctness subcommands, the ``obs``
+observability subcommand and the ``bench`` benchmark runner.
 
 The default invocation feeds rows from a CSV file (or stdin) through a
 :class:`~repro.core.monitor.TopKPairsMonitor` and periodically prints the
@@ -24,6 +24,9 @@ Usage examples::
 
     # stream with full instrumentation, dump Prometheus text metrics
     python -m repro obs --dataset synthetic --steps 1000 --format prometheus
+
+    # fast-path vs legacy maintenance throughput -> BENCH_throughput.json
+    python -m repro bench throughput
 
 Scoring functions: ``closest`` (s1), ``furthest`` (s2), ``similar`` (s3),
 ``dissimilar`` (s4), each over all ``--columns`` attributes.
@@ -50,9 +53,11 @@ __all__ = [
     "main",
     "build_parser",
     "build_audit_parser",
+    "build_bench_parser",
     "build_lint_parser",
     "build_obs_parser",
     "run_audit",
+    "run_bench",
     "run_lint",
     "run_obs",
 ]
@@ -272,6 +277,63 @@ def run_audit(argv: Sequence[str],
     return 1 if auditor.violations else 0
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run a benchmark suite and write its BENCH_*.json "
+        "result file (scaled by REPRO_BENCH_SCALE).",
+    )
+    parser.add_argument(
+        "suite", choices=["throughput"],
+        help="benchmark suite to run",
+    )
+    parser.add_argument("--out", default=None, metavar="OUT.json",
+                        help="result file (default: the suite's "
+                        "BENCH_*.json in the working directory)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per arm, best-of "
+                        "(default 3)")
+    parser.add_argument("--ticks", type=int, default=None,
+                        help="measured stream length (default: "
+                        "4x the harness TICKS)")
+    parser.add_argument("--window", type=int, default=None,
+                        help="window size N (default: harness N_DEFAULT)")
+    parser.add_argument("--k", type=int, default=None,
+                        help="query depth k (default: harness K_DEFAULT)")
+    return parser
+
+
+def run_bench(argv: Sequence[str],
+              stdout: Optional[TextIO] = None) -> int:
+    """``python -m repro bench throughput`` — run + write BENCH json."""
+    from repro.bench.throughput import (
+        DEFAULT_OUTPUT,
+        run_throughput,
+        write_throughput_json,
+    )
+
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_bench_parser().parse_args(argv)
+    if args.repeats < 1:
+        raise SystemExit("--repeats >= 1 required")
+    result = run_throughput(
+        repeats=args.repeats, k=args.k, window=args.window, ticks=args.ticks
+    )
+    path = write_throughput_json(
+        result, args.out if args.out is not None else DEFAULT_OUTPUT
+    )
+    for name, workload in result["workloads"].items():
+        print(
+            f"{name}: {workload['fast']['ticks_per_sec']:.0f} ticks/sec "
+            f"fast, {workload['legacy']['ticks_per_sec']:.0f} legacy "
+            f"({workload['speedup']:.2f}x), p99 "
+            f"{workload['latency_us']['p99']:.0f} us",
+            file=stdout,
+        )
+    print(f"written to {path}", file=stdout)
+    return 0
+
+
 def build_obs_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro obs",
@@ -405,6 +467,8 @@ def main(argv: Optional[Sequence[str]] = None, *,
         return run_lint(argv[1:], stdout)
     if argv and argv[0] == "audit":
         return run_audit(argv[1:], stdout)
+    if argv and argv[0] == "bench":
+        return run_bench(argv[1:], stdout)
     if argv and argv[0] == "obs":
         return run_obs(argv[1:], stdout)
     stdin = stdin if stdin is not None else sys.stdin

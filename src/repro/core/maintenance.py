@@ -23,24 +23,56 @@ Three maintenance strategies are provided:
   *without* the staircase, using dominance counting with early exit; the
   paper's "basic" competitor in Fig 12.
 
-Expiry handling is shared: remove the expired object's skyband pairs and
+Expiry handling is shared: remove the expired objects' skyband pairs and
 refresh the staircase from the surviving skyband (expiry can never add
 skyband members — a dominator always has age at most its dominatee's, and
 all maximal-age pairs expire together — but a stale staircase could keep
 counting expired dominators, so it must be refreshed before the next
 arrival's dominance tests).
+
+Incremental fast path (``fast_path=True``, the default)
+-------------------------------------------------------
+The straightforward implementation pays a full Algorithm 4 rebuild per
+expired object and a full sweep + whole-skyband set diff per arrival.
+Both are avoidable because a sweep's heap state at position ``i`` depends
+only on the kept pairs before ``i``:
+
+* **Coalesced expiry** — all of a tick's (or batch's) expiries drop their
+  pairs in one pass, and the staircase is refreshed once: the prefix
+  below the first removed position keeps its points verbatim, the heap is
+  re-seeded with the ``K`` smallest-age prefix pairs (a C-speed
+  ``heapq.nsmallest``), and only the suffix is re-swept.  A tick with
+  ``E`` expiries costs one ``O(|SKB| log K)`` refresh instead of ``E``.
+* **Incremental candidate insertion** — when the candidate set is small
+  relative to ``|SKB|``, the same seeded suffix re-sweep merges the
+  candidates in place of the full-skyband sweep, and the added/removed
+  diff is computed over the suffix only.  When the delta is large the
+  code falls back to the classic full sweep (same results, better
+  constants at that size).
+
+Both paths produce bit-identical skybands and staircases to the full
+sweep — enforced by ``repro.audit``'s STAIR-SYNC / SKB-* invariants and
+the brute-force cross-check.  ``fast_path=False`` restores the
+rebuild-per-expiry / sweep-only behaviour (the A/B baseline that
+``repro bench throughput`` measures against).
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_left
+from heapq import nsmallest
 from time import perf_counter
 from typing import Optional
 
 from repro.analysis.cost_model import Counters
 from repro.core.pair import Pair, dominates, make_pair
-from repro.core.skyband_update import update_skyband_and_staircase
+from repro.core.skyband_update import (
+    reference_sweep_skyband,
+    sweep_skyband,
+    update_skyband_and_staircase,
+)
 from repro.core.staircase import KStaircase
 from repro.exceptions import InvalidParameterError, ScoringFunctionError
 from repro.obs.recorder import NULL_RECORDER
@@ -103,7 +135,16 @@ class SkybandMaintainer(ABC):
     filtered pair set*, which answers every query sharing the same
     (scoring function, filter) combination.  Filters must be symmetric
     and time-invariant for a given pair of objects.
+
+    ``fast_path`` selects the incremental per-tick maintenance described
+    in the module docstring; disabling it restores the historical
+    rebuild-per-expiry / full-sweep-per-arrival behaviour.
     """
+
+    #: use the incremental insertion path when
+    #: ``len(candidates) * incremental_ratio <= len(skyband)``; beyond
+    #: that the classic full sweep has better constants.
+    incremental_ratio = 4
 
     def __init__(
         self,
@@ -113,6 +154,7 @@ class SkybandMaintainer(ABC):
         counters: Optional[Counters] = None,
         pair_filter=None,
         recorder=None,
+        fast_path: bool = True,
     ) -> None:
         if K < 1:
             raise InvalidParameterError(f"K must be >= 1, got {K}")
@@ -120,9 +162,11 @@ class SkybandMaintainer(ABC):
         self.K = K
         self.counters = counters
         self.pair_filter = pair_filter
+        self.fast_path = fast_path
         self._obs = recorder if recorder is not None else NULL_RECORDER
         self._skyband: list[Pair] = []
         self._score_keys: list[tuple] = []
+        self._age_keys: list[int] = []
         self._staircase = KStaircase()
         self._pst = PrioritySearchTree(recorder=self._obs)
         self._by_oldest: dict[int, list[Pair]] = {}
@@ -158,15 +202,11 @@ class SkybandMaintainer(ABC):
         """Process one arrival event (expiries first, then the arrival)."""
         obs = self._obs
         if not obs.enabled:
-            expired_pairs: list[Pair] = []
-            for gone in expired:
-                expired_pairs.extend(self._expire(gone))
+            expired_pairs = self._expire_batch(expired)
             added, removed = self._arrive(manager, new_obj)
             return SkybandDelta(added, removed, expired_pairs)
-        expired_pairs = []
         start = perf_counter()
-        for gone in expired:
-            expired_pairs.extend(self._expire(gone))
+        expired_pairs = self._expire_batch(expired)
         obs.phase("expire", perf_counter() - start)
         start = perf_counter()
         candidates = self._collect_candidates(manager, new_obj)
@@ -199,18 +239,14 @@ class SkybandMaintainer(ABC):
         """
         obs = self._obs
         if not obs.enabled:
-            expired_pairs: list[Pair] = []
-            for gone in expired:
-                expired_pairs.extend(self._expire(gone))
+            expired_pairs = self._expire_batch(expired)
             candidates: list[Pair] = []
             for new_obj in new_objs:
                 candidates.extend(self._collect_candidates(manager, new_obj))
             added, removed = self._apply_candidates(candidates)
             return SkybandDelta(added, removed, expired_pairs)
-        expired_pairs = []
         start = perf_counter()
-        for gone in expired:
-            expired_pairs.extend(self._expire(gone))
+        expired_pairs = self._expire_batch(expired)
         obs.phase("expire", perf_counter() - start)
         start = perf_counter()
         candidates = []
@@ -224,8 +260,57 @@ class SkybandMaintainer(ABC):
         obs.on_skyband_delta(len(added), len(removed), len(expired_pairs))
         return SkybandDelta(added, removed, expired_pairs)
 
+    # ------------------------------------------------------------------
+    # expiry
+    # ------------------------------------------------------------------
     def _expire(self, gone: StreamObject) -> list[Pair]:
         """Drop all skyband pairs whose older member just expired."""
+        return self._expire_batch([gone])
+
+    def _expire_batch(self, expired: list[StreamObject]) -> list[Pair]:
+        """Drop the skyband pairs of every expired object, refreshing the
+        staircase once for the whole batch (fast path) instead of running
+        one full Algorithm 4 rebuild per expired object (legacy path)."""
+        if not expired:
+            return []
+        if not self.fast_path:
+            dropped_total: list[Pair] = []
+            for gone in expired:
+                dropped_total.extend(self._expire_one_legacy(gone))
+            return dropped_total
+        by_oldest = self._by_oldest
+        dropped: list[Pair] = []
+        for gone in expired:
+            found = by_oldest.pop(gone.seq, None)
+            if found:
+                dropped.extend(found)
+        if not dropped:
+            return []
+        pst = self._pst
+        counters = self.counters
+        for pair in dropped:
+            pst.delete(pair)
+        if counters is not None:
+            counters.pst_deletes += len(dropped)
+            counters.skyband_removals += len(dropped)
+        # Membership cannot change on expiry, but the staircase must be
+        # refreshed or it would keep counting expired dominators.  Only
+        # the suffix from the first removed position onward can differ.
+        dropped_uids = {p.uid for p in dropped}
+        score_keys = self._score_keys
+        idx = min(bisect_left(score_keys, p.score_key) for p in dropped)
+        skyband = self._skyband
+        survivors = [p for p in skyband[idx:] if p.uid not in dropped_uids]
+        if self._obs.enabled:
+            start = perf_counter()
+            self._refresh_suffix(idx, survivors)
+            self._obs.phase("staircase", perf_counter() - start)
+        else:
+            self._refresh_suffix(idx, survivors)
+        return dropped
+
+    def _expire_one_legacy(self, gone: StreamObject) -> list[Pair]:
+        """Pre-fast-path behaviour: one full rebuild per expired object."""
         dropped = self._by_oldest.pop(gone.seq, [])
         if not dropped:
             return []
@@ -236,21 +321,37 @@ class SkybandMaintainer(ABC):
             if self.counters is not None:
                 self.counters.pst_deletes += 1
                 self.counters.skyband_removals += 1
-        # Membership cannot change on expiry, but the staircase must be
-        # refreshed or it would keep counting expired dominators.
         if self._obs.enabled:
             start = perf_counter()
-            skyband, staircase = update_skyband_and_staircase(
+            skyband, points = reference_sweep_skyband(
                 survivors, self.K, recorder=self._obs
             )
             self._obs.phase("staircase", perf_counter() - start)
         else:
-            skyband, staircase = update_skyband_and_staircase(
-                survivors, self.K
-            )
-        self._set_skyband(skyband, staircase)
+            skyband, points = reference_sweep_skyband(survivors, self.K)
+        self._set_skyband(skyband, KStaircase(points))
         return dropped
 
+    def _refresh_suffix(self, idx: int, suffix_sorted: list[Pair]) -> None:
+        """Replace the skyband from position ``idx`` on with a re-sweep of
+        ``suffix_sorted``, keeping the untouched prefix's staircase points
+        and seeding the sweep heap from the prefix."""
+        K = self.K
+        seed = nsmallest(K, self._age_keys[:idx])
+        kept, points = sweep_skyband(
+            suffix_sorted, K, seed=seed, recorder=self._obs
+        )
+        self._skyband[idx:] = kept
+        self._score_keys[idx:] = [p.score_key for p in kept]
+        self._age_keys[idx:] = [p.age_key for p in kept]
+        prefix_count = idx - K + 1
+        if prefix_count > 0:
+            points = self._staircase.prefix_points(prefix_count) + points
+        self._staircase = KStaircase(points)
+
+    # ------------------------------------------------------------------
+    # arrival
+    # ------------------------------------------------------------------
     def _arrive(
         self, manager: StreamManager, new_obj: StreamObject
     ) -> tuple[list[Pair], list[Pair]]:
@@ -263,40 +364,104 @@ class SkybandMaintainer(ABC):
     def _apply_candidates(
         self, candidates: list[Pair]
     ) -> tuple[list[Pair], list[Pair]]:
-        """Merge candidate pairs into the skyband (Algorithm 4 + diff)."""
+        """Merge candidate pairs into the skyband.
+
+        Dispatches between the incremental suffix re-sweep (small
+        candidate sets against a large skyband) and the classic full
+        Algorithm 4 sweep; both produce identical skybands, staircases
+        and diffs.
+        """
         if not candidates:
             return [], []
         candidates.sort(key=lambda p: p.score_key)
+        skyband = self._skyband
+        if (
+            self.fast_path
+            and skyband
+            and len(candidates) * self.incremental_ratio <= len(skyband)
+        ):
+            idx = bisect_left(self._score_keys, candidates[0].score_key)
+            if idx:
+                return self._apply_candidates_incremental(candidates, idx)
+        return self._apply_candidates_sweep(candidates)
+
+    def _apply_candidates_sweep(
+        self, candidates: list[Pair]
+    ) -> tuple[list[Pair], list[Pair]]:
+        """Full Algorithm 4 over the merged skyband + candidate set."""
+        obs = self._obs
+        if obs.enabled:
+            obs.on_apply_path("sweep")
+        # fast_path=False replays the pre-fast-path implementation
+        # byte-for-byte, including its MaxHeap-based sweep (the honest
+        # A/B baseline for `repro bench throughput`).
+        sweep = sweep_skyband if self.fast_path else reference_sweep_skyband
         merged = _merge_by_score(self._skyband, candidates)
-        skyband, staircase = update_skyband_and_staircase(
-            merged, self.K, counters=self.counters, recorder=self._obs
+        skyband, points = sweep(
+            merged, self.K, counters=self.counters, recorder=obs
         )
         old_uids = {p.uid for p in self._skyband}
         new_uids = {p.uid for p in skyband}
         added = [p for p in skyband if p.uid not in old_uids]
         removed = [p for p in self._skyband if p.uid not in new_uids]
+        self._commit_diff(added, removed)
+        self._set_skyband(skyband, KStaircase(points))
+        return added, removed
+
+    def _apply_candidates_incremental(
+        self, candidates: list[Pair], idx: int
+    ) -> tuple[list[Pair], list[Pair]]:
+        """Seeded suffix re-sweep: the skyband prefix below the smallest
+        candidate's score position ``idx`` cannot change (no candidate can
+        dominate a lower-score pair), so only ``skyband[idx:]`` merged
+        with the candidates is re-swept, against a heap seeded with the K
+        smallest-age prefix pairs.  Equivalent to the full sweep."""
+        obs = self._obs
+        if obs.enabled:
+            obs.on_apply_path("incremental")
+        K = self.K
+        skyband = self._skyband
+        suffix = skyband[idx:]
+        merged = _merge_by_score(suffix, candidates)
+        seed = nsmallest(K, self._age_keys[:idx])
+        kept, points = sweep_skyband(
+            merged, K, seed=seed, counters=self.counters, recorder=obs
+        )
+        suffix_uids = {p.uid for p in suffix}
+        kept_uids = {p.uid for p in kept}
+        added = [p for p in kept if p.uid not in suffix_uids]
+        removed = [p for p in suffix if p.uid not in kept_uids]
+        self._commit_diff(added, removed)
+        skyband[idx:] = kept
+        self._score_keys[idx:] = [p.score_key for p in kept]
+        self._age_keys[idx:] = [p.age_key for p in kept]
+        prefix_count = idx - K + 1
+        if prefix_count > 0:
+            points = self._staircase.prefix_points(prefix_count) + points
+        self._staircase = KStaircase(points)
+        return added, removed
+
+    def _commit_diff(self, added: list[Pair], removed: list[Pair]) -> None:
+        """Apply a skyband diff to the PST and the expiry index."""
+        by_oldest = self._by_oldest
         for pair in removed:
             self._pst.delete(pair)
-            self._by_oldest[pair.oldest_seq].remove(pair)
-            if not self._by_oldest[pair.oldest_seq]:
-                del self._by_oldest[pair.oldest_seq]
-            if self.counters is not None:
-                self.counters.pst_deletes += 1
-                self.counters.skyband_removals += 1
+            by_oldest[pair.oldest_seq].remove(pair)
+            if not by_oldest[pair.oldest_seq]:
+                del by_oldest[pair.oldest_seq]
         for pair in added:
             self._pst.insert(pair)
-            self._by_oldest.setdefault(pair.oldest_seq, []).append(pair)
-            if self.counters is not None:
-                self.counters.pst_inserts += 1
-                self.counters.skyband_inserts += 1
-        self._skyband = skyband
-        self._score_keys = [p.score_key for p in skyband]
-        self._staircase = staircase
-        return added, removed
+            by_oldest.setdefault(pair.oldest_seq, []).append(pair)
+        if self.counters is not None:
+            self.counters.pst_deletes += len(removed)
+            self.counters.skyband_removals += len(removed)
+            self.counters.pst_inserts += len(added)
+            self.counters.skyband_inserts += len(added)
 
     def _set_skyband(self, skyband: list[Pair], staircase: KStaircase) -> None:
         self._skyband = skyband
         self._score_keys = [p.score_key for p in skyband]
+        self._age_keys = [p.age_key for p in skyband]
         self._staircase = staircase
 
     def bootstrap(self, manager: StreamManager) -> None:
@@ -354,6 +519,7 @@ class SkybandMaintainer(ABC):
     def check_invariants(self, manager: StreamManager) -> None:
         """Cross-validate skyband, staircase, PST and index (test helper)."""
         assert self._score_keys == [p.score_key for p in self._skyband]
+        assert self._age_keys == [p.age_key for p in self._skyband]
         assert sorted(self._score_keys) == self._score_keys
         self._staircase.check_invariants()
         self._pst.check_invariants()
@@ -381,16 +547,24 @@ class SCaseMaintainer(SkybandMaintainer):
         for partner in manager:
             if partner.seq >= new_obj.seq:
                 continue  # intra-batch pairs belong to their newer member
-            if keep is not None and not keep(new_obj, partner):
-                continue
             pair = make_pair(new_obj, partner, self.scoring_function, counters)
             if counters is not None:
                 counters.pairs_considered += 1
                 counters.staircase_checks += 1
-            if not staircase.dominates(pair.score_key, pair.age_key):
-                candidates.append(pair)
+            if staircase.dominates(pair.score_key, pair.age_key):
+                # Dominated pairs are pruned regardless of the filter, so
+                # the O(log |SKB|) staircase test runs first and the
+                # (potentially expensive, user-supplied) filter is only
+                # paid on surviving pairs.
+                continue
+            if keep is not None:
                 if counters is not None:
-                    counters.candidate_pairs += 1
+                    counters.pair_filter_calls += 1
+                if not keep(new_obj, partner):
+                    continue
+            candidates.append(pair)
+            if counters is not None:
+                counters.candidate_pairs += 1
         return candidates
 
 
@@ -414,6 +588,7 @@ class TAMaintainer(SkybandMaintainer):
         schedule: str = "round-robin",
         pair_filter=None,
         recorder=None,
+        fast_path: bool = True,
     ) -> None:
         if not scoring_function.is_global():
             raise ScoringFunctionError(
@@ -426,7 +601,8 @@ class TAMaintainer(SkybandMaintainer):
                 f"got {schedule!r}"
             )
         super().__init__(scoring_function, K, counters=counters,
-                         pair_filter=pair_filter, recorder=recorder)
+                         pair_filter=pair_filter, recorder=recorder,
+                         fast_path=fast_path)
         self.schedule = schedule
 
     def _collect_candidates(
@@ -504,18 +680,23 @@ class TAMaintainer(SkybandMaintainer):
         if partner.seq >= new_obj.seq or partner.seq in seen:
             return
         seen.add(partner.seq)
-        if self.pair_filter is not None and not self.pair_filter(
-            new_obj, partner
-        ):
+        counters = self.counters
+        pair = make_pair(new_obj, partner, self.scoring_function, counters)
+        if counters is not None:
+            counters.pairs_considered += 1
+            counters.staircase_checks += 1
+        if self._staircase.dominates(pair.score_key, pair.age_key):
+            # As in SCase: prune on the cheap dominance test before
+            # paying the user-supplied filter.
             return
-        pair = make_pair(new_obj, partner, self.scoring_function, self.counters)
-        if self.counters is not None:
-            self.counters.pairs_considered += 1
-            self.counters.staircase_checks += 1
-        if not self._staircase.dominates(pair.score_key, pair.age_key):
-            candidates.append(pair)
-            if self.counters is not None:
-                self.counters.candidate_pairs += 1
+        if self.pair_filter is not None:
+            if counters is not None:
+                counters.pair_filter_calls += 1
+            if not self.pair_filter(new_obj, partner):
+                return
+        candidates.append(pair)
+        if counters is not None:
+            counters.candidate_pairs += 1
 
 
 def _merge_by_score(a: list[Pair], b: list[Pair]) -> list[Pair]:

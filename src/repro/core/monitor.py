@@ -24,8 +24,9 @@ Usage::
 from __future__ import annotations
 
 import os
+from itertools import islice
 from time import perf_counter
-from typing import Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.analysis.cost_model import Counters
 from repro.core.continuous import ContinuousQueryState
@@ -103,6 +104,7 @@ class TopKPairsMonitor:
         audit_interval: int = 1,
         audit_cross_check_interval: int = 0,
         recorder=None,
+        fast_path: bool = True,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise InvalidParameterError(
@@ -119,6 +121,7 @@ class TopKPairsMonitor:
         self.window_size = window_size
         self.strategy = strategy
         self.counters = counters
+        self.fast_path = fast_path
         self._groups: dict[int, _SkybandGroup] = {}
         self._handles: dict[int, QueryHandle] = {}
         # Opt-in runtime invariant verification (repro.audit): explicit
@@ -222,8 +225,15 @@ class TopKPairsMonitor:
                                   pair_filter)
             self._groups[key] = group
         else:
-            # K grew: swap in the deeper maintainer, keep the queries.
+            # K grew: swap in the deeper maintainer, keep the queries —
+            # and rebuild every live continuous answer against the new
+            # PST, or they would serve the old maintainer's snapshot
+            # until unrelated churn happened to refresh them.
             group.maintainer = maintainer
+            now = self.manager.now_seq
+            for handle in group.queries.values():
+                if handle.state is not None:
+                    handle.state.initialize(maintainer.pst, now)
         return group
 
     def _resolve_strategy(self, scoring_function: ScoringFunction) -> str:
@@ -241,17 +251,20 @@ class TopKPairsMonitor:
         if strategy == "ta":
             return TAMaintainer(scoring_function, K, counters=self.counters,
                                 pair_filter=pair_filter,
-                                recorder=self.recorder)
+                                recorder=self.recorder,
+                                fast_path=self.fast_path)
         if strategy == "basic":
             from repro.baselines.basic import BasicMaintainer
 
             return BasicMaintainer(scoring_function, K,
                                    counters=self.counters,
                                    pair_filter=pair_filter,
-                                   recorder=self.recorder)
+                                   recorder=self.recorder,
+                                   fast_path=self.fast_path)
         return SCaseMaintainer(scoring_function, K, counters=self.counters,
                                pair_filter=pair_filter,
-                               recorder=self.recorder)
+                               recorder=self.recorder,
+                               fast_path=self.fast_path)
 
     # ------------------------------------------------------------------
     # stream ingestion
@@ -305,11 +318,18 @@ class TopKPairsMonitor:
 
     def extend(
         self,
-        rows: Sequence[Sequence[float]],
+        rows: Iterable,
         *,
         batch_size: Optional[int] = None,
+        timestamps: Optional[Iterable[float]] = None,
     ) -> None:
         """Admit many objects.
+
+        ``rows`` is any iterable (a generator is consumed lazily, chunk
+        by chunk).  Each row is either a plain value sequence or a
+        ``(values, timestamp)`` / ``(values, timestamp, payload)`` tuple;
+        alternatively ``timestamps`` supplies one timestamp per plain
+        row.  Mixing both timestamp channels is rejected.
 
         With ``batch_size`` set, skybands and continuous answers are
         refreshed only at batch boundaries (one Algorithm 4 sweep per
@@ -318,19 +338,27 @@ class TopKPairsMonitor:
         are never observable, so batched and per-tick ingestion agree at
         every batch boundary.
         """
+        normalized = _normalize_rows(rows, timestamps)
         if batch_size is None or batch_size <= 1:
-            for values in rows:
-                self.append(values)
+            for values, timestamp, payload in normalized:
+                self.append(values, timestamp=timestamp, payload=payload)
             return
-        for start in range(0, len(rows), batch_size):
-            self._append_batch(rows[start:start + batch_size])
+        while True:
+            chunk = list(islice(normalized, batch_size))
+            if not chunk:
+                return
+            self._append_batch(chunk)
 
-    def _append_batch(self, rows: Sequence[Sequence[float]]) -> None:
+    def _append_batch(self, rows: list[tuple]) -> None:
+        """``rows`` are normalized ``(values, timestamp, payload)``."""
         obs = self.recorder
         if obs.enabled:
             obs.begin_tick()
         tick_start = perf_counter()
-        events = [self.manager.append(values) for values in rows]
+        events = [
+            self.manager.append(values, timestamp=timestamp, payload=payload)
+            for values, timestamp, payload in rows
+        ]
         expired = [gone for event in events for gone in event.expired]
         if obs.enabled:
             obs.phase("window", perf_counter() - tick_start)
@@ -479,6 +507,53 @@ class TopKPairsMonitor:
         """Validate every group's structures (test helper)."""
         for group in self._groups.values():
             group.maintainer.check_invariants(self.manager)
+
+
+def _normalize_row(row) -> tuple:
+    """``row`` → ``(values, timestamp, payload)``.
+
+    A row whose first element is itself a sequence is a rich
+    ``(values, timestamp[, payload])`` tuple; anything else is a plain
+    value sequence.
+    """
+    if (
+        isinstance(row, tuple)
+        and row
+        and isinstance(row[0], (list, tuple))
+    ):
+        if len(row) > 3:
+            raise InvalidParameterError(
+                f"row tuples are (values, timestamp[, payload]); "
+                f"got {len(row)} elements"
+            )
+        values = row[0]
+        timestamp = row[1] if len(row) > 1 else None
+        payload = row[2] if len(row) > 2 else None
+        return values, timestamp, payload
+    return row, None, None
+
+
+def _normalize_rows(rows: Iterable, timestamps) -> "Iterator[tuple]":
+    """Lazily yield ``(values, timestamp, payload)`` for every row."""
+    if timestamps is None:
+        for row in rows:
+            yield _normalize_row(row)
+        return
+    timestamp_iter = iter(timestamps)
+    for row in rows:
+        values, row_timestamp, payload = _normalize_row(row)
+        if row_timestamp is not None:
+            raise InvalidParameterError(
+                "pass timestamps either inline in row tuples or via "
+                "timestamps=, not both"
+            )
+        try:
+            timestamp = next(timestamp_iter)
+        except StopIteration:
+            raise InvalidParameterError(
+                "timestamps iterable exhausted before rows"
+            ) from None
+        yield values, timestamp, payload
 
 
 def _group_key(scoring_function: ScoringFunction, pair_filter) -> tuple:

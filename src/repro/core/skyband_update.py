@@ -14,10 +14,28 @@ staircase point for every kept pair:
   ``(its score key, new K-th smallest age)``.
 
 Cost: ``O(|P| log K)`` for ``|P|`` input pairs.
+
+Two implementations are provided:
+
+* :func:`sweep_skyband` — the production sweep.  Age keys are plain ints
+  (``-older.seq``), so the max-heap is a :mod:`heapq` min-heap of negated
+  age keys: every heap operation runs in C with no key-function calls,
+  which is the bulk of the sweep's cost in pure Python.  It also accepts
+  a *seed* for the incremental maintenance fast path: because the heap
+  state at any position depends only on the kept pairs before it, a sweep
+  may start mid-skyband when handed the age keys of the K smallest-age
+  prefix pairs.  The prefix's own membership and staircase points are
+  unchanged by construction, so only the suffix is re-swept.
+* :func:`reference_sweep_skyband` — the straightforward
+  :class:`~repro.structures.heap.MaxHeap`-over-pairs implementation,
+  kept as the A/B baseline that ``fast_path=False`` maintainers (and
+  ``repro bench throughput``'s legacy arm) run, and as the obviously
+  correct oracle the tests compare against.
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappush, heappushpop
 from typing import Sequence
 
 from repro.analysis.cost_model import Counters
@@ -25,7 +43,113 @@ from repro.core.pair import Pair
 from repro.core.staircase import KStaircase
 from repro.structures.heap import MaxHeap
 
-__all__ = ["update_skyband_and_staircase"]
+__all__ = [
+    "reference_sweep_skyband",
+    "sweep_skyband",
+    "update_skyband_and_staircase",
+]
+
+
+def sweep_skyband(
+    pairs_sorted: Sequence[Pair],
+    K: int,
+    *,
+    seed: Sequence[int] = (),
+    counters: Counters | None = None,
+    recorder=None,
+) -> tuple[list[Pair], list[tuple]]:
+    """One (optionally seeded) Algorithm 4 sweep.
+
+    Parameters
+    ----------
+    pairs_sorted:
+        Candidate pairs in ascending ``score_key`` order.
+    K:
+        Skyband depth.
+    seed:
+        The *age keys* of the ``min(K, prefix size)`` smallest-age pairs
+        of an untouched, already-kept prefix whose every member has a
+        score key below ``pairs_sorted[0]``'s.  The sweep then behaves
+        exactly as if it had processed that prefix first, but emits
+        membership decisions and staircase points only for
+        ``pairs_sorted``.  An empty seed is a plain full sweep.
+
+    Returns
+    -------
+    ``(kept, points)`` — the kept pairs in ascending score order and the
+    staircase points ``(score_key, age_key)`` they contributed.
+    """
+    if K < 1:
+        raise ValueError(f"K must be >= 1, got {K}")
+    # Min-heap of negated age keys == max-heap of age keys; heap[0] is
+    # the negated K-th smallest age among the kept pairs so far.
+    heap = [-age_key for age_key in seed]
+    heapify(heap)
+    size = len(heap)
+    kept: list[Pair] = []
+    points: list[tuple[tuple, int]] = []
+    for pair in pairs_sorted:
+        if counters is not None:
+            counters.dominance_checks += 1
+        if size < K:
+            kept.append(pair)
+            heappush(heap, -pair.age_key)
+            size += 1
+            if counters is not None:
+                counters.heap_ops += 1
+            if size == K:
+                points.append((pair.score_key, -heap[0]))
+        else:
+            negated = -pair.age_key
+            if negated <= heap[0]:
+                # K earlier pairs have smaller score keys and ages <=
+                # this pair's age: dominated, discard.
+                continue
+            kept.append(pair)
+            heappushpop(heap, negated)
+            if counters is not None:
+                counters.heap_ops += 1
+            points.append((pair.score_key, -heap[0]))
+    if recorder is not None and recorder.enabled:
+        recorder.on_sweep(len(pairs_sorted), len(kept))
+    return kept, points
+
+
+def reference_sweep_skyband(
+    pairs_sorted: Sequence[Pair],
+    K: int,
+    *,
+    counters: Counters | None = None,
+    recorder=None,
+) -> tuple[list[Pair], list[tuple]]:
+    """The straightforward full sweep (MaxHeap over pairs) — the
+    pre-fast-path implementation, kept as A/B baseline and test oracle."""
+    if K < 1:
+        raise ValueError(f"K must be >= 1, got {K}")
+    heap: MaxHeap = MaxHeap(key=lambda pair: pair.age_key)
+    kept: list[Pair] = []
+    points: list[tuple[tuple, int]] = []
+    for pair in pairs_sorted:
+        if counters is not None:
+            counters.dominance_checks += 1
+        if len(heap) < K:
+            kept.append(pair)
+            heap.push(pair)
+            if counters is not None:
+                counters.heap_ops += 1
+            if len(heap) == K:
+                points.append((pair.score_key, heap.peek().age_key))
+        elif pair.age_key >= heap.peek().age_key:
+            continue
+        else:
+            kept.append(pair)
+            heap.pushpop(pair)
+            if counters is not None:
+                counters.heap_ops += 1
+            points.append((pair.score_key, heap.peek().age_key))
+    if recorder is not None and recorder.enabled:
+        recorder.on_sweep(len(pairs_sorted), len(kept))
+    return kept, points
 
 
 def update_skyband_and_staircase(
@@ -52,31 +176,7 @@ def update_skyband_and_staircase(
     ascending score order and ``staircase`` the matching
     :class:`~repro.core.staircase.KStaircase`.
     """
-    if K < 1:
-        raise ValueError(f"K must be >= 1, got {K}")
-    heap: MaxHeap = MaxHeap(key=lambda pair: pair.age_key)
-    skyband: list[Pair] = []
-    staircase_points: list[tuple[tuple, int]] = []
-    for pair in pairs_sorted:
-        if counters is not None:
-            counters.dominance_checks += 1
-        if len(heap) < K:
-            skyband.append(pair)
-            heap.push(pair)
-            if counters is not None:
-                counters.heap_ops += 1
-            if len(heap) == K:
-                staircase_points.append((pair.score_key, heap.peek().age_key))
-        elif pair.age_key >= heap.peek().age_key:
-            # K earlier pairs have smaller score keys and ages <= this
-            # pair's age: dominated, discard.
-            continue
-        else:
-            skyband.append(pair)
-            heap.pushpop(pair)
-            if counters is not None:
-                counters.heap_ops += 1
-            staircase_points.append((pair.score_key, heap.peek().age_key))
-    if recorder is not None and recorder.enabled:
-        recorder.on_sweep(len(pairs_sorted), len(skyband))
-    return skyband, KStaircase(staircase_points)
+    skyband, points = sweep_skyband(
+        pairs_sorted, K, counters=counters, recorder=recorder
+    )
+    return skyband, KStaircase(points)

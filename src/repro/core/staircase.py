@@ -47,6 +47,16 @@ class KStaircase:
     def points(self) -> list[tuple[Any, int]]:
         return list(zip(self._score_keys, self._age_keys))
 
+    def prefix_points(self, count: int) -> list[tuple[Any, int]]:
+        """The first ``count`` points ``(score_key, age_key)``.
+
+        Used by the incremental maintenance fast path: when every skyband
+        change sits at score positions >= ``idx``, the staircase points of
+        the untouched prefix (there are ``max(0, idx - K + 1)`` of them)
+        carry over verbatim and only the suffix is re-swept.
+        """
+        return list(zip(self._score_keys[:count], self._age_keys[:count]))
+
     def dominates(self, score_key: Any, age_key: int) -> bool:
         """Whether the K-skyband (via this staircase) dominates the point
         ``(score_key, age_key)`` — i.e. at least K skyband pairs do.

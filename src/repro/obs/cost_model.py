@@ -33,6 +33,7 @@ class Counters:
     __slots__ = (
         "score_evaluations",
         "pairs_considered",
+        "pair_filter_calls",
         "candidate_pairs",
         "dominance_checks",
         "staircase_checks",

@@ -94,6 +94,9 @@ class NullRecorder:
     def on_sweep(self, pairs: int, kept: int) -> None:
         pass
 
+    def on_apply_path(self, path: str) -> None:
+        pass
+
     def observe(self, name: str, seconds: float) -> None:
         pass
 
@@ -202,6 +205,12 @@ class MetricsRecorder:
         self._sweep_pairs = r.counter(
             "repro_sweep_pairs_total", "pairs examined by Algorithm 4 sweeps"
         )
+        self._apply_path_family = r.counter(
+            "repro_apply_path_total",
+            "candidate merges by maintenance path (incremental vs sweep)",
+            labelnames=("path",),
+        )
+        self._apply_paths: dict = {}
         self._append_seconds = r.histogram(
             "repro_append_seconds", "wall seconds per monitor append / batch"
         )
@@ -327,6 +336,14 @@ class MetricsRecorder:
     def on_sweep(self, pairs: int, kept: int) -> None:
         self._sweeps.inc()
         self._sweep_pairs.inc(pairs)
+
+    def on_apply_path(self, path: str) -> None:
+        counter = self._apply_paths.get(path)
+        if counter is None:
+            counter = self._apply_paths[path] = (
+                self._apply_path_family.labels(path)
+            )
+        counter.inc()
 
     def observe(self, name: str, seconds: float) -> None:
         hist = self._adhoc.get(name)

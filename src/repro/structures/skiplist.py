@@ -104,8 +104,9 @@ class SkipList:
             node = node.forward[0]
 
     def __contains__(self, value: Any) -> bool:
-        node = self._find_first_node(self._key(value))
-        while node is not None and self._key(node.value) == self._key(value):
+        key = self._key(value)
+        node = self._find_first_node(key)
+        while node is not None and node.key == key:
             if node.value == value:
                 return True
             node = node.forward[0]
@@ -137,8 +138,9 @@ class SkipList:
             if level < self._level - 1:
                 rank[level] = rank[level + 1]
             nxt = node.forward[level]
-            # "<= key" keeps equal keys in insertion order (new goes last)
-            while nxt is not None and self._key(nxt.value) <= key:
+            # "<= key" keeps equal keys in insertion order (new goes last);
+            # descents compare cached node keys, never re-invoking _key
+            while nxt is not None and nxt.key <= key:
                 rank[level] += node.width[level]
                 node = nxt
                 nxt = node.forward[level]
@@ -181,7 +183,7 @@ class SkipList:
         """
         key = self._key(value)
         node = self._find_first_node(key)
-        while node is not None and self._key(node.value) == key:
+        while node is not None and node.key == key:
             if node.value == value:
                 self.remove_node(node)
                 return
@@ -197,8 +199,8 @@ class SkipList:
         for level in range(self._level - 1, -1, -1):
             nxt = node.forward[level]
             while nxt is not None and (
-                self._key(nxt.value) < key
-                or (self._key(nxt.value) == key and nxt is not target
+                nxt.key < key
+                or (nxt.key == key and nxt is not target
                     and _reaches(nxt, target))
             ):
                 node = nxt
@@ -237,7 +239,7 @@ class SkipList:
         node = self._head
         for level in range(self._level - 1, -1, -1):
             nxt = node.forward[level]
-            while nxt is not None and self._key(nxt.value) < key:
+            while nxt is not None and nxt.key < key:
                 node = nxt
                 nxt = node.forward[level]
         return node.forward[0]
@@ -248,7 +250,7 @@ class SkipList:
         rank = 0
         for level in range(self._level - 1, -1, -1):
             nxt = node.forward[level]
-            while nxt is not None and self._key(nxt.value) < key:
+            while nxt is not None and nxt.key < key:
                 rank += node.width[level]
                 node = nxt
                 nxt = node.forward[level]
@@ -260,7 +262,7 @@ class SkipList:
         rank = 0
         for level in range(self._level - 1, -1, -1):
             nxt = node.forward[level]
-            while nxt is not None and self._key(nxt.value) <= key:
+            while nxt is not None and nxt.key <= key:
                 rank += node.width[level]
                 node = nxt
                 nxt = node.forward[level]
@@ -270,7 +272,7 @@ class SkipList:
         """The node holding ``value`` (matched by ``==``)."""
         key = self._key(value)
         node = self._find_first_node(key)
-        while node is not None and self._key(node.value) == key:
+        while node is not None and node.key == key:
             if node.value == value:
                 return node
             node = node.forward[0]
@@ -297,7 +299,7 @@ class SkipList:
         key = self._key(value)
         rank = self.bisect_left(key)
         node = self._find_first_node(key)
-        while node is not None and self._key(node.value) == key:
+        while node is not None and node.key == key:
             if node.value == value:
                 return rank
             rank += 1
@@ -340,6 +342,11 @@ class SkipList:
         keys = [self._key(v) for v in values]
         assert keys == sorted(keys), "skip list keys out of order"
         assert len(values) == self._size, "size mismatch"
+        # Descents rely on the cached node keys matching the key function.
+        node = self._head.forward[0]
+        while node is not None:
+            assert node.key == self._key(node.value), "stale cached key"
+            node = node.forward[0]
         # Level-0 positions: head at 0, i-th node at i + 1.
         positions: dict[int, int] = {id(self._head): 0}
         node = self._head.forward[0]

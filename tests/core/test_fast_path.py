@@ -1,0 +1,178 @@
+"""The incremental maintenance fast path must be bit-identical to the
+legacy rebuild-per-expiry / full-sweep path: same skyband, same staircase
+points, same answers, at every tick."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintenance import SCaseMaintainer
+from repro.core.monitor import TopKPairsMonitor
+from repro.core.skyband_update import (
+    reference_sweep_skyband,
+    sweep_skyband,
+)
+from repro.obs import MetricsRecorder
+from repro.scoring.library import k_closest_pairs, k_furthest_pairs
+
+from tests.conftest import make_pair_at, random_rows
+
+
+def sorted_pairs(age_scores):
+    pairs = [make_pair_at(age_score) for age_score in age_scores]
+    pairs.sort(key=lambda p: p.score_key)
+    return pairs
+
+
+class TestSweepImplementations:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 25), st.floats(0, 50)),
+            max_size=60,
+        ),
+        st.integers(1, 8),
+    )
+    def test_fast_sweep_equals_reference(self, age_scores, K):
+        pairs = sorted_pairs(age_scores)
+        fast_kept, fast_points = sweep_skyband(pairs, K)
+        ref_kept, ref_points = reference_sweep_skyband(pairs, K)
+        assert [p.uid for p in fast_kept] == [p.uid for p in ref_kept]
+        assert fast_points == ref_points
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 25), st.floats(0, 50)),
+            min_size=2,
+            max_size=60,
+        ),
+        st.integers(1, 6),
+        st.data(),
+    )
+    def test_seeded_suffix_sweep_equals_full_sweep(self, age_scores, K, data):
+        """Splitting a full sweep's input at any kept position and
+        re-sweeping the suffix with the prefix's K smallest age keys as
+        seed must reproduce the full sweep's suffix exactly."""
+        pairs = sorted_pairs(age_scores)
+        kept, points = sweep_skyband(pairs, K)
+        split = data.draw(st.integers(0, len(pairs)))
+        prefix = [p for p in kept if p.score_key < pairs[split:][0].score_key] \
+            if split < len(pairs) else kept
+        seed = sorted(p.age_key for p in prefix)[:K]
+        suffix_kept, suffix_points = sweep_skyband(
+            pairs[split:], K, seed=seed
+        )
+        assert [p.uid for p in prefix + suffix_kept] == [p.uid for p in kept]
+        prefix_points = max(0, len(prefix) - K + 1)
+        assert points[:prefix_points] + suffix_points == points
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            sweep_skyband([], 0)
+        with pytest.raises(ValueError):
+            reference_sweep_skyband([], 0)
+
+
+def drive_pairwise(strategy, rows, *, k, window, time_horizon=None,
+                   timestamps=None):
+    """Stream ``rows`` through a fast and a legacy monitor in lockstep,
+    asserting identical skybands, staircases and answers every tick."""
+    fast = TopKPairsMonitor(window, 2, strategy=strategy,
+                            time_horizon=time_horizon, fast_path=True)
+    legacy = TopKPairsMonitor(window, 2, strategy=strategy,
+                              time_horizon=time_horizon, fast_path=False)
+    sf_fast, sf_legacy = k_closest_pairs(2), k_closest_pairs(2)
+    h_fast = fast.register_query(sf_fast, k=k)
+    h_legacy = legacy.register_query(sf_legacy, k=k)
+    for index, row in enumerate(rows):
+        ts = timestamps[index] if timestamps is not None else None
+        fast.append(row, timestamp=ts)
+        legacy.append(row, timestamp=ts)
+        group_f = fast._groups[next(iter(fast._groups))]
+        group_l = legacy._groups[next(iter(legacy._groups))]
+        assert [p.uid for p in group_f.maintainer.skyband] == \
+            [p.uid for p in group_l.maintainer.skyband]
+        assert group_f.maintainer.staircase.points() == \
+            group_l.maintainer.staircase.points()
+        assert [p.uid for p in fast.results(h_fast)] == \
+            [p.uid for p in legacy.results(h_legacy)]
+    fast.check_invariants()
+    legacy.check_invariants()
+
+
+@pytest.mark.parametrize("strategy", ["scase", "ta"])
+class TestFastPathEquivalence:
+    def test_count_window_stream(self, strategy):
+        drive_pairwise(strategy, random_rows(80, 2, seed=1), k=4, window=20)
+
+    def test_time_horizon_bursts(self, strategy):
+        """Timestamp jumps expire many objects in one tick — the case
+        the coalesced expiry exists for."""
+        rows = random_rows(90, 2, seed=2)
+        timestamps, now = [], 0.0
+        for index in range(len(rows)):
+            now += 12.0 if index and index % 15 == 0 else 1.0
+            timestamps.append(now)
+        drive_pairwise(strategy, rows, k=4, window=200, time_horizon=30.0,
+                       timestamps=timestamps)
+
+
+class TestIncrementalDispatch:
+    def test_forced_incremental_matches_forced_sweep(self):
+        """Even with the ratio heuristic pinned to each extreme, results
+        agree (the dispatch is a pure performance decision)."""
+        rows = random_rows(70, 2, seed=3)
+        always, never = [], []
+        for ratio, out in ((10**9, always), (0, never)):
+            monitor = TopKPairsMonitor(18, 2, strategy="scase")
+            handle = monitor.register_query(k_furthest_pairs(2), k=3)
+            group = monitor._groups[next(iter(monitor._groups))]
+            group.maintainer.incremental_ratio = ratio
+            for row in rows:
+                monitor.append(row)
+                out.append([p.uid for p in monitor.results(handle)])
+            monitor.check_invariants()
+        assert always == never
+
+    def test_staircase_size_law(self):
+        """Algorithm 4 emits one point per kept pair from the K-th on —
+        the prefix/suffix stitching depends on this exact count."""
+        monitor = TopKPairsMonitor(25, 2, strategy="scase")
+        monitor.register_query(k_closest_pairs(2), k=5)
+        for row in random_rows(60, 2, seed=4):
+            monitor.append(row)
+            group = monitor._groups[next(iter(monitor._groups))]
+            maintainer = group.maintainer
+            assert len(maintainer.staircase) == max(
+                0, len(maintainer.skyband) - maintainer.K + 1
+            )
+
+    def test_apply_path_metrics(self):
+        """The recorder counts which maintenance path each merge took."""
+        recorder = MetricsRecorder()
+        monitor = TopKPairsMonitor(20, 2, strategy="scase",
+                                   recorder=recorder)
+        monitor.register_query(k_closest_pairs(2), k=3)
+        for row in random_rows(60, 2, seed=5):
+            monitor.append(row)
+        registry = recorder.registry
+        incremental = registry.value("repro_apply_path_total", "incremental")
+        sweep = registry.value("repro_apply_path_total", "sweep")
+        assert incremental > 0
+        assert incremental + sweep > 0
+
+    def test_legacy_flag_disables_incremental(self):
+        maintainer = SCaseMaintainer(k_closest_pairs(2), 3, fast_path=False)
+        assert maintainer.fast_path is False
+        recorder = MetricsRecorder()
+        monitor = TopKPairsMonitor(20, 2, strategy="scase",
+                                   recorder=recorder, fast_path=False)
+        monitor.register_query(k_closest_pairs(2), k=3)
+        for row in random_rows(40, 2, seed=6):
+            monitor.append(row)
+        registry = recorder.registry
+        assert registry.value("repro_apply_path_total", "incremental") == 0
+        assert registry.value("repro_apply_path_total", "sweep") > 0

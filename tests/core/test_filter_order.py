@@ -1,0 +1,72 @@
+"""Candidate collection pays the user-supplied ``pair_filter`` only on
+pairs that survive the cheap staircase dominance test, and counts every
+invocation in ``Counters.pair_filter_calls``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute import BruteForceReference
+from repro.core.monitor import TopKPairsMonitor
+from repro.obs import Counters
+from repro.scoring.library import k_closest_pairs
+
+from tests.conftest import random_rows
+
+
+class CountingFilter:
+    """Symmetric predicate that records how often it is evaluated."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+        self.calls = 0
+
+    def __call__(self, a, b):
+        self.calls += 1
+        return self.predicate(a, b)
+
+
+def parity(a, b):
+    return (a.seq + b.seq) % 2 == 0
+
+
+@pytest.mark.parametrize("strategy", ["scase", "ta"])
+class TestFilterAfterDominance:
+    def test_filter_skipped_on_dominated_pairs(self, strategy):
+        counters = Counters()
+        fltr = CountingFilter(parity)
+        monitor = TopKPairsMonitor(40, 2, strategy=strategy,
+                                   counters=counters)
+        monitor.register_query(k_closest_pairs(2), k=2, pair_filter=fltr)
+        for row in random_rows(120, 2, seed=31):
+            monitor.append(row)
+        # Bootstrap evaluates the filter on every window pair before any
+        # staircase exists; steady-state collection must not.
+        assert counters.pair_filter_calls == fltr.calls
+        assert counters.pairs_considered > 0
+        # With K=2 over a 40-object window most new pairs are staircase-
+        # dominated, so the filter runs on only a fraction of them.
+        assert counters.pair_filter_calls < counters.pairs_considered
+
+    def test_answers_unchanged_by_reordering(self, strategy):
+        fltr = CountingFilter(parity)
+        monitor = TopKPairsMonitor(15, 2, strategy=strategy)
+        sf = k_closest_pairs(2)
+        ref = BruteForceReference(sf, 15, pair_filter=parity)
+        handle = monitor.register_query(sf, k=3, pair_filter=fltr)
+        for row in random_rows(50, 2, seed=32):
+            monitor.append(row)
+            ref.append(row)
+            assert [p.uid for p in monitor.results(handle)] == [
+                p.uid for p in ref.top_k(3, 15)
+            ]
+        monitor.check_invariants()
+
+    def test_no_filter_means_no_filter_calls(self, strategy):
+        counters = Counters()
+        monitor = TopKPairsMonitor(20, 2, strategy=strategy,
+                                   counters=counters)
+        monitor.register_query(k_closest_pairs(2), k=3)
+        for row in random_rows(40, 2, seed=33):
+            monitor.append(row)
+        assert counters.pair_filter_calls == 0

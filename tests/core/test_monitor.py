@@ -198,3 +198,61 @@ class TestDiagnostics:
         monitor = TopKPairsMonitor(10, 2)
         monitor.extend(random_rows(5, 2, seed=7))
         assert len(monitor.manager) == 5
+
+
+class TestKRaiseSwap:
+    """Raising a group's K via a second query must leave every live
+    continuous answer correct immediately — the swapped-in maintainer
+    re-initializes each state instead of letting it serve the old
+    snapshot."""
+
+    def test_first_answer_correct_right_after_k_raise(self):
+        monitor = TopKPairsMonitor(15, 2)
+        sf = k_closest_pairs(2)
+        ref = BruteForceReference(sf, 15)
+        small = monitor.register_query(sf, k=2)
+        for row in random_rows(30, 2, seed=21):
+            monitor.append(row)
+            ref.append(row)
+        big = monitor.register_query(sf, k=6)
+        # No tick happened between the raise and these reads.
+        assert [p.uid for p in monitor.results(small)] == [
+            p.uid for p in ref.top_k(2, 15)
+        ]
+        assert [p.uid for p in monitor.results(big)] == [
+            p.uid for p in ref.top_k(6, 15)
+        ]
+        monitor.check_invariants()
+
+    def test_answers_track_after_k_raise(self):
+        monitor = TopKPairsMonitor(12, 2)
+        sf = k_furthest_pairs(2)
+        ref = BruteForceReference(sf, 12)
+        small = monitor.register_query(sf, k=2, n=8)
+        for row in random_rows(20, 2, seed=22):
+            monitor.append(row)
+            ref.append(row)
+        big = monitor.register_query(sf, k=5)
+        for row in random_rows(25, 2, seed=23):
+            monitor.append(row)
+            ref.append(row)
+            assert [p.uid for p in monitor.results(small)] == [
+                p.uid for p in ref.top_k(2, 8)
+            ]
+            assert [p.uid for p in monitor.results(big)] == [
+                p.uid for p in ref.top_k(5, 12)
+            ]
+
+    def test_state_rebound_to_new_pst(self):
+        monitor = TopKPairsMonitor(10, 2)
+        sf = k_closest_pairs(2)
+        handle = monitor.register_query(sf, k=2)
+        for row in random_rows(15, 2, seed=24):
+            monitor.append(row)
+        monitor.register_query(sf, k=5)
+        group = monitor._groups[next(iter(monitor._groups))]
+        # The refreshed answer is built from the new maintainer's pairs,
+        # not carried over from the old snapshot by object identity.
+        new_pairs = {id(p) for p in group.maintainer.skyband}
+        assert handle.state.answer
+        assert all(id(p) in new_pairs for p in handle.state.answer)

@@ -1,0 +1,96 @@
+"""Property test: per-tick, batched (several batch shapes including
+batches larger than the window, forcing mid-batch expiries) and
+bootstrap-from-scratch maintenance must all agree — with the runtime
+auditor verifying every invariant along the way."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintenance import SCaseMaintainer, TAMaintainer
+from repro.core.monitor import TopKPairsMonitor
+from repro.scoring.library import k_closest_pairs
+
+_STRATEGIES = {"scase": SCaseMaintainer, "ta": TAMaintainer}
+
+
+def _rows(count, seed):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(2)) for _ in range(count)]
+
+
+def _bursty_timestamps(count, seed, horizon):
+    """Mostly +1 steps with occasional jumps past ``horizon / 2`` — so
+    some ticks (and some mid-batch positions) evict whole stretches of
+    the time-based window at once."""
+    rng = random.Random(seed)
+    now, stamps = 0.0, []
+    for _ in range(count):
+        now += horizon / 2 + 1.0 if rng.random() < 0.12 else 1.0
+        stamps.append(now)
+    return stamps
+
+
+def _run(strategy, rows, *, k, window, batch_size, horizon, timestamps):
+    monitor = TopKPairsMonitor(
+        window, 2, strategy=strategy, time_horizon=horizon,
+        audit=True,
+    )
+    handle = monitor.register_query(k_closest_pairs(2), k=k)
+    monitor.extend(rows, batch_size=batch_size, timestamps=timestamps)
+    group = monitor._groups[next(iter(monitor._groups))]
+    return monitor, handle, group.maintainer
+
+
+def _snapshot(monitor, handle, maintainer):
+    return (
+        [p.uid for p in maintainer.skyband],
+        maintainer.staircase.points(),
+        [p.uid for p in monitor.results(handle)],
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    strategy=st.sampled_from(sorted(_STRATEGIES)),
+    seed=st.integers(0, 10**6),
+    count=st.integers(10, 45),
+    k=st.integers(1, 5),
+    window=st.integers(4, 12),
+    timed=st.booleans(),
+)
+def test_property_batching_and_bootstrap_agree(
+    strategy, seed, count, k, window, timed
+):
+    rows = _rows(count, seed)
+    horizon = float(window) if timed else None
+    timestamps = (
+        _bursty_timestamps(count, seed + 1, horizon) if timed else None
+    )
+    # A real window cap even in timed mode, so both eviction mechanisms
+    # are active at once.
+    cap = window if not timed else 3 * window
+
+    baseline = None
+    # batch_size None = per-tick; N+3 forces arrive-and-expire within one
+    # batch (the window is smaller than the batch).
+    for batch_size in (None, 2, 7, cap + 3):
+        monitor, handle, maintainer = _run(
+            strategy, rows, k=k, window=cap, batch_size=batch_size,
+            horizon=horizon, timestamps=list(timestamps) if timestamps
+            else None,
+        )
+        state = _snapshot(monitor, handle, maintainer)
+        if baseline is None:
+            baseline = state
+            # Bootstrap from scratch over the final window must rebuild
+            # the identical skyband and staircase.
+            fresh = _STRATEGIES[strategy](k_closest_pairs(2), maintainer.K)
+            fresh.bootstrap(monitor.manager)
+            assert [p.uid for p in fresh.skyband] == state[0]
+            assert fresh.staircase.points() == state[1]
+        else:
+            assert state == baseline, f"batch_size={batch_size}"
