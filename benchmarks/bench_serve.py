@@ -1,0 +1,45 @@
+"""Serving-layer round-trip benchmark (docs/serving.md).
+
+Thin wrapper around :mod:`repro.bench.serve` — the same suite the
+``repro bench serve`` CLI runs.  Boots a real loopback server
+(:class:`~repro.serve.server.BackgroundServer`) and measures, through a
+:class:`~repro.serve.client.ServeClient`, acknowledged ingest
+throughput, subscribe delta latency (p50/p99 from the ingest request to
+the tick's delta event) and checkpoint save/restore timing; writes
+``BENCH_serve.json``.
+
+Scaled by ``REPRO_BENCH_SCALE``; CI's serve-smoke job runs a reduced
+pass and uploads the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.bench.serve import (
+    DEFAULT_OUTPUT,
+    run_serve_bench,
+    write_serve_json,
+)
+
+
+def test_serve_roundtrip_delta_replay_consistent():
+    """Smoke gate: deltas replayed client-side must reproduce the
+    server's polled answer, and every ingest must be acknowledged."""
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_serve_bench(
+            window=64, ingest_rows=120, delta_ticks=40,
+            checkpoint_path=os.path.join(tmp, "ck.json"),
+        )
+    assert result["deltas"]["replay_consistent"], result["deltas"]
+    assert result["ingest"]["rows"] == result["params"]["ingest_rows"]
+    assert result["checkpoint"]["objects"] <= result["params"]["window"]
+
+
+if __name__ == "__main__":
+    outcome = run_serve_bench()
+    path = write_serve_json(outcome, DEFAULT_OUTPUT)
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    print(f"written to {path}")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Serving-layer round trip: server, live subscription, checkpoint,
+warm restart (repro.serve, docs/serving.md).
+
+Boots a loopback server, registers a continuous 3-closest-pairs query,
+subscribes to its answer deltas while streaming points in, checkpoints
+the session mid-stream, then restores the checkpoint into a second
+server and shows both answering identically — the byte-identity
+property the test suite pins down.
+
+Run:  PYTHONPATH=src python examples/serve_roundtrip.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+
+from repro.serve import (
+    BackgroundServer,
+    ServeClient,
+    ServerMonitor,
+    apply_delta,
+    restore_server_monitor,
+)
+
+
+def main() -> None:
+    session = ServerMonitor(window_size=200, num_attributes=2)
+    rng = random.Random(42)
+
+    with BackgroundServer(session) as server:
+        with ServeClient(port=server.port) as client:
+            print(f"server on 127.0.0.1:{server.port} "
+                  f"(protocol v{client.hello['protocol']}, "
+                  f"{client.hello['backpressure']} backpressure)\n")
+
+            # warm the window, then watch a continuous query's deltas
+            client.ingest(
+                [[rng.uniform(0, 100), rng.uniform(0, 100)]
+                 for _ in range(150)]
+            )
+            query = client.register("closest", k=3)
+            answer = client.subscribe(query)
+            print(f"registered {query}, baseline answer: "
+                  f"{len(answer)} pairs")
+
+            delta_events = 0
+            for _ in range(100):
+                ack = client.ingest(
+                    [[rng.uniform(0, 100), rng.uniform(0, 100)]]
+                )
+                for _ in range(ack["deltas"]):
+                    event = client.next_event(timeout=5.0)
+                    if event and event.get("event") == "delta":
+                        apply_delta(answer, event)
+                        delta_events += 1
+            print(f"replayed {delta_events} delta events over 100 ticks")
+
+            polled = client.snapshot(query=query)
+            assert sorted(answer) == sorted(
+                (p["older"], p["newer"]) for p in polled
+            ), "delta replay must equal the polled answer"
+            print("delta-replayed answer == polled answer\n")
+
+            # checkpoint mid-stream ...
+            path = os.path.join(tempfile.mkdtemp(), "roundtrip.ckpt.json")
+            meta = client.checkpoint(path)
+            print(f"checkpoint: {meta['objects']} objects, "
+                  f"{meta['queries']} queries, {meta['bytes']} bytes")
+            original = json.dumps(client.snapshot(query=query))
+
+    # ... and warm-restart a brand new server from it
+    restored = restore_server_monitor(path)
+    with BackgroundServer(restored) as server:
+        with ServeClient(port=server.port) as client:
+            recovered = json.dumps(client.snapshot(query=query))
+            assert recovered == original, "restore must be byte-identical"
+            print("restored server answers byte-identically")
+
+
+if __name__ == "__main__":
+    main()

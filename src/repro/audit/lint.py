@@ -70,7 +70,7 @@ RULES = {
 
 #: directory names whose modules get the hot-path rules
 #: (RA105/RA106/RA108)
-HOT_PATH_PARTS = frozenset({"core", "structures", "stream", "obs"})
+HOT_PATH_PARTS = frozenset({"core", "structures", "stream", "obs", "serve"})
 
 #: identifiers treated as raw float scores by RA101 (``score_key`` and
 #: friends are perturbed total-order tuples and compare exactly)
@@ -400,7 +400,7 @@ def lint_source(
     ``hot_path`` forces the RA105/RA106/RA108 rules on or off; by
     default they apply when the file lives under one of the
     :data:`HOT_PATH_PARTS` directories (``core/``, ``structures/``,
-    ``stream/``, ``obs/``).
+    ``stream/``, ``obs/``, ``serve/``).
     """
     try:
         tree = ast.parse(source, filename=path)

@@ -1,0 +1,164 @@
+"""Serving-layer benchmark: the suite behind ``repro bench serve`` and
+``benchmarks/bench_serve.py``.
+
+Boots a real :class:`~repro.serve.server.ServeServer` on a loopback TCP
+socket (via :class:`~repro.serve.server.BackgroundServer`) and drives it
+with the synchronous :class:`~repro.serve.client.ServeClient`, so every
+number includes the full protocol cost — JSON framing, the socket round
+trip and the event-loop hop:
+
+* **ingest throughput** — acknowledged rows/sec for batched ingest
+  round trips (send a batch, wait for the precise-count ack);
+* **subscribe delta latency** — one subscriber, then single-row ingests;
+  latency is measured from sending the ingest request to receiving the
+  tick's delta event (p50/p99/max), over the ticks that changed the
+  answer;
+* **checkpoint** — save round trip plus an offline restore into a fresh
+  session.
+
+Results go to ``BENCH_serve.json``; ``REPRO_BENCH_SCALE`` shrinks or
+grows the streams (CI runs a reduced smoke pass).
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+from repro.bench.harness import SCALE, synthetic_rows
+from repro.serve.checkpoint import restore_server_monitor, save_checkpoint
+from repro.serve.client import ServeClient, apply_delta
+from repro.serve.server import BackgroundServer
+from repro.serve.session import ServerMonitor
+
+__all__ = ["DEFAULT_OUTPUT", "run_serve_bench", "write_serve_json"]
+
+DEFAULT_OUTPUT = "BENCH_serve.json"
+
+
+def _scaled(base: int) -> int:
+    return max(10, int(base * SCALE))
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _bench_ingest(client: ServeClient, rows, batch: int) -> dict:
+    start = perf_counter()
+    acknowledged = 0
+    for offset in range(0, len(rows), batch):
+        ack = client.ingest(rows[offset:offset + batch])
+        acknowledged += ack["ingested"]
+    elapsed = perf_counter() - start
+    return {
+        "rows": acknowledged,
+        "batch": batch,
+        "seconds": elapsed,
+        "rows_per_sec": acknowledged / elapsed if elapsed else 0.0,
+    }
+
+
+def _bench_deltas(client: ServeClient, rows, k: int) -> dict:
+    query = client.register("closest", k=k)
+    answer = client.subscribe(query)
+    latencies: list[float] = []
+    delta_events = 0
+    for row in rows:
+        start = perf_counter()
+        ack = client.ingest([row])
+        tick = ack["now_seq"]
+        # The ack reports how many delta events were enqueued; under the
+        # block policy they were queued before the ack, so wait for
+        # exactly that many — no blind polling.
+        for _ in range(ack["deltas"]):
+            event = client.next_event(timeout=5.0)
+            if event is None or event.get("event") != "delta":
+                continue
+            apply_delta(answer, event)
+            delta_events += 1
+            if event.get("query") == query and event.get("tick") == tick:
+                latencies.append(perf_counter() - start)
+    latencies.sort()
+    polled = client.snapshot(query=query)
+    replay_consistent = sorted(answer) == sorted(
+        (pair["older"], pair["newer"]) for pair in polled
+    )
+    client.unsubscribe(query)
+    client.unregister(query)
+    return {
+        "ticks": len(rows),
+        "delta_events": delta_events,
+        "replay_consistent": replay_consistent,
+        "latency_us": {
+            "p50": _percentile(latencies, 0.50) * 1e6,
+            "p99": _percentile(latencies, 0.99) * 1e6,
+            "max": (latencies[-1] if latencies else 0.0) * 1e6,
+        },
+    }
+
+
+def _bench_checkpoint(client: ServeClient, path: str, k: int) -> dict:
+    client.register("closest", k=k)
+    client.register("furthest", k=k)
+    meta = client.checkpoint(path)
+    start = perf_counter()
+    restored = restore_server_monitor(path)
+    restore_seconds = perf_counter() - start
+    return {
+        "save_seconds": meta["seconds"],
+        "restore_seconds": restore_seconds,
+        "bytes": meta["bytes"],
+        "objects": meta["objects"],
+        "restored_queries": len(restored.queries()),
+    }
+
+
+def run_serve_bench(
+    *,
+    window: int | None = None,
+    k: int | None = None,
+    d: int = 2,
+    ingest_rows: int | None = None,
+    batch: int = 64,
+    delta_ticks: int | None = None,
+    checkpoint_path: str = "BENCH_serve.ckpt.json",
+) -> dict:
+    """Run the serving benchmark; returns the BENCH_serve.json payload."""
+    window = _scaled(512) if window is None else window
+    k = 5 if k is None else k
+    ingest_rows = _scaled(4096) if ingest_rows is None else ingest_rows
+    delta_ticks = _scaled(512) if delta_ticks is None else delta_ticks
+    rows = synthetic_rows(ingest_rows + delta_ticks, d, seed=13)
+    session = ServerMonitor(window, d)
+    with BackgroundServer(session) as background:
+        with ServeClient(port=background.port) as client:
+            ingest = _bench_ingest(client, rows[:ingest_rows], batch)
+            deltas = _bench_deltas(client, rows[ingest_rows:], k)
+            checkpoint = _bench_checkpoint(client, checkpoint_path, k)
+            client.shutdown()
+    return {
+        "scale": SCALE,
+        "params": {
+            "window": window,
+            "k": k,
+            "d": d,
+            "ingest_rows": ingest_rows,
+            "batch": batch,
+            "delta_ticks": delta_ticks,
+        },
+        "ingest": ingest,
+        "deltas": deltas,
+        "checkpoint": checkpoint,
+    }
+
+
+def write_serve_json(result: dict, path: str = DEFAULT_OUTPUT) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

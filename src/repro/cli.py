@@ -1,6 +1,7 @@
 """Command-line interface: monitor top-k pairs over a CSV stream, plus
 the ``lint`` / ``audit`` correctness subcommands, the ``obs``
-observability subcommand and the ``bench`` benchmark runner.
+observability subcommand, the ``bench`` benchmark runner and the
+``serve`` / ``client`` network serving pair (repro.serve).
 
 The default invocation feeds rows from a CSV file (or stdin) through a
 :class:`~repro.core.monitor.TopKPairsMonitor` and periodically prints the
@@ -28,6 +29,13 @@ Usage examples::
     # fast-path vs legacy maintenance throughput -> BENCH_throughput.json
     python -m repro bench throughput
 
+    # serve the monitor over TCP (NDJSON protocol, docs/serving.md)
+    python -m repro serve --window 1000 --columns 2 --port 7807
+
+    # talk to it: ingest a CSV, then watch a top-3 closest query live
+    python -m repro client ingest --port 7807 --columns 2 data.csv
+    python -m repro client watch --port 7807 --scoring closest --k 3
+
 Scoring functions: ``closest`` (s1), ``furthest`` (s2), ``similar`` (s3),
 ``dissimilar`` (s4), each over all ``--columns`` attributes.
 """
@@ -54,12 +62,16 @@ __all__ = [
     "build_parser",
     "build_audit_parser",
     "build_bench_parser",
+    "build_client_parser",
     "build_lint_parser",
     "build_obs_parser",
+    "build_serve_parser",
     "run_audit",
     "run_bench",
+    "run_client",
     "run_lint",
     "run_obs",
+    "run_serve",
 ]
 
 _SCORING_FACTORIES = {
@@ -284,7 +296,7 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "result file (scaled by REPRO_BENCH_SCALE).",
     )
     parser.add_argument(
-        "suite", choices=["throughput"],
+        "suite", choices=["throughput", "serve"],
         help="benchmark suite to run",
     )
     parser.add_argument("--out", default=None, metavar="OUT.json",
@@ -305,17 +317,44 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 def run_bench(argv: Sequence[str],
               stdout: Optional[TextIO] = None) -> int:
-    """``python -m repro bench throughput`` — run + write BENCH json."""
+    """``python -m repro bench <suite>`` — run + write BENCH json."""
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_bench_parser().parse_args(argv)
+    if args.repeats < 1:
+        raise SystemExit("--repeats >= 1 required")
+    if args.suite == "serve":
+        from repro.bench.serve import (
+            DEFAULT_OUTPUT as SERVE_OUTPUT,
+            run_serve_bench,
+            write_serve_json,
+        )
+
+        result = run_serve_bench(window=args.window, k=args.k)
+        path = write_serve_json(
+            result, args.out if args.out is not None else SERVE_OUTPUT
+        )
+        ingest = result["ingest"]
+        deltas = result["deltas"]
+        print(
+            f"serve: ingest {ingest['rows_per_sec']:.0f} rows/sec "
+            f"(batch {ingest['batch']}), delta latency p50 "
+            f"{deltas['latency_us']['p50']:.0f} us / p99 "
+            f"{deltas['latency_us']['p99']:.0f} us over "
+            f"{deltas['delta_events']} events, replay "
+            f"{'consistent' if deltas['replay_consistent'] else 'BROKEN'}, "
+            f"checkpoint save "
+            f"{result['checkpoint']['save_seconds'] * 1e3:.1f} ms / restore "
+            f"{result['checkpoint']['restore_seconds'] * 1e3:.1f} ms",
+            file=stdout,
+        )
+        print(f"written to {path}", file=stdout)
+        return 0 if deltas["replay_consistent"] else 1
     from repro.bench.throughput import (
         DEFAULT_OUTPUT,
         run_throughput,
         write_throughput_json,
     )
 
-    stdout = stdout if stdout is not None else sys.stdout
-    args = build_bench_parser().parse_args(argv)
-    if args.repeats < 1:
-        raise SystemExit("--repeats >= 1 required")
     result = run_throughput(
         repeats=args.repeats, k=args.k, window=args.window, ticks=args.ticks
     )
@@ -452,17 +491,270 @@ def run_obs(argv: Sequence[str],
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a monitor over TCP: NDJSON request/response "
+        "protocol with pub/sub answer deltas and checkpoint/restore "
+        "(docs/serving.md).  Runs until SIGINT/SIGTERM or a client's "
+        "shutdown op, then drains gracefully.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7807,
+                        help="TCP port; 0 picks a free port and announces "
+                        "it (default 7807)")
+    parser.add_argument("--window", type=int, default=1000,
+                        help="sliding window size N (default 1000)")
+    parser.add_argument("--columns", type=int, required=True,
+                        help="number of attributes per row")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="time horizon T for time-based expiry "
+                        "(default: count-based window only)")
+    parser.add_argument(
+        "--strategy", choices=["auto", "scase", "ta", "basic"],
+        default="auto", help="skyband maintenance strategy",
+    )
+    parser.add_argument(
+        "--backpressure", choices=["block", "drop"], default="block",
+        help="full-subscriber-queue policy: 'block' delays ingest acks, "
+        "'drop' discards the delta and marks the subscriber lagged "
+        "(default block)",
+    )
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="per-subscriber event queue bound (default 64)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="resolve relative checkpoint paths here")
+    parser.add_argument("--restore", default=None, metavar="CKPT.json",
+                        help="warm-start from this checkpoint before "
+                        "serving")
+    parser.add_argument("--checkpoint-on-exit", default=None,
+                        metavar="CKPT.json",
+                        help="write a final checkpoint during shutdown")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the engine under the runtime invariant "
+                        "verifier (slow; for debugging)")
+    parser.add_argument("--metrics", default=None, metavar="OUT.json",
+                        help="write a metrics registry snapshot on exit")
+    return parser
+
+
+def run_serve(argv: Sequence[str],
+              stdout: Optional[TextIO] = None) -> int:
+    """``python -m repro serve`` — run the server on the main thread."""
+    import asyncio
+
+    from repro.serve.checkpoint import restore_server_monitor, save_checkpoint
+    from repro.serve.server import ServeServer
+    from repro.serve.session import ServerMonitor
+
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_serve_parser().parse_args(argv)
+    if args.window < 2 or args.columns < 1 or args.queue_depth < 1:
+        raise SystemExit(
+            "--window >= 2, --columns >= 1 and --queue-depth >= 1 required"
+        )
+    if args.restore is not None:
+        session = restore_server_monitor(args.restore, audit=args.audit)
+        if session.config["num_attributes"] != args.columns:
+            raise SystemExit(
+                f"--columns {args.columns} does not match the checkpoint's "
+                f"{session.config['num_attributes']} attributes"
+            )
+    else:
+        session = ServerMonitor(
+            args.window, args.columns, time_horizon=args.horizon,
+            strategy=args.strategy, audit=args.audit,
+        )
+    server = ServeServer(
+        session, host=args.host, port=args.port,
+        backpressure=args.backpressure, queue_depth=args.queue_depth,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    async def serve() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        # Announce the resolved port (flushed: subprocess harnesses wait
+        # for this line before connecting).
+        print(f"repro serve: listening on {server.host}:{server.port}",
+              file=stdout, flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass  # loops without signal-handler support: exit the drain path
+    if args.checkpoint_on_exit is not None:
+        meta = save_checkpoint(session, args.checkpoint_on_exit)
+        print(
+            f"repro serve: checkpoint {meta['path']} "
+            f"({meta['objects']} objects, {meta['queries']} queries)",
+            file=stdout, flush=True,
+        )
+    if args.metrics is not None:
+        from repro.obs import write_metrics_json
+
+        write_metrics_json(server.registry, args.metrics,
+                           extra={"command": "serve"})
+        print(f"metrics written to {args.metrics}", file=stdout, flush=True)
+    return 0
+
+
+def build_client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro client",
+        description="Talk to a running 'repro serve' instance: ingest "
+        "CSV rows, take snapshots, watch a query's live deltas, or "
+        "manage the server.",
+    )
+    parser.add_argument(
+        "action",
+        choices=["ingest", "snapshot", "watch", "stats", "checkpoint",
+                 "shutdown"],
+        help="what to do",
+    )
+    parser.add_argument("csv_file", nargs="?", default="-",
+                        help="CSV input for 'ingest' ('-': stdin)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, required=True,
+                        help="server port")
+    parser.add_argument("--columns", type=int, default=None,
+                        help="attribute columns (required for 'ingest')")
+    parser.add_argument("--scoring", choices=sorted(_SCORING_FACTORIES),
+                        default="closest",
+                        help="scoring function for snapshot/watch "
+                        "(default closest)")
+    parser.add_argument("--k", type=int, default=5,
+                        help="pairs to report (default 5)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="query window n <= N (default: N)")
+    parser.add_argument("--batch", type=int, default=256,
+                        help="ingest batch size (default 256)")
+    parser.add_argument("--skip-header", action="store_true",
+                        help="ignore the first CSV row on ingest")
+    parser.add_argument("--events", type=int, default=None,
+                        help="stop 'watch' after this many delta events "
+                        "(default: run until the server says bye)")
+    parser.add_argument("--path", default="checkpoint.json",
+                        help="checkpoint path for 'checkpoint' "
+                        "(default checkpoint.json)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="request timeout in seconds (default 10)")
+    return parser
+
+
+def _client_print_answer(answer, tick: int, out: TextIO) -> None:
+    print(f"-- tick {tick}: {len(answer)} pairs --", file=out)
+    for rank, pair in enumerate(answer, start=1):
+        print(
+            f"   #{rank}: rows {pair['older']} & {pair['newer']}  "
+            f"score={pair['score']:.6g}",
+            file=out,
+        )
+
+
+def run_client(argv: Sequence[str],
+               stdin: Optional[TextIO] = None,
+               stdout: Optional[TextIO] = None) -> int:
+    """``python -m repro client <action>`` — one request (or a watch)."""
+    import json
+
+    from repro.serve.client import ServeClient, apply_delta
+
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    # intermixed: the csv_file positional may follow the option flags
+    args = build_client_parser().parse_intermixed_args(argv)
+    with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.action == "ingest":
+            if args.columns is None or args.columns < 1:
+                raise SystemExit("'ingest' requires --columns >= 1")
+            if args.csv_file == "-":
+                source, close = stdin, False
+            else:
+                source = open(args.csv_file, newline="")
+                close = True
+            total = now_seq = 0
+            try:
+                rows = _rows(source, args.columns, args.skip_header)
+                while True:
+                    batch = list(itertools.islice(rows, args.batch))
+                    if not batch:
+                        break
+                    ack = client.ingest(batch)
+                    total += ack["ingested"]
+                    now_seq = ack["now_seq"]
+            finally:
+                if close:
+                    source.close()
+            print(f"ingested {total} rows (stream is at seq {now_seq})",
+                  file=stdout)
+        elif args.action == "snapshot":
+            response = client.request(
+                "snapshot", scoring=args.scoring, k=args.k, n=args.n,
+            )
+            _client_print_answer(response["answer"], response["tick"],
+                                 stdout)
+        elif args.action == "watch":
+            query = client.register(args.scoring, args.k, args.n)
+            answer = client.subscribe(query)
+            print(f"watching {query} ({args.scoring}, k={args.k}); "
+                  f"Ctrl-C to stop", file=stdout, flush=True)
+            seen = 0
+            try:
+                while args.events is None or seen < args.events:
+                    event = client.next_event(timeout=None)
+                    if event is None or event.get("event") == "bye":
+                        break
+                    if event.get("event") != "delta" \
+                            or event.get("query") != query:
+                        continue
+                    apply_delta(answer, event)
+                    seen += 1
+                    ranked = sorted(answer.values(),
+                                    key=lambda p: p["score"])
+                    _client_print_answer(ranked, event["tick"], stdout)
+            except KeyboardInterrupt:
+                pass
+            print(f"watched {seen} delta events", file=stdout)
+        elif args.action == "stats":
+            json.dump(client.stats(metrics=True), stdout, indent=2,
+                      sort_keys=True)
+            stdout.write("\n")
+        elif args.action == "checkpoint":
+            meta = client.checkpoint(args.path)
+            print(
+                f"checkpoint {meta['path']}: {meta['objects']} objects, "
+                f"{meta['queries']} queries, {meta['bytes']} bytes in "
+                f"{meta['seconds'] * 1e3:.1f} ms",
+                file=stdout,
+            )
+        else:  # shutdown
+            client.shutdown()
+            print("server is shutting down", file=stdout)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, *,
          stdin: Optional[TextIO] = None,
          stdout: Optional[TextIO] = None) -> int:
     """Entry point; returns the process exit code.
 
-    Dispatches the ``lint``, ``audit`` and ``obs`` subcommands; any
-    other invocation is the CSV monitoring tool (whose ``csv_file``
-    positional can never collide with the subcommand names — CSV input
-    named ``lint`` must be passed as ``./lint``).
+    Dispatches the ``lint``, ``audit``, ``obs``, ``bench``, ``serve``
+    and ``client`` subcommands; any other invocation is the CSV
+    monitoring tool (whose ``csv_file`` positional can never collide
+    with the subcommand names — CSV input named ``lint`` must be passed
+    as ``./lint``).
     """
     argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] in ("--version", "-V"):
+        from repro import __version__
+
+        print(f"repro {__version__}",
+              file=stdout if stdout is not None else sys.stdout)
+        return 0
     if argv and argv[0] == "lint":
         return run_lint(argv[1:], stdout)
     if argv and argv[0] == "audit":
@@ -471,6 +763,10 @@ def main(argv: Optional[Sequence[str]] = None, *,
         return run_bench(argv[1:], stdout)
     if argv and argv[0] == "obs":
         return run_obs(argv[1:], stdout)
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:], stdout)
+    if argv and argv[0] == "client":
+        return run_client(argv[1:], stdin, stdout)
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     args = build_parser().parse_args(argv)

@@ -190,6 +190,23 @@ class TopKPairsMonitor:
         self._handles[query.query_id] = handle
         return handle
 
+    def set_on_change(self, handle: QueryHandle, callback) -> None:
+        """Attach, replace or detach (``None``) the ``on_change(entered,
+        left)`` delta listener of a registered continuous query.
+
+        This is the hook the :mod:`repro.serve` subscription layer uses
+        to extract per-tick answer deltas without re-reading the whole
+        answer: after every stream tick that changed the query's answer
+        set, ``callback`` receives the pairs that entered and left it.
+        """
+        if handle.query.query_id not in self._handles:
+            raise UnknownQueryError(handle.query.query_id)
+        if handle.state is None:
+            raise InvalidParameterError(
+                "on_change requires a continuous query"
+            )
+        handle.state.on_change = callback
+
     def unregister_query(self, handle: QueryHandle) -> None:
         """Remove a query; drops its skyband group when it was the last
         user (the group's K is kept as-is otherwise — shrinking K would
@@ -322,8 +339,8 @@ class TopKPairsMonitor:
         *,
         batch_size: Optional[int] = None,
         timestamps: Optional[Iterable[float]] = None,
-    ) -> None:
-        """Admit many objects.
+    ) -> int:
+        """Admit many objects; returns the number of rows ingested.
 
         ``rows`` is any iterable (a generator is consumed lazily, chunk
         by chunk).  Each row is either a plain value sequence or a
@@ -337,17 +354,24 @@ class TopKPairsMonitor:
         result-latency trade-off.  Within a batch, intermediate results
         are never observable, so batched and per-tick ingestion agree at
         every batch boundary.
+
+        The returned count is exact even when ``rows`` is a generator —
+        batch consumers (e.g. the :mod:`repro.serve` ingest op) use it to
+        acknowledge precisely how many objects entered the stream.
         """
         normalized = _normalize_rows(rows, timestamps)
+        count = 0
         if batch_size is None or batch_size <= 1:
             for values, timestamp, payload in normalized:
                 self.append(values, timestamp=timestamp, payload=payload)
-            return
+                count += 1
+            return count
         while True:
             chunk = list(islice(normalized, batch_size))
             if not chunk:
-                return
+                return count
             self._append_batch(chunk)
+            count += len(chunk)
 
     def _append_batch(self, rows: list[tuple]) -> None:
         """``rows`` are normalized ``(values, timestamp, payload)``."""

@@ -9,12 +9,15 @@ from __future__ import annotations
 
 __all__ = [
     "AuditViolationError",
+    "CheckpointError",
     "DuplicateItemError",
     "EmptyStructureError",
     "InvalidParameterError",
     "ItemNotFoundError",
+    "ProtocolError",
     "ReproError",
     "ScoringFunctionError",
+    "ServeError",
     "UnknownQueryError",
     "WindowError",
 ]
@@ -61,6 +64,27 @@ class ScoringFunctionError(ReproError):
 class WindowError(ReproError, ValueError):
     """A sliding-window operation received inconsistent parameters
     (e.g. a non-positive window size or a non-monotonic timestamp)."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class ProtocolError(ServeError, ValueError):
+    """A wire frame violates the serving protocol (see docs/serving.md).
+
+    Carries the structured error ``code`` the server echoes back to the
+    client (``bad_json``, ``bad_frame``, ``unknown_op``, ...).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(message)
+
+
+class CheckpointError(ServeError, ValueError):
+    """A checkpoint file is missing, malformed, or written by an
+    incompatible format version (see docs/serving.md)."""
 
 
 class AuditViolationError(ReproError, AssertionError):

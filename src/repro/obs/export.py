@@ -18,6 +18,7 @@ Three surfaces, matching the three ways the metrics get consumed:
 from __future__ import annotations
 
 import csv
+import io
 import json
 import math
 from typing import IO, Iterable, Optional
@@ -94,24 +95,50 @@ def to_prometheus(registry: MetricsRegistry) -> str:
 
 
 def write_tick_jsonl(events: Iterable[TickEvent], handle: IO[str]) -> int:
-    """One compact JSON object per tick event; returns the record count."""
+    """One compact JSON object per tick event; returns the record count.
+
+    Interrupt-safe: each record goes down in a single ``write`` (never a
+    half-written line), and a ``KeyboardInterrupt`` mid-stream flushes
+    what was written before propagating — Ctrl-C leaves a valid JSONL
+    prefix, not a truncated record.
+    """
     count = 0
-    for event in events:
-        handle.write(json.dumps(event.to_dict(), separators=(",", ":")))
-        handle.write("\n")
-        count += 1
+    try:
+        for event in events:
+            handle.write(
+                json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+            )
+            count += 1
+    except KeyboardInterrupt:
+        handle.flush()
+        raise
+    handle.flush()
     return count
 
 
 def write_tick_csv(events: Iterable[TickEvent], handle: IO[str]) -> int:
     """Tick events as CSV (header included, ``phase_<name>`` columns);
-    returns the record count."""
-    writer = csv.DictWriter(handle, fieldnames=TICK_FIELDS)
+    returns the record count.
+
+    Interrupt-safe like :func:`write_tick_jsonl`: one ``write`` per row
+    and an explicit flush when a ``KeyboardInterrupt`` stops the stream.
+    """
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=TICK_FIELDS)
     writer.writeheader()
+    handle.write(buffer.getvalue())
     count = 0
-    for event in events:
-        writer.writerow(event.to_row())
-        count += 1
+    try:
+        for event in events:
+            buffer.seek(0)
+            buffer.truncate()
+            writer.writerow(event.to_row())
+            handle.write(buffer.getvalue())
+            count += 1
+    except KeyboardInterrupt:
+        handle.flush()
+        raise
+    handle.flush()
     return count
 
 

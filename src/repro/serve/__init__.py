@@ -1,0 +1,75 @@
+"""repro.serve — the network serving layer.
+
+Turns the library into a service: an asyncio TCP server
+(:class:`~repro.serve.server.ServeServer`) speaking a newline-delimited
+JSON protocol (:mod:`repro.serve.protocol`), a session layer owning the
+monitor plus a wire-visible query registry
+(:class:`~repro.serve.session.ServerMonitor`), delta-based pub/sub of
+continuous answers, versioned checkpoint/restore
+(:mod:`repro.serve.checkpoint`) and a synchronous client library
+(:class:`~repro.serve.client.ServeClient`).
+
+Protocol, backpressure policies and the checkpoint format are
+documented in ``docs/serving.md``; ``repro serve`` / ``repro client``
+are the CLI entry points.
+"""
+
+from repro.serve.checkpoint import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    checkpoint_state,
+    load_checkpoint,
+    restore_server_monitor,
+    save_checkpoint,
+)
+from repro.serve.client import ServeClient, ServeRequestError, apply_delta
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    pair_to_wire,
+)
+from repro.serve.server import (
+    BACKPRESSURE_POLICIES,
+    BackgroundServer,
+    ServeServer,
+)
+from repro.serve.session import (
+    SCORING_NAMES,
+    DeltaEvent,
+    QueryRecord,
+    ServerMonitor,
+)
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BackgroundServer",
+    "DeltaEvent",
+    "ERROR_CODES",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "QueryRecord",
+    "SCORING_NAMES",
+    "ServeClient",
+    "ServeRequestError",
+    "ServeServer",
+    "ServerMonitor",
+    "apply_delta",
+    "checkpoint_state",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "load_checkpoint",
+    "ok_frame",
+    "pair_to_wire",
+    "restore_server_monitor",
+    "save_checkpoint",
+]

@@ -1,0 +1,219 @@
+"""Versioned checkpoint/restore for the serving layer (docs/serving.md).
+
+A checkpoint is one JSON document capturing everything the engine cannot
+re-derive: the monitor's constructor configuration, the window contents
+(sequence numbers, attribute values, timestamps, payloads) and the
+registered query specs.  Skybands, staircases and PSTs are **not**
+serialized — they are pure functions of the window, so restore replays
+the window into a fresh monitor and re-registers the queries, and the
+re-bootstrapped structures are guaranteed identical (the same invariant
+``repro audit`` verifies every tick).  That keeps the format small,
+version-stable and independent of internal structure layouts.
+
+Format (version 1)::
+
+    {
+      "format": "repro-checkpoint",
+      "version": 1,
+      "created_at": <unix seconds>,
+      "monitor": {window_size, num_attributes, time_horizon, strategy, seed},
+      "next_seq": <the next arrival's sequence number>,
+      "window": [[seq, [values...], timestamp|null, payload|null], ...],
+      "queries": [{handle, scoring, k, n}, ...],
+      "next_handle": <int>
+    }
+
+Compatibility rules: readers accept exactly the versions they know
+(currently ``1``) and must reject anything newer; unknown *extra* keys
+are ignored, so additive changes do not need a version bump.  Payloads
+must be JSON-serializable — a checkpoint attempt with an opaque payload
+fails loudly rather than writing a lossy file.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-write
+never corrupts the previous checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional
+
+from repro.exceptions import CheckpointError
+from repro.serve.session import SCORING_NAMES, ServerMonitor
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "checkpoint_state",
+    "load_checkpoint",
+    "restore_server_monitor",
+    "save_checkpoint",
+]
+
+FORMAT_NAME = "repro-checkpoint"
+FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = ("format", "version", "monitor", "next_seq", "window",
+                  "queries")
+_MONITOR_KEYS = ("window_size", "num_attributes", "time_horizon",
+                 "strategy", "seed")
+
+
+def checkpoint_state(session: ServerMonitor) -> dict:
+    """The JSON-able checkpoint document for a live session."""
+    manager = session.monitor.manager
+    window = [
+        [obj.seq, list(obj.values), obj.timestamp, obj.payload]
+        for obj in manager
+    ]
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "created_at": time.time(),  # audit: allow[RA108] wall-clock file metadata, not a hot-path timing
+        "monitor": dict(session.config),
+        "next_seq": manager.now_seq + 1,
+        "window": window,
+        "queries": [record.spec() for record in session.queries()],
+        "next_handle": session._next_handle,
+    }
+
+
+def save_checkpoint(session: ServerMonitor, path: str) -> dict:
+    """Write a checkpoint atomically; returns summary metadata.
+
+    Raises :class:`~repro.exceptions.CheckpointError` when the window
+    holds a payload JSON cannot represent (the file is not written).
+    """
+    state = checkpoint_state(session)
+    try:
+        document = json.dumps(state, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"window payloads must be JSON-serializable to checkpoint: {exc}"
+        ) from exc
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return {
+        "path": path,
+        "bytes": len(document) + 1,
+        "objects": len(state["window"]),
+        "queries": len(state["queries"]),
+        "next_seq": state["next_seq"],
+    }
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read and validate a checkpoint document.
+
+    Raises :class:`~repro.exceptions.CheckpointError` for a missing
+    file, malformed JSON, a foreign format, an unsupported (newer)
+    version, or missing sections.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            state = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") \
+            from exc
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(state, dict) or state.get("format") != FORMAT_NAME:
+        raise CheckpointError(
+            f"{path!r} is not a {FORMAT_NAME} file"
+        )
+    version = state.get("version")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format version {version!r}; this "
+            f"reader supports version {FORMAT_VERSION} only"
+        )
+    for key in _REQUIRED_KEYS:
+        if key not in state:
+            raise CheckpointError(
+                f"checkpoint {path!r} is missing the {key!r} section"
+            )
+    monitor = state["monitor"]
+    if not isinstance(monitor, dict) or any(
+        key not in monitor for key in _MONITOR_KEYS
+    ):
+        raise CheckpointError(
+            f"checkpoint {path!r} has an incomplete monitor section "
+            f"(need {_MONITOR_KEYS})"
+        )
+    for spec in state["queries"]:
+        if spec.get("scoring") not in SCORING_NAMES:
+            raise CheckpointError(
+                f"checkpoint {path!r} registers unknown scoring "
+                f"{spec.get('scoring')!r}"
+            )
+    return state
+
+
+def restore_server_monitor(
+    source,
+    *,
+    audit: Optional[bool] = None,
+    recorder=None,
+) -> ServerMonitor:
+    """Warm-restart a session from a checkpoint path or loaded state.
+
+    Replays the saved window (original sequence numbers preserved via
+    :meth:`~repro.stream.manager.StreamManager.seed_sequence`) into a
+    fresh monitor, then re-registers every saved query under its old
+    wire handle.  The restored session answers every ``snapshot_query``
+    byte-identically to the one that wrote the checkpoint.
+    """
+    state = load_checkpoint(source) if isinstance(source, str) else source
+    config = state["monitor"]
+    session = ServerMonitor(
+        config["window_size"], config["num_attributes"],
+        time_horizon=config["time_horizon"], strategy=config["strategy"],
+        seed=config["seed"], audit=audit, recorder=recorder,
+    )
+    manager = session.monitor.manager
+    window = state["window"]
+    if window:
+        manager.seed_sequence(int(window[0][0]))
+    for seq, values, timestamp, payload in window:
+        event = session.monitor.append(
+            values, timestamp=timestamp, payload=payload
+        )
+        if event.new.seq != seq:
+            raise CheckpointError(
+                f"window is not seq-contiguous: expected {event.new.seq}, "
+                f"checkpoint says {seq}"
+            )
+        if event.expired:
+            raise CheckpointError(
+                "window replay expired objects; the checkpoint window "
+                "does not fit its own monitor configuration"
+            )
+    if not window:
+        manager.seed_sequence(int(state["next_seq"]))
+    elif manager.now_seq + 1 != state["next_seq"]:
+        raise CheckpointError(
+            f"next_seq mismatch after replay: window ends at "
+            f"{manager.now_seq}, checkpoint says next is "
+            f"{state['next_seq']}"
+        )
+    for spec in state["queries"]:
+        # Saved wire handles are pinned so clients resubscribing after a
+        # restart keep their query names.
+        session.register(
+            spec["scoring"], int(spec["k"]), int(spec["n"]),
+            handle_id=spec["handle"],
+        )
+    session._next_handle = max(
+        int(state.get("next_handle", session._next_handle)),
+        session._next_handle,
+    )
+    return session

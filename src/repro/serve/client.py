@@ -1,0 +1,253 @@
+"""The client library (``repro client``, tests, benchmarks).
+
+:class:`ServeClient` is a deliberately *synchronous* socket client for
+the NDJSON protocol of :mod:`repro.serve.protocol` — no event loop to
+embed, so it drops into tests, notebooks and the CLI unchanged.
+
+Responses are matched to requests by the echoed ``id``; server-pushed
+frames (``hello``, ``delta``, ``closed``, ``bye`` events) arriving in
+between are buffered and handed out via :meth:`next_event` /
+:meth:`events`.  :func:`apply_delta` replays a delta event onto a
+client-side answer dict, reproducing the server's ``results()`` without
+re-shipping full answers::
+
+    with ServeClient(port=port) as client:
+        client.ingest([[0.1, 0.9], [0.15, 0.88]])
+        query = client.register("closest", k=3)
+        answer = client.subscribe(query)
+        client.ingest([[0.12, 0.91]])
+        for event in client.events(max_events=1):
+            apply_delta(answer, event)
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterator, Optional, Sequence
+
+from repro.exceptions import ProtocolError, ServeError
+from repro.serve.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+__all__ = ["ServeClient", "ServeRequestError", "apply_delta"]
+
+
+class ServeRequestError(ServeError):
+    """The server answered a request with a structured error frame."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class ServeClient:
+    """A synchronous client for one server connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 10.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        connect: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._buffer = bytearray()
+        self._events: list[dict] = []
+        self._next_id = 1
+        #: the server's hello event (protocol version, backpressure
+        #: policy), available after :meth:`connect`.
+        self.hello: Optional[dict] = None
+        if connect:
+            self.connect()
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServeClient":
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self.hello = self.next_event(timeout=self.timeout)
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _read_frame(self, timeout: Optional[float]) -> Optional[dict]:
+        """The next frame off the wire, or ``None`` on timeout."""
+        if self._sock is None:
+            raise ServeError("client is not connected")
+        self._sock.settimeout(timeout)
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline + 1])
+                del self._buffer[:newline + 1]
+                return decode_frame(line)
+            if len(self._buffer) > self.max_frame_bytes:
+                raise ProtocolError(
+                    "frame_too_large",
+                    f"server frame exceeds {self.max_frame_bytes} bytes",
+                )
+            try:
+                chunk = self._sock.recv(65536)
+            except (socket.timeout, BlockingIOError):
+                # BlockingIOError covers timeout=0 (non-blocking poll).
+                return None
+            if not chunk:
+                raise ServeError("server closed the connection")
+            self._buffer.extend(chunk)
+
+    # ------------------------------------------------------------------
+    # request/response
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields) -> dict:
+        """Send one request and block for its response.
+
+        Event frames arriving before the response are buffered for
+        :meth:`next_event`.  An ``ok: false`` response raises
+        :class:`ServeRequestError` carrying the structured code.
+        """
+        if self._sock is None:
+            raise ServeError("client is not connected")
+        request_id = self._next_id
+        self._next_id += 1
+        frame = {"op": op, "id": request_id}
+        frame.update(
+            {key: value for key, value in fields.items()
+             if value is not None}
+        )
+        self._sock.sendall(encode_frame(frame))
+        while True:
+            response = self._read_frame(self.timeout)
+            if response is None:
+                raise ServeError(
+                    f"timed out after {self.timeout}s awaiting the "
+                    f"{op!r} response"
+                )
+            if "event" in response:
+                self._events.append(response)
+                continue
+            if response.get("id") != request_id:
+                continue  # stale response from an abandoned request
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                raise ServeRequestError(
+                    error.get("code", "internal"),
+                    error.get("message", "unspecified server error"),
+                )
+            return response
+
+    def next_event(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """The next buffered or incoming event frame (``None`` on
+        timeout)."""
+        if self._events:
+            return self._events.pop(0)
+        while True:
+            frame = self._read_frame(timeout)
+            if frame is None or "event" in frame:
+                return frame
+            # A response nobody is waiting for (abandoned request):
+            # drop it and keep reading.
+
+    def events(self, *, max_events: int,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Iterate up to ``max_events`` event frames (stops early on
+        timeout)."""
+        for _ in range(max_events):
+            event = self.next_event(
+                timeout=self.timeout if timeout is None else timeout
+            )
+            if event is None:
+                return
+            yield event
+
+    # ------------------------------------------------------------------
+    # op helpers
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        rows: Sequence[Sequence[float]],
+        *,
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> dict:
+        """Admit rows; the ack reports exactly how many were ingested."""
+        return self.request(
+            "ingest", rows=[list(row) for row in rows],
+            timestamps=list(timestamps) if timestamps is not None else None,
+        )
+
+    def register(self, scoring: str, k: int,
+                 n: Optional[int] = None) -> str:
+        """Register a continuous query; returns its wire handle."""
+        return self.request("register", scoring=scoring, k=k, n=n)["query"]
+
+    def unregister(self, query: str) -> dict:
+        return self.request("unregister", query=query)
+
+    def snapshot(
+        self,
+        scoring: Optional[str] = None,
+        k: Optional[int] = None,
+        n: Optional[int] = None,
+        *,
+        query: Optional[str] = None,
+    ) -> list[dict]:
+        """Ad-hoc snapshot answer, or a registered query's current
+        answer when ``query`` is given."""
+        return self.request(
+            "snapshot", scoring=scoring, k=k, n=n, query=query,
+        )["answer"]
+
+    def subscribe(self, query: str) -> dict:
+        """Subscribe to a query's deltas; returns the baseline answer
+        keyed for :func:`apply_delta`."""
+        response = self.request("subscribe", query=query)
+        return {
+            (pair["older"], pair["newer"]): pair
+            for pair in response["answer"]
+        }
+
+    def unsubscribe(self, query: str) -> dict:
+        return self.request("unsubscribe", query=query)
+
+    def checkpoint(self, path: Optional[str] = None) -> dict:
+        return self.request("checkpoint", path=path)
+
+    def stats(self, *, metrics: bool = False) -> dict:
+        return self.request("stats", metrics=metrics or None)["stats"]
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+
+def apply_delta(answer: dict, event: dict) -> dict:
+    """Replay one ``delta`` event onto a subscriber-side answer dict
+    (as returned by :meth:`ServeClient.subscribe`); returns it.
+
+    After every delta the dict equals the server's ``results()`` for
+    that tick — the delta protocol's defining property (pinned by the
+    round-trip tests).
+    """
+    for pair in event.get("left", ()):
+        answer.pop((pair["older"], pair["newer"]), None)
+    for pair in event.get("entered", ()):
+        answer[(pair["older"], pair["newer"])] = pair
+    return answer

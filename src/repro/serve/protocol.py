@@ -1,0 +1,154 @@
+"""Wire protocol for the serving layer (docs/serving.md).
+
+Frames are newline-delimited JSON objects (NDJSON), UTF-8 encoded, one
+frame per line.  Three frame shapes travel over a connection:
+
+* **requests** (client → server) — ``{"op": <name>, "id": <echo>, ...}``
+  where ``op`` is one of :data:`OPS` and the optional ``id`` is echoed
+  verbatim in the response so a client can match replies;
+* **responses** (server → client) — ``{"ok": true, "op": ..., "id": ...,
+  ...payload}`` on success, ``{"ok": false, "error": {"code": ...,
+  "message": ...}, ...}`` on failure.  Error codes are catalogued in
+  :data:`ERROR_CODES`; the server answers *every* malformed input with a
+  structured error frame rather than dying or going silent;
+* **events** (server → client, push) — ``{"event": <kind>, ...}``.
+  Subscription deltas are ``{"event": "delta", "query": ..., "tick": ...,
+  "entered": [...], "left": [...]}``; delivery keeps the client's answer
+  in sync without re-shipping the full top-k every tick (the
+  delta-based protocol of Mäcker et al., see PAPERS.md).
+
+Pairs cross the wire via :func:`pair_to_wire` — a deterministic dict
+(sequence numbers, score, attribute values) so two servers holding the
+same window produce byte-identical serializations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.pair import Pair
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "ok_frame",
+    "pair_to_wire",
+]
+
+#: bumped on every incompatible wire change; the ``hello`` event and
+#: ``stats`` responses carry it so clients can refuse to speak newer
+#: servers.
+PROTOCOL_VERSION = 1
+
+#: default per-frame byte ceiling (requests larger than this are
+#: answered with ``frame_too_large`` and the connection is closed, since
+#: the stream can no longer be resynchronized).
+MAX_FRAME_BYTES = 1 << 20
+
+#: the request operations the server understands.
+OPS = (
+    "ingest",
+    "register",
+    "unregister",
+    "snapshot",
+    "subscribe",
+    "unsubscribe",
+    "checkpoint",
+    "stats",
+    "shutdown",
+)
+
+#: structured error codes (the machine-readable half of an error frame).
+ERROR_CODES = (
+    "bad_json",        # line is not valid JSON
+    "bad_frame",       # JSON but not an object, or no "op" string
+    "unknown_op",      # "op" is not in OPS
+    "bad_request",     # op-specific field missing or invalid
+    "unknown_query",   # query handle does not name a registered query
+    "frame_too_large", # request exceeded the frame byte ceiling
+    "checkpoint_failed",
+    "shutting_down",   # server is draining; no new work accepted
+    "internal",        # unexpected server-side failure (bug)
+)
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame: compact JSON plus the terminating newline."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one received line into a frame dict.
+
+    Raises :class:`~repro.exceptions.ProtocolError` with the matching
+    error code for anything that is not a JSON object.
+    """
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad_json", f"frame is not valid JSON: {exc}") \
+            from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad_frame",
+            f"frame must be a JSON object, got {type(payload).__name__}",
+        )
+    return payload
+
+
+def ok_frame(op: str, request_id=None, **payload) -> dict:
+    """A success response echoing the request's ``op`` and ``id``."""
+    frame: dict = {"ok": True, "op": op}
+    if request_id is not None:
+        frame["id"] = request_id
+    frame.update(payload)
+    return frame
+
+
+def error_frame(
+    code: str,
+    message: str,
+    *,
+    request_id=None,
+    op: Optional[str] = None,
+) -> dict:
+    """A structured error response (``ok: false``).
+
+    ``code`` must come from :data:`ERROR_CODES` — clients dispatch on
+    it, so ad-hoc codes are a bug in the server, not a protocol value.
+    """
+    if code not in ERROR_CODES:
+        raise ValueError(f"uncatalogued error code {code!r}")
+    frame: dict = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if op is not None:
+        frame["op"] = op
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame
+
+
+def pair_to_wire(pair: Pair) -> dict:
+    """A deterministic JSON-able view of one answer pair.
+
+    Keyed by the members' sequence numbers (the pair's identity), plus
+    the score and both value tuples so clients can render answers
+    without a second lookup.  Identical windows serialize identically —
+    the property the checkpoint/restore regression test pins down.
+    """
+    return {
+        "older": pair.older.seq,
+        "newer": pair.newer.seq,
+        "score": pair.score,
+        "older_values": list(pair.older.values),
+        "newer_values": list(pair.newer.values),
+    }

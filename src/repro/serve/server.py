@@ -1,0 +1,593 @@
+"""The asyncio TCP server (``repro serve``; protocol in docs/serving.md).
+
+One :class:`ServeServer` owns one :class:`~repro.serve.session.ServerMonitor`
+and speaks the NDJSON frame protocol of :mod:`repro.serve.protocol` to
+any number of clients.  Design points:
+
+* **single-threaded engine** — every op runs on the event loop, so the
+  monitor needs no locking and ingest ticks are serialized exactly like
+  library use; concurrency lives in the I/O, not the engine;
+* **delta fan-out with bounded queues** — each connection has one
+  bounded event queue drained by a writer task.  When a subscriber's
+  queue is full the configured backpressure policy decides:
+  ``"block"`` (default) awaits queue space, which delays the ingest
+  *ack* — producers slow to the slowest subscriber; ``"drop"`` discards
+  the delta for that subscriber and marks it *lagged* — the next
+  delivered event carries ``"lagged": true`` and the client must resync
+  from a ``snapshot``;
+* **graceful drain** — SIGINT/SIGTERM (or a ``shutdown`` op) stop the
+  acceptor, flush every event queue, send a ``bye`` event and close;
+  an optional checkpoint-on-exit persists the window on the way down;
+* **observability** — connection/frame/error counters, delta fan-out
+  and drop counters, queue-depth gauge and checkpoint timings, all in a
+  :class:`~repro.obs.metrics.MetricsRegistry` (shareable with the
+  monitor's recorder, exported via the ``stats`` op).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+from time import perf_counter
+from typing import Optional
+
+from repro.exceptions import ProtocolError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import checkpoint as checkpoint_module
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    pair_to_wire,
+)
+from repro.serve.session import ServerMonitor
+
+__all__ = ["BACKPRESSURE_POLICIES", "BackgroundServer", "ServeServer"]
+
+BACKPRESSURE_POLICIES = ("block", "drop")
+
+_CLOSE = object()  # event-queue sentinel terminating a writer task
+
+
+class _Connection:
+    """Per-connection state: writer, subscriptions, event queue."""
+
+    __slots__ = ("reader", "writer", "events", "subscriptions", "lagged",
+                 "pump", "name")
+
+    def __init__(self, reader, writer, queue_depth: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        #: bounded per-subscriber queue (the backpressure boundary)
+        self.events: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        #: query handles this connection subscribed to
+        self.subscriptions: set[str] = set()
+        #: queries whose deltas were dropped since the last delivery
+        self.lagged: set[str] = set()
+        self.pump: Optional[asyncio.Task] = None
+        peer = writer.get_extra_info("peername")
+        self.name = f"{peer[0]}:{peer[1]}" if peer else "?"
+
+
+class ServeServer:
+    """Asyncio TCP server publishing top-k pair answers and deltas."""
+
+    def __init__(
+        self,
+        session: ServerMonitor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backpressure: str = "block",
+        queue_depth: int = 64,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        checkpoint_dir: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ProtocolError(
+                "bad_request",
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {backpressure!r}",
+            )
+        if queue_depth < 1:
+            raise ProtocolError(
+                "bad_request", f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        self.session = session
+        self.host = host
+        self.port = port
+        self.backpressure = backpressure
+        self.queue_depth = queue_depth
+        self.max_frame_bytes = max_frame_bytes
+        self.checkpoint_dir = checkpoint_dir
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[_Connection] = set()
+        self._subscribers: dict[str, set[_Connection]] = {}
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        # -- metrics ---------------------------------------------------
+        r = registry if registry is not None else MetricsRegistry()
+        self.registry = r
+        self._m_connections = r.counter(
+            "repro_serve_connections_total", "client connections accepted"
+        )
+        self._m_active = r.gauge(
+            "repro_serve_active_connections", "currently open connections"
+        )
+        self._m_frames = r.counter(
+            "repro_serve_frames_total", "request frames handled, by op",
+            labelnames=("op",),
+        )
+        self._m_errors = r.counter(
+            "repro_serve_errors_total", "error frames sent, by code",
+            labelnames=("code",),
+        )
+        self._m_ingested = r.counter(
+            "repro_serve_ingested_rows_total", "rows admitted via ingest ops"
+        )
+        self._m_deltas = r.counter(
+            "repro_serve_deltas_sent_total",
+            "subscription delta events enqueued to subscribers",
+        )
+        self._m_dropped = r.counter(
+            "repro_serve_deltas_dropped_total",
+            "delta events discarded by the drop backpressure policy",
+        )
+        self._m_subscribers = r.gauge(
+            "repro_serve_subscribers", "active (connection, query) "
+            "subscriptions"
+        )
+        self._m_queue_depth = r.gauge(
+            "repro_serve_event_queue_depth",
+            "deepest per-subscriber event queue at the last fan-out",
+        )
+        self._m_checkpoint_seconds = r.histogram(
+            "repro_serve_checkpoint_seconds",
+            "wall seconds per checkpoint save",
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` when 0."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=self.max_frame_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`stop` completes (signal, op, or caller)."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    def install_signal_handlers(self) -> None:
+        """Graceful SIGINT/SIGTERM drain (best-effort on platforms or
+        loops that do not support signal handlers)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.stop())
+                )
+            except (NotImplementedError, RuntimeError):
+                return
+
+    async def stop(self) -> None:
+        """Drain and shut down: stop accepting, flush every subscriber
+        queue, say ``bye``, close all connections."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        bye = encode_frame({"event": "bye", "reason": "shutdown"})
+        for conn in list(self._connections):
+            await self._close_connection(conn, farewell=bye)
+        self._stopped.set()
+
+    async def _close_connection(self, conn: _Connection,
+                                farewell: Optional[bytes] = None) -> None:
+        if conn not in self._connections:
+            return
+        self._connections.discard(conn)
+        for query in conn.subscriptions:
+            subscribers = self._subscribers.get(query)
+            if subscribers is not None:
+                subscribers.discard(conn)
+                if not subscribers:
+                    del self._subscribers[query]
+        self._m_subscribers.dec(len(conn.subscriptions))
+        conn.subscriptions.clear()
+        self._m_active.dec()
+        if conn.pump is not None:
+            # Let the pump drain what is already queued, then stop it.
+            try:
+                await asyncio.wait_for(conn.events.put(_CLOSE), timeout=5.0)
+            except asyncio.TimeoutError:
+                conn.pump.cancel()
+            try:
+                await conn.pump
+            except asyncio.CancelledError:
+                pass
+        try:
+            if farewell is not None:
+                conn.writer.write(farewell)
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(reader, writer, self.queue_depth)
+        self._connections.add(conn)
+        self._m_connections.inc()
+        self._m_active.inc()
+        conn.pump = asyncio.ensure_future(self._event_pump(conn))
+        writer.write(encode_frame({
+            "event": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "backpressure": self.backpressure,
+            "queue_depth": self.queue_depth,
+        }))
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The frame outgrew the reader limit; the byte stream
+                    # can no longer be resynchronized -> error and close.
+                    self._send(conn, error_frame(
+                        "frame_too_large",
+                        f"frame exceeds {self.max_frame_bytes} bytes",
+                    ))
+                    self._m_errors.labels("frame_too_large").inc()
+                    break
+                if not line.endswith(b"\n"):
+                    # EOF; a non-empty remainder is a mid-frame
+                    # disconnect and is discarded silently.
+                    break
+                await self._handle_line(conn, line)
+        except (ConnectionError, OSError):
+            pass  # peer vanished; cleanup below
+        finally:
+            await self._close_connection(conn)
+
+    async def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        if not line.strip():
+            return  # blank keep-alive lines are ignored
+        try:
+            frame = decode_frame(line)
+        except ProtocolError as exc:
+            self._send_error(conn, exc.code, str(exc))
+            return
+        request_id = frame.get("id")
+        op = frame.get("op")
+        if not isinstance(op, str):
+            self._send_error(conn, "bad_frame",
+                             "frame must carry an 'op' string",
+                             request_id=request_id)
+            return
+        if op not in OPS:
+            self._send_error(conn, "unknown_op",
+                             f"unknown op {op!r}; expected one of {OPS}",
+                             request_id=request_id, op=op)
+            return
+        if self._stopping and op != "shutdown":
+            self._send_error(conn, "shutting_down",
+                             "server is draining; op rejected",
+                             request_id=request_id, op=op)
+            return
+        self._m_frames.labels(op).inc()
+        handler = getattr(self, f"_op_{op}")
+        try:
+            await handler(conn, frame, request_id)
+        except ProtocolError as exc:
+            self._send_error(conn, exc.code, str(exc),
+                             request_id=request_id, op=op)
+        except ReproError as exc:
+            self._send_error(conn, "bad_request", str(exc),
+                             request_id=request_id, op=op)
+        except (ConnectionError, OSError):
+            raise
+        except Exception as exc:  # the server must never die on a frame
+            self._send_error(conn, "internal",
+                             f"{type(exc).__name__}: {exc}",
+                             request_id=request_id, op=op)
+
+    def _send(self, conn: _Connection, frame: dict) -> None:
+        conn.writer.write(encode_frame(frame))
+
+    def _send_error(self, conn: _Connection, code: str, message: str,
+                    *, request_id=None, op: Optional[str] = None) -> None:
+        self._m_errors.labels(code).inc()
+        self._send(conn, error_frame(code, message,
+                                     request_id=request_id, op=op))
+
+    # ------------------------------------------------------------------
+    # event fan-out
+    # ------------------------------------------------------------------
+    async def _event_pump(self, conn: _Connection) -> None:
+        """Single writer task draining one connection's event queue.
+
+        After a write failure the pump keeps *consuming* (and
+        discarding) frames until the close sentinel arrives — a blocked
+        producer awaiting queue space on a dead connection must never
+        hang the ingest path.
+        """
+        failed = False
+        while True:
+            frame = await conn.events.get()
+            if frame is _CLOSE:
+                return
+            if failed:
+                continue
+            try:
+                conn.writer.write(frame)
+                await conn.writer.drain()
+            except (ConnectionError, OSError):
+                failed = True  # reader side will clean the connection up
+
+    async def _fan_out_deltas(self) -> int:
+        """Deliver pending answer deltas to every subscriber; returns
+        the number of delta events enqueued.
+
+        Under the ``block`` policy this awaits queue space, so the
+        caller's ingest ack is delayed until every subscriber queue took
+        the delta; under ``drop`` the delta is discarded and the
+        subscriber marked lagged.
+        """
+        deltas = self.session.drain_deltas()
+        if not deltas:
+            return 0
+        enqueued = 0
+        deepest = 0
+        for delta in deltas:
+            subscribers = self._subscribers.get(delta.query)
+            if not subscribers:
+                continue
+            base = {
+                "event": "delta",
+                "query": delta.query,
+                "tick": delta.tick,
+                "entered": [pair_to_wire(p) for p in delta.entered],
+                "left": [pair_to_wire(p) for p in delta.left],
+            }
+            for conn in list(subscribers):
+                frame = base
+                if delta.query in conn.lagged:
+                    frame = dict(base)
+                    frame["lagged"] = True
+                payload = encode_frame(frame)
+                if self.backpressure == "block":
+                    await conn.events.put(payload)
+                    conn.lagged.discard(delta.query)
+                    self._m_deltas.inc()
+                    enqueued += 1
+                else:
+                    try:
+                        conn.events.put_nowait(payload)
+                    except asyncio.QueueFull:
+                        conn.lagged.add(delta.query)
+                        self._m_dropped.inc()
+                    else:
+                        conn.lagged.discard(delta.query)
+                        self._m_deltas.inc()
+                        enqueued += 1
+                deepest = max(deepest, conn.events.qsize())
+        self._m_queue_depth.set(deepest)
+        return enqueued
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    async def _op_ingest(self, conn, frame, request_id) -> None:
+        rows = frame.get("rows")
+        if not isinstance(rows, list):
+            raise ProtocolError("bad_request",
+                                "ingest needs a 'rows' list")
+        timestamps = frame.get("timestamps")
+        if timestamps is not None and not isinstance(timestamps, list):
+            raise ProtocolError("bad_request",
+                                "'timestamps' must be a list when present")
+        count, now_seq = self.session.ingest(rows, timestamps=timestamps)
+        self._m_ingested.inc(count)
+        deltas = await self._fan_out_deltas()
+        self._send(conn, ok_frame("ingest", request_id,
+                                  ingested=count, now_seq=now_seq,
+                                  deltas=deltas))
+
+    async def _op_register(self, conn, frame, request_id) -> None:
+        handle_id = self.session.register(
+            frame.get("scoring"), frame.get("k"), frame.get("n"),
+        )
+        self._send(conn, ok_frame("register", request_id, query=handle_id))
+
+    async def _op_unregister(self, conn, frame, request_id) -> None:
+        handle_id = frame.get("query")
+        self.session.unregister(handle_id)
+        # Subscribers of a query that just vanished get a closed event
+        # (subscribe-then-unregister must not strand them waiting).
+        subscribers = self._subscribers.pop(handle_id, set())
+        closed = encode_frame({"event": "closed", "query": handle_id})
+        for subscriber in subscribers:
+            subscriber.subscriptions.discard(handle_id)
+            subscriber.lagged.discard(handle_id)
+            self._m_subscribers.dec()
+            await subscriber.events.put(closed)
+        self._send(conn, ok_frame("unregister", request_id,
+                                  query=handle_id))
+
+    async def _op_snapshot(self, conn, frame, request_id) -> None:
+        handle_id = frame.get("query")
+        if handle_id is not None:
+            answer = self.session.results(handle_id)
+        else:
+            answer = self.session.snapshot(
+                frame.get("scoring"), frame.get("k"), frame.get("n"),
+            )
+        self._send(conn, ok_frame(
+            "snapshot", request_id,
+            tick=self.session.monitor.manager.now_seq,
+            answer=[pair_to_wire(p) for p in answer],
+        ))
+
+    async def _op_subscribe(self, conn, frame, request_id) -> None:
+        handle_id = frame.get("query")
+        record = self.session.record(handle_id)  # raises unknown_query
+        if handle_id not in conn.subscriptions:
+            conn.subscriptions.add(handle_id)
+            self._subscribers.setdefault(handle_id, set()).add(conn)
+            self._m_subscribers.inc()
+        # The baseline answer ships in the ack: deltas replayed on top
+        # of it reproduce results() at every later tick.
+        answer = self.session.results(record.handle_id)
+        self._send(conn, ok_frame(
+            "subscribe", request_id, query=handle_id,
+            tick=self.session.monitor.manager.now_seq,
+            answer=[pair_to_wire(p) for p in answer],
+        ))
+
+    async def _op_unsubscribe(self, conn, frame, request_id) -> None:
+        handle_id = frame.get("query")
+        if handle_id in conn.subscriptions:
+            conn.subscriptions.discard(handle_id)
+            conn.lagged.discard(handle_id)
+            subscribers = self._subscribers.get(handle_id)
+            if subscribers is not None:
+                subscribers.discard(conn)
+                if not subscribers:
+                    del self._subscribers[handle_id]
+            self._m_subscribers.dec()
+        self._send(conn, ok_frame("unsubscribe", request_id,
+                                  query=handle_id))
+
+    async def _op_checkpoint(self, conn, frame, request_id) -> None:
+        path = frame.get("path", "checkpoint.json")
+        if not isinstance(path, str) or not path:
+            raise ProtocolError("bad_request",
+                                "'path' must be a non-empty string")
+        if self.checkpoint_dir is not None and not os.path.isabs(path):
+            path = os.path.join(self.checkpoint_dir, path)
+        start = perf_counter()
+        try:
+            meta = checkpoint_module.save_checkpoint(self.session, path)
+        except ReproError as exc:
+            raise ProtocolError("checkpoint_failed", str(exc)) from exc
+        except OSError as exc:
+            raise ProtocolError("checkpoint_failed",
+                                f"cannot write {path!r}: {exc}") from exc
+        elapsed = perf_counter() - start
+        self._m_checkpoint_seconds.observe(elapsed)
+        meta["seconds"] = elapsed
+        self._send(conn, ok_frame("checkpoint", request_id, **meta))
+
+    async def _op_stats(self, conn, frame, request_id) -> None:
+        payload = self.session.stats()
+        payload["serve"] = {
+            "protocol": PROTOCOL_VERSION,
+            "backpressure": self.backpressure,
+            "queue_depth": self.queue_depth,
+            "connections": len(self._connections),
+            "subscriptions": sum(
+                len(s) for s in self._subscribers.values()
+            ),
+        }
+        if frame.get("metrics"):
+            payload["metrics"] = self.registry.snapshot()
+        self._send(conn, ok_frame("stats", request_id, stats=payload))
+
+    async def _op_shutdown(self, conn, frame, request_id) -> None:
+        self._send(conn, ok_frame("shutdown", request_id))
+        try:
+            await conn.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        asyncio.ensure_future(self.stop())
+
+
+class BackgroundServer:
+    """A :class:`ServeServer` on a daemon thread with its own event loop.
+
+    The process-embedding used by tests, the benchmark and notebook
+    experiments::
+
+        with BackgroundServer(session) as server:
+            client = ServeClient(port=server.port)
+
+    ``repro serve`` itself runs the server on the main thread instead
+    (signal handlers only work there).
+    """
+
+    def __init__(self, session: ServerMonitor, **server_kwargs) -> None:
+        self.server = ServeServer(session, **server_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise TimeoutError("server did not start within 10s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                raise
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            await self.server.serve_until_stopped()
+
+        try:
+            asyncio.run(main())
+        except BaseException:
+            if not self._started.is_set():
+                self._started.set()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None \
+                and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            )
+            try:
+                future.result(timeout=10.0)
+            except (TimeoutError, asyncio.CancelledError):
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

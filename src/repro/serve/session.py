@@ -1,0 +1,258 @@
+"""The serving session layer: one :class:`ServerMonitor` per server.
+
+Sits between the wire (:mod:`repro.serve.server`) and the engine
+(:class:`~repro.core.monitor.TopKPairsMonitor`):
+
+* owns the monitor plus a **query registry** keyed by client-visible
+  string handles (``"q1"``, ``"q2"``, ...) — clients never see
+  :class:`~repro.core.monitor.QueryHandle` objects;
+* names scoring functions by the CLI's factory vocabulary (``closest`` /
+  ``furthest`` / ``similar`` / ``dissimilar``) and shares one function
+  *instance* per name, so queries registered over the wire land in the
+  same skyband group exactly like library callers sharing an instance;
+* extracts per-tick **answer deltas**: every continuous query gets an
+  ``on_change`` listener (via
+  :meth:`~repro.core.monitor.TopKPairsMonitor.set_on_change`) that
+  stamps the entered/left pairs with the tick they happened on; the
+  server drains them after each ingest and fans them out to
+  subscribers.
+
+Everything here is synchronous and asyncio-free, so the whole session
+layer is testable without a socket and reusable by the checkpoint
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.monitor import QueryHandle, TopKPairsMonitor
+from repro.core.pair import Pair
+from repro.exceptions import ProtocolError
+from repro.scoring.base import ScoringFunction
+from repro.scoring.library import (
+    k_closest_pairs,
+    k_furthest_pairs,
+    top_k_dissimilar_pairs,
+    top_k_similar_pairs,
+)
+
+__all__ = ["DeltaEvent", "QueryRecord", "SCORING_NAMES", "ServerMonitor"]
+
+#: wire-level scoring-function vocabulary -> factory (paper s1..s4).
+SCORING_NAMES = {
+    "closest": k_closest_pairs,
+    "furthest": k_furthest_pairs,
+    "similar": top_k_similar_pairs,
+    "dissimilar": top_k_dissimilar_pairs,
+}
+
+
+class DeltaEvent:
+    """One continuous query's answer change at one stream tick."""
+
+    __slots__ = ("query", "tick", "entered", "left")
+
+    def __init__(self, query: str, tick: int,
+                 entered: list[Pair], left: list[Pair]) -> None:
+        self.query = query
+        self.tick = tick
+        self.entered = entered
+        self.left = left
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaEvent(query={self.query!r}, tick={self.tick}, "
+            f"+{len(self.entered)}/-{len(self.left)})"
+        )
+
+
+class QueryRecord:
+    """Registry entry: the wire-visible spec plus the engine handle."""
+
+    __slots__ = ("handle_id", "scoring", "k", "n", "handle")
+
+    def __init__(self, handle_id: str, scoring: str, k: int, n: int,
+                 handle: QueryHandle) -> None:
+        self.handle_id = handle_id
+        self.scoring = scoring
+        self.k = k
+        self.n = n
+        self.handle = handle
+
+    def spec(self) -> dict:
+        """The JSON-able registration spec (checkpoint + stats view)."""
+        return {
+            "handle": self.handle_id,
+            "scoring": self.scoring,
+            "k": self.k,
+            "n": self.n,
+        }
+
+
+class ServerMonitor:
+    """A :class:`TopKPairsMonitor` wrapped for network serving."""
+
+    def __init__(
+        self,
+        window_size: int,
+        num_attributes: int,
+        *,
+        time_horizon: Optional[float] = None,
+        strategy: str = "auto",
+        seed: int = 0,
+        audit: Optional[bool] = None,
+        recorder=None,
+    ) -> None:
+        # The constructor arguments are kept verbatim: they are the
+        # "monitor" section of every checkpoint this session writes.
+        self.config = {
+            "window_size": window_size,
+            "num_attributes": num_attributes,
+            "time_horizon": time_horizon,
+            "strategy": strategy,
+            "seed": seed,
+        }
+        self.monitor = TopKPairsMonitor(
+            window_size, num_attributes, strategy=strategy,
+            time_horizon=time_horizon, seed=seed, audit=audit,
+            recorder=recorder,
+        )
+        self._scoring_instances: dict[str, ScoringFunction] = {}
+        self._queries: dict[str, QueryRecord] = {}
+        self._next_handle = 1
+        self._pending_deltas: list[DeltaEvent] = []
+
+    # ------------------------------------------------------------------
+    # query registry
+    # ------------------------------------------------------------------
+    def scoring_for(self, name: str) -> ScoringFunction:
+        """The session-wide shared instance for a named scoring function
+        (shared instances keep wire queries in one skyband group)."""
+        if name not in SCORING_NAMES:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown scoring {name!r}; expected one of "
+                f"{sorted(SCORING_NAMES)}",
+            )
+        instance = self._scoring_instances.get(name)
+        if instance is None:
+            factory = SCORING_NAMES[name]
+            instance = factory(self.config["num_attributes"])
+            self._scoring_instances[name] = instance
+        return instance
+
+    def register(self, scoring: str, k: int, n: Optional[int] = None,
+                 *, handle_id: Optional[str] = None) -> str:
+        """Register a continuous query; returns its wire handle.
+
+        Registering the same spec twice is allowed and yields two
+        independent handles (they share one skyband, so the duplicate is
+        cheap) — clients that crash and re-register must never be turned
+        away.  ``handle_id`` pins the wire handle explicitly (checkpoint
+        restore re-registers queries under their saved names).
+        """
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ProtocolError("bad_request", f"k must be an int >= 1, got {k!r}")
+        if n is not None and (not isinstance(n, int) or isinstance(n, bool)
+                              or n < 2):
+            raise ProtocolError(
+                "bad_request", f"n must be an int >= 2, got {n!r}"
+            )
+        scoring_fn = self.scoring_for(scoring)
+        if handle_id is None:
+            handle_id = f"q{self._next_handle}"
+            self._next_handle += 1
+            while handle_id in self._queries:  # skip pinned handles
+                handle_id = f"q{self._next_handle}"
+                self._next_handle += 1
+        elif handle_id in self._queries:
+            raise ProtocolError(
+                "bad_request", f"handle {handle_id!r} is already registered"
+            )
+        handle = self.monitor.register_query(
+            scoring_fn, k=k, n=n, continuous=True,
+        )
+        self.monitor.set_on_change(
+            handle, self._make_listener(handle_id)
+        )
+        record = QueryRecord(
+            handle_id, scoring, k,
+            n if n is not None else self.config["window_size"], handle,
+        )
+        self._queries[handle_id] = record
+        return handle_id
+
+    def _make_listener(self, handle_id: str):
+        def on_change(entered: list[Pair], left: list[Pair]) -> None:
+            self._pending_deltas.append(DeltaEvent(
+                handle_id, self.monitor.manager.now_seq, entered, left,
+            ))
+        return on_change
+
+    def unregister(self, handle_id: str) -> None:
+        record = self._queries.pop(handle_id, None)
+        if record is None:
+            raise ProtocolError(
+                "unknown_query", f"no registered query {handle_id!r}"
+            )
+        self.monitor.unregister_query(record.handle)
+
+    def record(self, handle_id: str) -> QueryRecord:
+        record = self._queries.get(handle_id)
+        if record is None:
+            raise ProtocolError(
+                "unknown_query", f"no registered query {handle_id!r}"
+            )
+        return record
+
+    def queries(self) -> list[QueryRecord]:
+        """Registered queries in registration order."""
+        return list(self._queries.values())
+
+    # ------------------------------------------------------------------
+    # ingest + delta extraction
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        rows: Iterable[Sequence[float]],
+        *,
+        timestamps: Optional[Iterable[float]] = None,
+    ) -> tuple[int, int]:
+        """Admit a batch of rows; returns ``(ingested, now_seq)``.
+
+        The precise count comes from
+        :meth:`~repro.core.monitor.TopKPairsMonitor.extend`'s return
+        value — the server acknowledges exactly what entered the stream.
+        Answer deltas produced by the ticks accumulate for
+        :meth:`drain_deltas`.
+        """
+        count = self.monitor.extend(rows, timestamps=timestamps)
+        return count, self.monitor.manager.now_seq
+
+    def drain_deltas(self) -> list[DeltaEvent]:
+        """The per-tick answer deltas since the last drain (oldest
+        first); draining transfers ownership to the caller."""
+        deltas = self._pending_deltas
+        self._pending_deltas = []
+        return deltas
+
+    # ------------------------------------------------------------------
+    # answers + diagnostics
+    # ------------------------------------------------------------------
+    def results(self, handle_id: str) -> list[Pair]:
+        """Current answer of a registered query, ascending by score."""
+        return self.monitor.results(self.record(handle_id).handle)
+
+    def snapshot(self, scoring: str, k: int,
+                 n: Optional[int] = None) -> list[Pair]:
+        """One-off snapshot answer (Algorithm 2) for an ad-hoc spec."""
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ProtocolError("bad_request", f"k must be an int >= 1, got {k!r}")
+        return self.monitor.snapshot_query(self.scoring_for(scoring), k, n)
+
+    def stats(self, *, include_metrics: bool = False) -> dict:
+        """Engine stats plus the wire-level query registry."""
+        payload = self.monitor.stats(include_metrics=include_metrics)
+        payload["queries"] = [record.spec() for record in self.queries()]
+        return payload

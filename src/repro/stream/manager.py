@@ -111,6 +111,26 @@ class StreamManager:
         """The skip-list node of ``obj`` in the list of ``attribute``."""
         return self._nodes[obj.seq][attribute]
 
+    def seed_sequence(self, next_seq: int) -> None:
+        """Fast-forward the arrival counter so the *next* appended object
+        gets sequence number ``next_seq``.
+
+        Checkpoint restore (:mod:`repro.serve.checkpoint`) replays the
+        saved window into a fresh manager; the replayed objects must keep
+        their original sequence numbers or every derived pair key (uid,
+        age_key, score_key tie-breaks) would change.  Only allowed on a
+        manager that has never admitted an object.
+        """
+        if self._next_seq != 1 or self._nodes:
+            raise InvalidParameterError(
+                "seed_sequence is only allowed on a fresh stream manager"
+            )
+        if next_seq < 1:
+            raise InvalidParameterError(
+                f"next_seq must be >= 1, got {next_seq}"
+            )
+        self._next_seq = next_seq
+
     # ------------------------------------------------------------------
     def append(
         self,

@@ -120,3 +120,29 @@ class TestAnswersMatchAppend:
             [p.uid for p in by_extend.results(h_e)]
         answer = by_extend.results(h_e)
         assert all(isinstance(p.older.payload, int) for p in answer)
+
+
+class TestExtendReturnCount:
+    def test_per_tick_returns_exact_count(self):
+        monitor = TopKPairsMonitor(20, 2)
+        assert monitor.extend(random_rows(12, 2, seed=7)) == 12
+
+    def test_batched_returns_exact_count(self):
+        monitor = TopKPairsMonitor(20, 2)
+        assert monitor.extend(random_rows(13, 2, seed=8),
+                              batch_size=5) == 13
+
+    def test_generator_input_counted(self):
+        monitor = TopKPairsMonitor(20, 2)
+        rows = random_rows(9, 2, seed=9)
+        assert monitor.extend(row for row in rows) == 9
+
+    def test_empty_iterable_returns_zero(self):
+        monitor = TopKPairsMonitor(20, 2)
+        assert monitor.extend([]) == 0
+        assert monitor.extend(iter([]), batch_size=4) == 0
+
+    def test_count_exceeding_window_still_reports_ingested(self):
+        monitor = TopKPairsMonitor(5, 2)
+        assert monitor.extend(random_rows(12, 2, seed=10)) == 12
+        assert len(monitor.manager) == 5

@@ -114,3 +114,76 @@ class TestJsonSnapshot:
         from_handle = json.loads(buffer.getvalue())
         assert from_path == from_handle
         assert from_path["metrics"]["repro_skyband_size"] == 12
+
+
+class _Interrupter:
+    """Yields ``good`` events, then raises KeyboardInterrupt (a Ctrl-C
+    landing mid-stream)."""
+
+    def __init__(self, events, good):
+        self.events = events
+        self.good = good
+
+    def __iter__(self):
+        for index, event in enumerate(self.events):
+            if index == self.good:
+                raise KeyboardInterrupt
+            yield event
+
+
+class _FlushTracker(io.StringIO):
+    def __init__(self):
+        super().__init__()
+        self.flushes = 0
+
+    def flush(self):
+        self.flushes += 1
+        super().flush()
+
+
+class TestInterruptSafety:
+    def test_jsonl_interrupt_leaves_valid_prefix_and_flushes(self):
+        events = make_events()
+        handle = _FlushTracker()
+        try:
+            write_tick_jsonl(_Interrupter(events, 2), handle)
+        except KeyboardInterrupt:
+            pass
+        else:
+            raise AssertionError("KeyboardInterrupt must propagate")
+        lines = handle.getvalue().splitlines()
+        assert len(lines) == 2
+        for line in lines:  # every written record is complete JSON
+            json.loads(line)
+        assert handle.flushes >= 1
+
+    def test_csv_interrupt_leaves_complete_rows(self):
+        events = make_events()
+        handle = _FlushTracker()
+        try:
+            write_tick_csv(_Interrupter(events, 1), handle)
+        except KeyboardInterrupt:
+            pass
+        else:
+            raise AssertionError("KeyboardInterrupt must propagate")
+        parsed = list(csv.reader(io.StringIO(handle.getvalue())))
+        assert parsed[0] == list(TICK_FIELDS)
+        assert len(parsed) == 2  # header + one complete row
+        assert len(parsed[1]) == len(TICK_FIELDS)
+        assert handle.flushes >= 1
+
+    def test_jsonl_single_write_per_record(self):
+        events = make_events()
+
+        class WriteCounter(io.StringIO):
+            writes = 0
+
+            def write(self, text):
+                WriteCounter.writes += 1
+                return super().write(text)
+
+        handle = WriteCounter()
+        count = write_tick_jsonl(events, handle)
+        assert count == len(events)
+        # one write per record: no interleaving point inside a line
+        assert WriteCounter.writes == len(events)

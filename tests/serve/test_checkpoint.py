@@ -1,0 +1,215 @@
+"""Checkpoint/restore: format validation, atomicity, and the
+byte-identity acceptance regression — a checkpoint taken mid-stream and
+restored into a fresh server answers every registered query
+byte-identically."""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.serve.checkpoint import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    checkpoint_state,
+    load_checkpoint,
+    restore_server_monitor,
+    save_checkpoint,
+)
+from repro.serve.protocol import pair_to_wire
+from repro.serve.session import ServerMonitor
+
+
+def rows(n, seed=0):
+    rng = random.Random(seed)
+    return [[rng.random(), rng.random()] for _ in range(n)]
+
+
+def populated_session(window=32, n_rows=80):
+    session = ServerMonitor(window, 2)
+    session.register("closest", 3)
+    session.register("furthest", 2)
+    session.register("dissimilar", 4)
+    session.ingest(rows(n_rows))
+    session.drain_deltas()
+    return session
+
+
+class TestByteIdenticalRestore:
+    def test_mid_stream_checkpoint_restores_byte_identically(self, tmp_path):
+        """The acceptance criterion: every registered query's snapshot
+        answer serializes byte-identically after restore."""
+        session = populated_session()
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(session, path)
+        restored = restore_server_monitor(path)
+        assert [r.spec() for r in restored.queries()] == \
+            [r.spec() for r in session.queries()]
+        for record in session.queries():
+            original = json.dumps(
+                [pair_to_wire(p) for p in session.results(record.handle_id)]
+            )
+            recovered = json.dumps(
+                [pair_to_wire(p)
+                 for p in restored.results(record.handle_id)]
+            )
+            assert original == recovered
+
+    def test_restored_session_continues_identically(self, tmp_path):
+        """Feeding the same suffix to both sessions keeps them equal —
+        restore is a true mid-stream fork, not just a snapshot."""
+        session = populated_session()
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(session, path)
+        restored = restore_server_monitor(path)
+        suffix = rows(40, seed=9)
+        session.ingest(suffix)
+        restored.ingest(suffix)
+        for record in session.queries():
+            assert json.dumps(
+                [pair_to_wire(p) for p in session.results(record.handle_id)]
+            ) == json.dumps(
+                [pair_to_wire(p)
+                 for p in restored.results(record.handle_id)]
+            )
+
+    def test_sequence_numbers_preserved(self, tmp_path):
+        session = populated_session(window=16, n_rows=50)
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(session, path)
+        restored = restore_server_monitor(path)
+        assert restored.monitor.manager.now_seq == \
+            session.monitor.manager.now_seq
+        assert [obj.seq for obj in restored.monitor.manager] == \
+            [obj.seq for obj in session.monitor.manager]
+
+    def test_handles_with_gaps_restore_under_saved_names(self, tmp_path):
+        session = ServerMonitor(32, 2)
+        session.register("closest", 3)   # q1
+        q2 = session.register("furthest", 2)
+        session.register("closest", 5)   # q3
+        session.unregister(q2)           # leave a gap
+        session.ingest(rows(40))
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(session, path)
+        restored = restore_server_monitor(path)
+        assert [r.handle_id for r in restored.queries()] == ["q1", "q3"]
+        # deltas after restore carry the restored (saved) handle names
+        restored.drain_deltas()
+        restored.ingest(rows(10, seed=4))
+        assert {event.query for event in restored.drain_deltas()} \
+            <= {"q1", "q3"}
+        # and new registrations never collide with restored names
+        assert restored.register("closest", 2) == "q4"
+
+    def test_empty_window_checkpoint(self, tmp_path):
+        session = ServerMonitor(32, 2)
+        session.register("closest", 3)
+        path = str(tmp_path / "ck.json")
+        meta = save_checkpoint(session, path)
+        assert meta["objects"] == 0
+        restored = restore_server_monitor(path)
+        restored.ingest(rows(5))
+        assert [obj.seq for obj in restored.monitor.manager] == \
+            [1, 2, 3, 4, 5]
+
+
+class TestFormat:
+    def test_document_shape(self, tmp_path):
+        session = populated_session()
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(session, path)
+        state = json.loads(open(path).read())
+        assert state["format"] == FORMAT_NAME
+        assert state["version"] == FORMAT_VERSION
+        assert len(state["window"]) == len(list(session.monitor.manager))
+        assert len(state["queries"]) == 3
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        session = populated_session()
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(session, path)
+        assert os.listdir(tmp_path) == ["ck.json"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{broken")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_foreign_format_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"format": "other-thing", "version": 1}))
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(str(path))
+        assert FORMAT_NAME in str(err.value)
+
+    def test_newer_version_rejected(self, tmp_path):
+        session = populated_session()
+        state = checkpoint_state(session)
+        state["version"] = FORMAT_VERSION + 1
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps(state))
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(str(path))
+        assert "version" in str(err.value)
+
+    def test_missing_section_rejected(self, tmp_path):
+        session = populated_session()
+        state = checkpoint_state(session)
+        del state["window"]
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps(state))
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(str(path))
+        assert "window" in str(err.value)
+
+    def test_unknown_scoring_rejected(self, tmp_path):
+        session = populated_session()
+        state = checkpoint_state(session)
+        state["queries"][0]["scoring"] = "sideways"
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps(state))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_additive_extra_keys_ignored(self, tmp_path):
+        """The compatibility rule: unknown extra keys never break a
+        reader, so additive format changes need no version bump."""
+        session = populated_session()
+        state = checkpoint_state(session)
+        state["future_extension"] = {"anything": True}
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps(state))
+        restored = restore_server_monitor(str(path))
+        assert len(restored.queries()) == 3
+
+    def test_unserializable_payload_fails_loudly(self, tmp_path):
+        session = ServerMonitor(8, 2)
+        session.monitor.append([0.1, 0.2], payload=object())
+        path = str(tmp_path / "ck.json")
+        with pytest.raises(CheckpointError):
+            save_checkpoint(session, path)
+        assert not os.path.exists(path)  # nothing (lossy) was written
+
+    def test_payloads_and_timestamps_survive(self, tmp_path):
+        session = ServerMonitor(8, 2, time_horizon=1000.0)
+        session.monitor.append([0.1, 0.2], timestamp=1.5,
+                               payload={"tag": "a"})
+        session.monitor.append([0.3, 0.4], timestamp=2.5,
+                               payload={"tag": "b"})
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(session, path)
+        restored = restore_server_monitor(path)
+        objects = list(restored.monitor.manager)
+        assert [obj.payload for obj in objects] == [{"tag": "a"},
+                                                    {"tag": "b"}]
+        assert [obj.timestamp for obj in objects] == [1.5, 2.5]

@@ -1,0 +1,113 @@
+"""The ``repro serve`` / ``repro client`` CLI pair, driven end-to-end
+as real subprocesses (announce line, signal drain, checkpoint flags)."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def spawn_server(*extra_args):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--columns", "2",
+         "--window", "64", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    assert "listening on" in line, line
+    port = int(line.rsplit(":", 1)[1])
+    return process, port
+
+
+def run_client(port, *args, stdin_text=None):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "client", *args,
+         "--port", str(port)],
+        input=stdin_text, capture_output=True, text=True, timeout=60,
+        env=env,
+    )
+
+
+class TestServeSubprocess:
+    def test_full_round_trip(self, tmp_path):
+        ckpt = tmp_path / "cli.ckpt.json"
+        process, port = spawn_server()
+        try:
+            result = run_client(
+                port, "ingest", "--columns", "2",
+                stdin_text="0.1,0.9\n0.2,0.8\n0.15,0.85\n",
+            )
+            assert result.returncode == 0, result.stdout + result.stderr
+            assert "ingested 3 rows" in result.stdout
+
+            result = run_client(port, "snapshot", "--scoring", "closest",
+                                "--k", "2")
+            assert result.returncode == 0
+            assert "tick 3" in result.stdout and "#1:" in result.stdout
+
+            result = run_client(port, "checkpoint", "--path", str(ckpt))
+            assert result.returncode == 0
+            assert "3 objects" in result.stdout
+
+            result = run_client(port, "shutdown")
+            assert result.returncode == 0
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert ckpt.exists()
+
+    def test_restore_serves_saved_answers(self, tmp_path):
+        ckpt = tmp_path / "warm.ckpt.json"
+        process, port = spawn_server()
+        try:
+            run_client(port, "ingest", "--columns", "2",
+                       stdin_text="0.1,0.9\n0.2,0.8\n0.15,0.85\n")
+            original = run_client(port, "snapshot", "--k", "2").stdout
+            run_client(port, "checkpoint", "--path", str(ckpt))
+            run_client(port, "shutdown")
+            process.wait(timeout=30)
+
+            process, port = spawn_server("--restore", str(ckpt))
+            restored = run_client(port, "snapshot", "--k", "2").stdout
+            assert restored == original
+            run_client(port, "shutdown")
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+    def test_sigint_drains_and_checkpoints_on_exit(self, tmp_path):
+        ckpt = tmp_path / "exit.ckpt.json"
+        process, port = spawn_server("--checkpoint-on-exit", str(ckpt))
+        try:
+            run_client(port, "ingest", "--columns", "2",
+                       stdin_text="0.5,0.5\n0.6,0.6\n")
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+        out = process.stdout.read()
+        assert "checkpoint" in out
+        assert ckpt.exists()
+
+    def test_port_already_in_use_fails_fast(self):
+        process, port = spawn_server()
+        try:
+            env = dict(os.environ, PYTHONPATH=SRC)
+            clash = subprocess.run(
+                [sys.executable, "-m", "repro", "serve", "--columns", "2",
+                 "--port", str(port)],
+                capture_output=True, text=True, timeout=60, env=env,
+            )
+            assert clash.returncode != 0
+        finally:
+            run_client(port, "shutdown")
+            process.wait(timeout=30)

@@ -1,0 +1,89 @@
+"""Unit tests for the NDJSON frame protocol (repro.serve.protocol)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    pair_to_wire,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_compact_line(self):
+        data = encode_frame({"op": "stats", "id": 7})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert b" " not in data  # compact separators
+
+    def test_round_trip(self):
+        frame = {"op": "ingest", "id": 3, "rows": [[0.5, 1.5]]}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_non_json_raises_bad_json(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(b"{nope\n")
+        assert err.value.code == "bad_json"
+
+    def test_non_object_raises_bad_frame(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(b"[1,2,3]\n")
+        assert err.value.code == "bad_frame"
+
+    def test_error_codes_catalogued(self):
+        for code in ("bad_json", "bad_frame", "unknown_op", "bad_request",
+                     "unknown_query", "frame_too_large", "shutting_down"):
+            assert code in ERROR_CODES
+
+    def test_ops_catalogued(self):
+        for op in ("ingest", "register", "unregister", "snapshot",
+                   "subscribe", "unsubscribe", "checkpoint", "stats",
+                   "shutdown"):
+            assert op in OPS
+
+
+class TestFrames:
+    def test_ok_frame_shape(self):
+        frame = ok_frame("ingest", 5, ingested=3)
+        assert frame == {"ok": True, "op": "ingest", "id": 5, "ingested": 3}
+
+    def test_ok_frame_without_id(self):
+        assert "id" not in ok_frame("stats", None)
+
+    def test_error_frame_shape(self):
+        frame = error_frame("unknown_op", "no such op", request_id=9,
+                            op="zap")
+        assert frame["ok"] is False
+        assert frame["id"] == 9
+        assert frame["error"]["code"] == "unknown_op"
+        assert "no such op" in frame["error"]["message"]
+
+    def test_error_frame_rejects_uncatalogued_code(self):
+        with pytest.raises(ValueError):
+            error_frame("made_up_code", "boom", request_id=None, op=None)
+
+
+class TestPairToWire:
+    def test_wire_shape_is_json_serializable(self):
+        from repro.core.monitor import TopKPairsMonitor
+        from repro.scoring.library import k_closest_pairs
+
+        monitor = TopKPairsMonitor(10, 2)
+        handle = monitor.register_query(k_closest_pairs(2), k=1,
+                                        continuous=True)
+        monitor.extend([[0.1, 0.2], [0.15, 0.25]])
+        pair = monitor.results(handle)[0]
+        wire = pair_to_wire(pair)
+        assert wire["older"] == 1 and wire["newer"] == 2
+        assert wire["older_values"] == [0.1, 0.2]
+        assert wire["newer_values"] == [0.15, 0.25]
+        json.dumps(wire)  # must be wire-safe

@@ -1,0 +1,143 @@
+"""Unit tests for the socket-free session layer (repro.serve.session)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.serve.session import SCORING_NAMES, ServerMonitor
+
+
+def rows(n, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    return [[rng.random(), rng.random()] for _ in range(n)]
+
+
+class TestRegistry:
+    def test_register_assigns_sequential_handles(self):
+        session = ServerMonitor(50, 2)
+        assert session.register("closest", 3) == "q1"
+        assert session.register("furthest", 2) == "q2"
+        specs = [record.spec() for record in session.queries()]
+        assert specs[0] == {"handle": "q1", "scoring": "closest", "k": 3,
+                            "n": 50}
+        assert specs[1]["scoring"] == "furthest"
+
+    def test_double_register_same_spec_is_allowed(self):
+        session = ServerMonitor(50, 2)
+        first = session.register("closest", 3)
+        second = session.register("closest", 3)
+        assert first != second
+        assert len(session.queries()) == 2
+
+    def test_pinned_handle_and_collision_skip(self):
+        session = ServerMonitor(50, 2)
+        session.register("closest", 3, handle_id="q1")
+        with pytest.raises(ProtocolError) as err:
+            session.register("closest", 3, handle_id="q1")
+        assert err.value.code == "bad_request"
+        # auto-assignment must skip the pinned name
+        assert session.register("closest", 2) == "q2"
+
+    def test_unknown_scoring_rejected(self):
+        session = ServerMonitor(50, 2)
+        with pytest.raises(ProtocolError) as err:
+            session.register("sideways", 3)
+        assert err.value.code == "bad_request"
+        assert "sideways" in str(err.value)
+
+    @pytest.mark.parametrize("bad_k", [0, -1, "3", 2.5, None, True])
+    def test_bad_k_rejected(self, bad_k):
+        session = ServerMonitor(50, 2)
+        with pytest.raises(ProtocolError):
+            session.register("closest", bad_k)
+
+    def test_unregister_unknown_query(self):
+        session = ServerMonitor(50, 2)
+        with pytest.raises(ProtocolError) as err:
+            session.unregister("q99")
+        assert err.value.code == "unknown_query"
+
+    def test_shared_scoring_instance_one_skyband_group(self):
+        session = ServerMonitor(50, 2)
+        session.register("closest", 3)
+        session.register("closest", 5)
+        assert session.scoring_for("closest") is \
+            session.scoring_for("closest")
+        groups = session.monitor.stats()["groups"]
+        assert len(groups) == 1  # both queries share one group
+
+    def test_all_scoring_names_register(self):
+        session = ServerMonitor(50, 2)
+        for name in SCORING_NAMES:
+            session.register(name, 2)
+        session.ingest(rows(10))
+        for record in session.queries():
+            assert len(session.results(record.handle_id)) <= 2
+
+
+class TestIngestAndDeltas:
+    def test_ingest_reports_exact_count_and_seq(self):
+        session = ServerMonitor(50, 2)
+        assert session.ingest(rows(7)) == (7, 7)
+        assert session.ingest(rows(3, seed=1)) == (3, 10)
+
+    def test_deltas_stamped_with_their_tick(self):
+        session = ServerMonitor(50, 2)
+        handle = session.register("closest", 2)
+        session.ingest(rows(10))
+        deltas = session.drain_deltas()
+        assert deltas, "a filling window must change the answer"
+        assert all(event.query == handle for event in deltas)
+        ticks = [event.tick for event in deltas]
+        assert ticks == sorted(ticks)
+        assert ticks[-1] <= 10
+
+    def test_drain_transfers_ownership(self):
+        session = ServerMonitor(50, 2)
+        session.register("closest", 2)
+        session.ingest(rows(5))
+        first = session.drain_deltas()
+        assert first
+        assert session.drain_deltas() == []
+
+    def test_replaying_deltas_reproduces_results(self):
+        session = ServerMonitor(20, 2)
+        handle = session.register("closest", 3)
+        session.ingest(rows(4))
+        answer = {
+            (p.older.seq, p.newer.seq) for p in session.results(handle)
+        }
+        session.drain_deltas()
+        for row in rows(30, seed=2):
+            session.ingest([row])
+            for event in session.drain_deltas():
+                for pair in event.left:
+                    answer.discard((pair.older.seq, pair.newer.seq))
+                for pair in event.entered:
+                    answer.add((pair.older.seq, pair.newer.seq))
+            polled = {
+                (p.older.seq, p.newer.seq) for p in session.results(handle)
+            }
+            assert answer == polled
+
+    def test_unregistered_query_stops_producing_deltas(self):
+        session = ServerMonitor(50, 2)
+        handle = session.register("closest", 2)
+        session.ingest(rows(5))
+        session.drain_deltas()
+        session.unregister(handle)
+        session.ingest(rows(5, seed=3))
+        assert session.drain_deltas() == []
+
+
+class TestStats:
+    def test_stats_lists_registered_queries(self):
+        session = ServerMonitor(50, 2)
+        session.register("closest", 3)
+        payload = session.stats()
+        assert payload["queries"] == [
+            {"handle": "q1", "scoring": "closest", "k": 3, "n": 50}
+        ]

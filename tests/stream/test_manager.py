@@ -112,3 +112,30 @@ class TestTimeHorizon:
         assert [o.seq for o in event.expired] == [1, 2]
         assert len(mgr) == 1
         assert len(mgr.attribute_list(0)) == 1
+
+
+class TestSeedSequence:
+    def test_fresh_manager_seeds_next_seq(self):
+        mgr = StreamManager(10, 1)
+        mgr.seed_sequence(500)
+        event = mgr.append((1.0,))
+        assert event.new.seq == 500
+        assert mgr.append((2.0,)).new.seq == 501
+
+    def test_rejected_after_first_append(self):
+        mgr = StreamManager(10, 1)
+        mgr.append((1.0,))
+        with pytest.raises(InvalidParameterError):
+            mgr.seed_sequence(500)
+
+    def test_rejected_after_a_prior_seed_plus_append(self):
+        mgr = StreamManager(10, 1)
+        mgr.seed_sequence(7)
+        mgr.append((1.0,))
+        with pytest.raises(InvalidParameterError):
+            mgr.seed_sequence(9)
+
+    def test_rejects_nonpositive_seq(self):
+        mgr = StreamManager(10, 1)
+        with pytest.raises(InvalidParameterError):
+            mgr.seed_sequence(0)

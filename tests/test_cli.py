@@ -258,3 +258,52 @@ class TestAuditMetricsFlag:
         payload = json.loads(metrics_file.read_text())
         assert payload["command"] == "audit"
         assert payload["metrics"]["repro_ticks_total"] == 60
+
+
+class TestVersionFlag:
+    def test_version_long(self):
+        from repro import __version__
+
+        code, out = run_cli(["--version"])
+        assert code == 0
+        assert out.strip() == f"repro {__version__}"
+
+    def test_version_short(self):
+        from repro import __version__
+
+        code, out = run_cli(["-V"])
+        assert code == 0
+        assert __version__ in out
+
+
+class TestServeParsers:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(["--columns", "2"])
+        assert args.port == 7807
+        assert args.window == 1000
+        assert args.backpressure == "block"
+        assert args.queue_depth == 64
+        assert args.restore is None
+
+    def test_serve_parser_requires_columns(self):
+        from repro.cli import build_serve_parser
+
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args([])
+
+    def test_client_parser_intermixed_positional(self):
+        from repro.cli import build_client_parser
+
+        args = build_client_parser().parse_intermixed_args(
+            ["ingest", "--port", "7807", "--columns", "2", "data.csv"]
+        )
+        assert args.action == "ingest"
+        assert args.csv_file == "data.csv"
+
+    def test_bench_parser_accepts_serve_suite(self):
+        from repro.cli import build_bench_parser
+
+        args = build_bench_parser().parse_args(["serve"])
+        assert args.suite == "serve"

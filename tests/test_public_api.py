@@ -23,12 +23,13 @@ class TestExports:
         import repro.core
         import repro.datasets
         import repro.scoring
+        import repro.serve
         import repro.stream
         import repro.structures
 
         for module in (
             repro.analysis, repro.baselines, repro.core, repro.datasets,
-            repro.scoring, repro.stream, repro.structures,
+            repro.scoring, repro.serve, repro.stream, repro.structures,
         ):
             for name in module.__all__:
                 assert getattr(module, name) is not None, (module, name)
@@ -40,6 +41,7 @@ class TestExceptionHierarchy:
             "InvalidParameterError", "UnknownQueryError",
             "DuplicateItemError", "ItemNotFoundError",
             "EmptyStructureError", "ScoringFunctionError", "WindowError",
+            "ServeError", "ProtocolError", "CheckpointError",
         ):
             exc = getattr(exceptions, name)
             assert issubclass(exc, exceptions.ReproError), name
@@ -51,6 +53,8 @@ class TestExceptionHierarchy:
         assert issubclass(exceptions.ItemNotFoundError, KeyError)
         assert issubclass(exceptions.EmptyStructureError, IndexError)
         assert issubclass(exceptions.WindowError, ValueError)
+        assert issubclass(exceptions.ProtocolError, ValueError)
+        assert issubclass(exceptions.CheckpointError, ValueError)
 
     def test_one_except_catches_everything(self):
         with pytest.raises(exceptions.ReproError):
