@@ -1,8 +1,18 @@
 """``python -m repro`` — the CSV monitoring CLI."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved Unix filter.  Re-point stdout at devnull so the
+        # interpreter's shutdown flush does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

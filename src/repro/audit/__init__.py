@@ -7,14 +7,43 @@ verification plus a project-specific static lint pass.
   the :class:`MonitorAuditor` that runs them (plus a sampled brute-force
   K-skyband cross-check) on live :class:`~repro.TopKPairsMonitor` ticks.
 * :mod:`repro.audit.lint` — an AST-based lint pass over the source tree
-  with rules RA101-RA108 (float-score equality, mutable defaults,
-  ``__all__`` hygiene, hot-path anti-patterns, bare ``except``).
+  with the per-file rules RA100-RA108 (float-score equality, mutable
+  defaults, ``__all__`` hygiene, hot-path anti-patterns, bare
+  ``except``) plus the :func:`~repro.audit.lint.analyze_paths` driver
+  that runs the cross-module passes as well.
+* :mod:`repro.audit.callgraph` — the project-wide call graph with
+  transitive hot-path propagation (RA105/106/108 fire in any function
+  *reachable* from hot-path code, not just in hot-path files).
+* :mod:`repro.audit.asynccheck` — the async-safety family RA201-RA205
+  (blocking calls on the event loop, shared-state mutation across
+  awaits, fire-and-forget tasks, locks held across unbounded awaits,
+  unawaited coroutines).
+* :mod:`repro.audit.conformance` — RA301 wire-protocol conformance
+  between ``serve/protocol.py``, the server handlers and the client.
+* :mod:`repro.audit.rules` — the single-source-of-truth rule catalogue
+  (``--explain``, ``docs/audit.md`` and SARIF metadata all render it).
+* :mod:`repro.audit.baseline` / :mod:`repro.audit.emit` — the
+  grandfathered-findings baseline for ``repro lint --strict`` and the
+  JSON/SARIF emitters.
 
-Surface through the CLI: ``python -m repro lint [paths]`` and
-``python -m repro audit --dataset synthetic --steps N``.  See
-``docs/audit.md`` for the invariant and rule catalogues.
+Surface through the CLI: ``python -m repro lint [paths]`` (with
+``--strict``, ``--format``, ``--explain``) and ``python -m repro audit
+--dataset synthetic --steps N``.  See ``docs/audit.md`` for the
+invariant and rule catalogues.
 """
 
+from repro.audit.baseline import (
+    baseline_key,
+    load_baseline,
+    partition_violations,
+    render_baseline,
+)
+from repro.audit.callgraph import (
+    build_project,
+    hot_functions,
+    hot_path_violations,
+)
+from repro.audit.emit import to_json, to_sarif
 from repro.audit.invariants import (
     MonitorAuditor,
     brute_force_skyband,
@@ -27,14 +56,28 @@ from repro.audit.invariants import (
     check_window,
     cross_check_monitor,
 )
-from repro.audit.lint import RULES, lint_file, lint_paths, lint_source
+from repro.audit.lint import (
+    RULES,
+    AnalysisResult,
+    analyze_paths,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
 from repro.audit.report import Violation, format_violations, summarize
+from repro.audit.rules import CATALOG, RuleInfo, explain_rule, rule_info
 
 __all__ = [
+    "AnalysisResult",
+    "CATALOG",
     "MonitorAuditor",
     "RULES",
+    "RuleInfo",
     "Violation",
+    "analyze_paths",
+    "baseline_key",
     "brute_force_skyband",
+    "build_project",
     "check_maintainer",
     "check_monitor",
     "check_pst",
@@ -43,9 +86,18 @@ __all__ = [
     "check_staircase",
     "check_window",
     "cross_check_monitor",
+    "explain_rule",
     "format_violations",
+    "hot_functions",
+    "hot_path_violations",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "partition_violations",
+    "render_baseline",
+    "rule_info",
     "summarize",
+    "to_json",
+    "to_sarif",
 ]

@@ -1,0 +1,541 @@
+"""Async-safety rules (RA201–RA205) over await-segmented function CFGs.
+
+The serve layer runs many handlers on one event loop; the paper's
+structures underneath (skyband, staircase, PST) assume a single writer
+per tick.  These rules flag the ways asyncio code breaks that bargain:
+
+RA201
+    A blocking call (``time.sleep``, sync file/socket I/O,
+    ``subprocess``) inside ``async def`` — directly, or buried in a
+    sync helper the async frame reaches through the call graph
+    (:mod:`repro.audit.callgraph`).  Propagation follows invocation
+    edges only (``direct``/``method``/``ctor``); a function passed *as
+    a value* — ``loop.run_in_executor(None, write, ...)`` or a
+    ``functools.partial`` — is the sanctioned escape hatch and does
+    not taint its wrapper.
+RA202
+    ``self.``/module-level shared state mutated on both sides of an
+    ``await`` without a lock held.  Every ``await`` is a scheduling
+    point: another handler can observe (or race) the half-updated
+    state.  The check segments each async function at its await
+    points; a target written in two different segments fires.  A loop
+    whose body contains both a write and an await counts as writing on
+    both sides (iteration two races iteration one).  Writes inside an
+    ``async with <lock>`` block are exempt.
+RA203
+    ``create_task``/``ensure_future`` whose result is discarded — the
+    task can be garbage-collected mid-flight and its exception is
+    never retrieved.
+RA204
+    A lock held across ``await`` of an unbounded operation (queue
+    get/put, socket read/drain, bare wait): one slow peer deadlocks
+    every handler queued on the lock.  (``wait_for`` is bounded and
+    exempt.)
+RA205
+    A bare-statement call to a project ``async def`` without ``await``
+    — the coroutine is built and thrown away; the body never runs.
+
+Everything reports through :class:`repro.audit.report.Violation` with
+real ``path:line:col`` locations, so line suppressions
+(``# audit: allow[RA202] reason``) work exactly as for the per-file
+rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from typing import Optional
+
+from repro.audit.callgraph import CALL_KINDS, Project
+from repro.audit.report import Violation
+
+__all__ = [
+    "MUTATOR_METHODS",
+    "UNBOUNDED_AWAIT_ATTRS",
+    "async_violations",
+]
+
+_PAPER_REF = "docs/audit.md rule catalogue"
+
+#: container-mutation method names that count as writes for RA202.
+#: Deliberately excludes metric-style verbs (``inc``/``dec``/``set``/
+#: ``observe``) so instrumentation calls never read as state races.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "discard", "remove", "pop",
+    "popitem", "popleft", "clear", "extend", "extendleft", "insert",
+    "update", "setdefault", "sort", "reverse",
+})
+
+#: awaited attribute names that are unbounded while a lock is held
+#: (RA204); ``wait_for`` carries a timeout and is exempt.
+UNBOUNDED_AWAIT_ATTRS = frozenset({
+    "get", "put", "join", "wait", "acquire", "drain", "read",
+    "readline", "readexactly", "readuntil", "recv", "accept",
+    "connect", "gather", "sleep", "wait_closed", "serve_forever",
+})
+
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+_LOCK_NAME_RE = re.compile(r"lock|semaphore|condition|mutex", re.I)
+
+
+def _dotted_text(node: ast.expr) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lock_expr(node: ast.expr) -> bool:
+    """Heuristic: the async-with context manager is a lock if its
+    dotted text (or the called factory's) names one."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    dotted = _dotted_text(node)
+    return dotted is not None and bool(_LOCK_NAME_RE.search(dotted))
+
+
+def _contains_await(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+            return True
+    return False
+
+
+def _local_names(node: ast.AST) -> set[str]:
+    """Names bound locally in a function (params + assignments), used
+    to tell module-level state from shadowing locals."""
+    names: set[str] = set()
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+            names.add(child.id)
+        elif isinstance(child, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(child.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(child, ast.Global):
+            names.difference_update(child.names)
+    return names
+
+
+class _AsyncFunctionChecker:
+    """One async function: segment at awaits, record shared writes."""
+
+    def __init__(self, fn, module_globals: set[str]) -> None:
+        self.fn = fn
+        self.path = fn.path
+        self.segment = 0
+        self.lock_depth = 0
+        #: target -> list[(segment, lineno, col)]
+        self.writes: dict[str, list[tuple[int, int, int]]] = {}
+        self.findings: list[Violation] = []
+        node = fn.node
+        self.globals_declared: set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Global):
+                self.globals_declared.update(child.names)
+        self.locals = _local_names(node)
+        # module-level bindings visible (and not shadowed) here
+        self.module_state = (
+            (module_globals - self.locals) | self.globals_declared
+        )
+
+    # -- entry ----------------------------------------------------------
+    def run(self) -> list[Violation]:
+        for stmt in self.fn.node.body:
+            self._visit_stmt(stmt)
+        self._report_races()
+        return self.findings
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", self.fn.lineno)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(Violation(
+            rule, message, paper_ref=_PAPER_REF,
+            subject=self.fn.qualname,
+            location=f"{self.path}:{lineno}:{col}",
+        ))
+
+    # -- statements -----------------------------------------------------
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are checked as their own functions
+        if isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value)
+            for target in stmt.targets:
+                self._record_target(target)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value)
+            self._record_target(stmt.target)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value)
+            self._record_target(stmt.target)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._record_target(target)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._visit_bare_expr(stmt.value)
+            return
+        if isinstance(stmt, (ast.For, ast.While)):
+            self._visit_loop(stmt)
+            return
+        if isinstance(stmt, ast.AsyncFor):
+            # each iteration awaits the async iterator
+            self._bump_segment()
+            self._visit_loop(stmt)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+            return
+        if isinstance(stmt, ast.If):
+            self._visit_expr(stmt.test)
+            for child in [*stmt.body, *stmt.orelse]:
+                self._visit_stmt(child)
+            return
+        if isinstance(stmt, ast.Try):
+            blocks = [*stmt.body, *stmt.orelse, *stmt.finalbody]
+            for handler in stmt.handlers:
+                blocks.extend(handler.body)
+            for child in blocks:
+                self._visit_stmt(child)
+            return
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            value = stmt.value if isinstance(stmt, ast.Return) else stmt.exc
+            if value is not None:
+                self._visit_expr(value)
+            return
+        if isinstance(stmt, ast.Assert):
+            self._visit_expr(stmt.test)
+            return
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to do
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+
+    def _visit_loop(self, stmt) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_expr(stmt.iter)
+        else:
+            self._visit_expr(stmt.test)
+        # A loop whose body awaits runs write→await→write across
+        # iterations: walking the body twice lands pre-await writes in
+        # the post-await segment too, so they read as "both sides".
+        sweeps = 2 if any(_contains_await(s) for s in stmt.body) else 1
+        for sweep in range(sweeps):
+            for child in stmt.body:
+                self._visit_stmt(child)
+        for child in stmt.orelse:
+            self._visit_stmt(child)
+
+    def _visit_with(self, stmt) -> None:
+        is_async = isinstance(stmt, ast.AsyncWith)
+        locked = is_async and any(
+            _is_lock_expr(item.context_expr) for item in stmt.items
+        )
+        for item in stmt.items:
+            self._visit_expr(item.context_expr)
+        if is_async:
+            self._bump_segment()  # __aenter__ awaits
+        if locked:
+            self.lock_depth += 1
+        for child in stmt.body:
+            self._visit_stmt(child)
+        if locked:
+            self.lock_depth -= 1
+        if is_async:
+            self._bump_segment()  # __aexit__ awaits
+
+    # -- expressions ----------------------------------------------------
+    def _visit_bare_expr(self, value: ast.expr) -> None:
+        """An expression statement: where RA203 fires (spawner result
+        discarded)."""
+        if isinstance(value, ast.Call):
+            name = None
+            if isinstance(value.func, ast.Attribute):
+                name = value.func.attr
+            elif isinstance(value.func, ast.Name):
+                name = value.func.id
+            if name in _TASK_SPAWNERS:
+                self._report(
+                    "RA203", value,
+                    f"{name}(...) result is discarded — the task can be "
+                    "garbage-collected mid-flight and its exception is "
+                    "never retrieved; keep a reference (task set with a "
+                    "done-callback) or await it",
+                )
+        self._visit_expr(value)
+
+    def _visit_expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Await):
+            self._check_locked_await(node)
+            self._visit_expr(node.value)
+            self._bump_segment()
+            return
+        if isinstance(node, ast.Call):
+            self._check_mutator_call(node)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._visit_expr(child)
+            return
+        if isinstance(node, (ast.Lambda, ast.ListComp, ast.SetComp,
+                             ast.DictComp, ast.GeneratorExp)):
+            return  # separate scopes; comprehension awaits are rare
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+
+    def _bump_segment(self) -> None:
+        self.segment += 1
+
+    # -- RA202 bookkeeping ----------------------------------------------
+    def _shared_target(self, node: ast.expr) -> Optional[tuple[str, ast.AST]]:
+        """``(key, anchor-node)`` when the expression names shared
+        state: ``self.attr`` (any depth of trailing subscripts) or a
+        module-level binding."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return f"self.{node.attr}", node
+        if isinstance(node, ast.Name) and node.id in self.module_state:
+            return node.id, node
+        return None
+
+    def _record_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_target(target.value)
+            return
+        shared = self._shared_target(target)
+        if shared is not None:
+            self._record_write(*shared)
+        # subscript *reads* inside the target expression still count as
+        # expression traffic for segmentation (awaits inside indices)
+        if isinstance(target, ast.Subscript):
+            self._visit_expr(target.slice)
+
+    def _check_mutator_call(self, node: ast.Call) -> None:
+        """``self.pending.append(x)`` — and through a chained call,
+        ``self._subs.setdefault(k, set()).add(conn)`` — are writes to
+        the receiver."""
+        func = node.func
+        if not isinstance(func, ast.Attribute) \
+                or func.attr not in MUTATOR_METHODS:
+            return
+        receiver = func.value
+        # unwrap chained mutator calls back to the base receiver
+        while isinstance(receiver, ast.Call) \
+                and isinstance(receiver.func, ast.Attribute):
+            receiver = receiver.func.value
+        shared = self._shared_target(receiver)
+        if shared is not None:
+            key, _anchor = shared
+            self._record_write(key, node)
+
+    def _record_write(self, key: str, node: ast.AST) -> None:
+        if self.lock_depth > 0:
+            return  # mutations under a held lock are safe
+        self.writes.setdefault(key, []).append((
+            self.segment,
+            getattr(node, "lineno", self.fn.lineno),
+            getattr(node, "col_offset", 0),
+        ))
+
+    def _report_races(self) -> None:
+        for key, entries in sorted(self.writes.items()):
+            segments = {segment for segment, _l, _c in entries}
+            if len(segments) < 2:
+                continue
+            last_segment = max(segments)
+            _seg, lineno, col = next(
+                entry for entry in entries if entry[0] == last_segment
+            )
+            anchor = ast.Module(body=[], type_ignores=[])
+            anchor.lineno = lineno  # type: ignore[attr-defined]
+            anchor.col_offset = col  # type: ignore[attr-defined]
+            self._report(
+                "RA202", anchor,
+                f"{key!r} is mutated on both sides of an await without "
+                "a lock — another handler can run at the await and "
+                "observe (or race) the half-updated state; finish the "
+                "mutation before awaiting or hold an asyncio.Lock",
+            )
+
+    # -- RA204 ----------------------------------------------------------
+    def _check_locked_await(self, node: ast.Await) -> None:
+        if self.lock_depth == 0:
+            return
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        func = value.func
+        attr = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if attr in UNBOUNDED_AWAIT_ATTRS:
+            self._report(
+                "RA204", node,
+                f"await of unbounded {attr}(...) while holding a lock — "
+                "one slow peer stalls every handler queued on the lock; "
+                "copy state under the lock, release, then await",
+            )
+
+
+# ----------------------------------------------------------------------
+# RA201: blocking calls reachable from async frames
+# ----------------------------------------------------------------------
+def _blocking_reach(
+    project: Project,
+    start: str,
+) -> Optional[tuple[list[str], str, int]]:
+    """From async function ``start``, the first sync-helper chain that
+    reaches a blocking call: ``(chain-of-qualnames, blocking-name,
+    lineno-of-first-hop-call)``.  Propagation crosses *sync* project
+    functions only — an async callee is its own analysis root — and
+    only invocation edges (a ``partial`` reference is not a call)."""
+    parents: dict[str, tuple[Optional[str], int]] = {start: (None, 0)}
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        for edge in project.callees(current, CALL_KINDS):
+            callee = project.functions.get(edge.callee)
+            if callee is None or edge.callee in parents:
+                continue
+            if current != start and project.functions[current].is_async:
+                continue
+            if callee.is_async:
+                continue  # analyzed from its own async roots
+            parents[edge.callee] = (current, edge.lineno)
+            blocked = project.blocking_calls.get(edge.callee)
+            if blocked:
+                chain = [edge.callee]
+                node: Optional[str] = current
+                while node is not None:
+                    chain.append(node)
+                    node = parents[node][0]
+                chain.reverse()
+                first_hop_line = parents[chain[1]][1]
+                return chain, blocked[0][0], first_hop_line
+            queue.append(edge.callee)
+    return None
+
+
+def _short_names(project: Project, chain: list[str]) -> str:
+    out = []
+    for qualname in chain:
+        fn = project.functions.get(qualname)
+        out.append(fn.name if fn is not None else qualname)
+    return " -> ".join(out)
+
+
+def async_violations(project: Project) -> list[Violation]:
+    """All RA2xx findings for a resolved project."""
+    violations: list[Violation] = []
+
+    # cache module-level bindings per module (for RA202 global state)
+    module_globals: dict[str, set[str]] = {}
+
+    def globals_of(module_name: str) -> set[str]:
+        cached = module_globals.get(module_name)
+        if cached is not None:
+            return cached
+        from repro.audit.lint import _module_bindings
+
+        info = project.modules.get(module_name)
+        names = _module_bindings(info.tree.body) if info else set()
+        # import bindings are rebindable but not the shared *state*
+        # RA202 cares about; keep only mutated-in-place candidates
+        module_globals[module_name] = names
+        return names
+
+    for qualname in sorted(project.functions):
+        fn = project.functions[qualname]
+        if fn.is_async:
+            # RA201: direct blocking calls
+            for dotted, lineno in project.blocking_calls.get(qualname, ()):
+                violations.append(Violation(
+                    "RA201",
+                    f"blocking {dotted}(...) inside async def {fn.name} "
+                    "stalls the event loop for every connection; use the "
+                    "async equivalent or loop.run_in_executor",
+                    paper_ref=_PAPER_REF,
+                    subject=qualname,
+                    location=f"{fn.path}:{lineno}:0",
+                ))
+            # RA201: blocking calls buried in reachable sync helpers
+            reach = _blocking_reach(project, qualname)
+            if reach is not None:
+                chain, blocking, lineno = reach
+                violations.append(Violation(
+                    "RA201",
+                    f"async def {fn.name} reaches blocking {blocking}"
+                    f"(...) via {_short_names(project, chain)} — the "
+                    "event loop stalls for the whole sync chain; push "
+                    "it through loop.run_in_executor",
+                    paper_ref=_PAPER_REF,
+                    subject=qualname,
+                    location=f"{fn.path}:{lineno}:0",
+                ))
+            # RA202/RA203/RA204: per-function CFG
+            checker = _AsyncFunctionChecker(fn, globals_of(fn.module))
+            violations.extend(checker.run())
+
+        # RA205: bare-statement call to an async def (any caller kind)
+        violations.extend(_unawaited_calls(project, fn))
+
+    return violations
+
+
+def _unawaited_calls(project: Project, fn) -> list[Violation]:
+    """Bare ``Expr``-statement calls resolving to project coroutines."""
+    async_edges = {
+        (edge.lineno, edge.col): edge
+        for edge in project.callees(fn.qualname, CALL_KINDS)
+        if (target := project.functions.get(edge.callee)) is not None
+        and target.is_async
+    }
+    if not async_edges:
+        return []
+    violations: list[Violation] = []
+    for stmt in ast.walk(fn.node):
+        if not isinstance(stmt, ast.Expr) \
+                or not isinstance(stmt.value, ast.Call):
+            continue
+        call = stmt.value
+        edge = async_edges.get((call.lineno, call.col_offset))
+        if edge is None:
+            continue
+        callee = project.functions[edge.callee]
+        violations.append(Violation(
+            "RA205",
+            f"coroutine {callee.name}(...) is called but never awaited "
+            "— the body never runs; add await or wrap in "
+            "asyncio.create_task and keep the reference",
+            paper_ref=_PAPER_REF,
+            subject=fn.qualname,
+            location=f"{fn.path}:{call.lineno}:{call.col_offset}",
+        ))
+    return violations

@@ -1,0 +1,133 @@
+"""Grandfathered-findings baseline for ``repro lint --strict``.
+
+The baseline is a checked-in JSON file listing findings that existed
+before strict mode was adopted.  Strict mode fails only on findings
+*not* in the baseline, so the count can only ratchet down.  Entries
+match on ``(rule, path, message)`` — deliberately line-insensitive, so
+unrelated edits that shift a grandfathered finding by a few lines do
+not break CI.
+
+Format::
+
+    {
+      "format": "repro-lint-baseline",
+      "version": 1,
+      "entries": [
+        {"rule": "RA202", "path": "src/repro/serve/server.py",
+         "message": "..."},
+        ...
+      ]
+    }
+
+This repo ships an **empty** baseline (``.audit-baseline.json``):
+every finding the analyzer surfaced was fixed or suppressed in place
+with a reason.  The mechanism exists so future rule additions can land
+without blocking on a same-day cleanup of every hit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from repro.audit.report import Violation
+from repro.exceptions import ReproError
+
+__all__ = [
+    "BASELINE_NAME",
+    "baseline_key",
+    "load_baseline",
+    "partition_violations",
+    "render_baseline",
+]
+
+BASELINE_NAME = ".audit-baseline.json"
+
+_FORMAT = "repro-lint-baseline"
+_VERSION = 1
+
+
+def _norm_path(path: str) -> str:
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+def baseline_key(violation: Violation) -> tuple[str, str, str]:
+    """The line-insensitive identity of a finding."""
+    path = violation.location.rsplit(":", 2)[0]
+    return (violation.rule, _norm_path(path), violation.message)
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    """The baseline file's entry keys; empty set for a missing file.
+
+    Raises :class:`~repro.exceptions.ReproError` on a malformed file —
+    a baseline CI silently ignores is worse than none.
+    """
+    if not os.path.exists(path):
+        return set()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except ValueError as exc:
+        raise ReproError(
+            f"baseline {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ReproError(f"{path!r} is not a {_FORMAT} file")
+    if data.get("version") != _VERSION:
+        raise ReproError(
+            f"baseline {path!r} has version {data.get('version')!r}; "
+            f"this reader supports version {_VERSION} only"
+        )
+    entries = data.get("entries", [])
+    keys: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        try:
+            keys.add((
+                entry["rule"], _norm_path(entry["path"]), entry["message"],
+            ))
+        except (TypeError, KeyError) as exc:
+            raise ReproError(
+                f"baseline {path!r} has a malformed entry: {entry!r}"
+            ) from exc
+    return keys
+
+
+def partition_violations(
+    violations: Sequence[Violation],
+    baseline: Iterable[tuple[str, str, str]],
+) -> tuple[list[Violation], list[Violation], list[tuple[str, str, str]]]:
+    """``(new, grandfathered, unused-baseline-keys)``.
+
+    ``new`` fails strict mode; ``grandfathered`` matched the baseline;
+    unused keys are reported as warnings so stale entries get pruned.
+    """
+    baseline_set = set(baseline)
+    used: set[tuple[str, str, str]] = set()
+    new: list[Violation] = []
+    grandfathered: list[Violation] = []
+    for violation in violations:
+        key = baseline_key(violation)
+        if key in baseline_set:
+            used.add(key)
+            grandfathered.append(violation)
+        else:
+            new.append(violation)
+    unused = sorted(baseline_set - used)
+    return new, grandfathered, unused
+
+
+def render_baseline(violations: Sequence[Violation]) -> str:
+    """The baseline document covering ``violations`` (deduplicated,
+    sorted, trailing newline — byte-stable for check-in)."""
+    keys = sorted({baseline_key(v) for v in violations})
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "entries": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in keys
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

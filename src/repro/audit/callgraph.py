@@ -1,0 +1,714 @@
+"""Project-wide call graph with hot-path propagation.
+
+The per-file pass (:mod:`repro.audit.lint`) applies its hot-path rules
+(RA105/RA106/RA108) by *directory*: a helper that lives outside
+``core/``/``structures/`` but is called from ``sweep_skyband`` escapes
+them entirely.  This module closes that hole:
+
+1. :func:`build_project` parses a source tree into a :class:`Project` —
+   modules, functions (methods, nested defs), classes — and resolves
+   call sites into edges, handling:
+
+   * plain and aliased imports (``import a.b as c``,
+     ``from a import b as c``, relative imports),
+   * ``self.``/``cls.`` method calls, including methods inherited from
+     project-local base classes,
+   * decorator-wrapped defs (the binding survives decoration),
+   * constructor calls (edge to ``Class.__init__``) and locals /
+     ``self`` attributes / annotated parameters holding project-class
+     instances (``x = Foo(); x.bar()``),
+   * ``functools.partial(f, ...)`` (edge kind ``"partial"`` — a
+     reference, not an invocation),
+   * recursion and call cycles (all traversals are visited-set
+     bounded).
+
+2. :func:`hot_functions` seeds every function *defined in* a hot-path
+   directory (:data:`repro.audit.lint.HOT_PATH_PARTS`) and propagates
+   hotness transitively along call edges — the callee of a hot function
+   is hot wherever it lives.
+
+3. :func:`hot_path_violations` re-runs the hot-path rules on each
+   hot-reachable function defined in a *non*-hot file, tagging each
+   finding with the call chain that makes it hot
+   (``sweep_skyband -> merge -> helper``).
+
+The model is a deliberate over-approximation (branches union, last
+assignment wins); for a linter, false edges are cheap and missed edges
+are the expensive failure mode.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections import deque
+from typing import Iterable, Optional, Sequence
+
+from repro.audit.report import Violation
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "collect_python_files",
+    "hot_functions",
+    "hot_path_violations",
+    "module_name_for_path",
+]
+
+#: edge kinds that represent an actual invocation (``"partial"`` is a
+#: reference: the callable is constructed, not yet called).
+CALL_KINDS = frozenset({"direct", "method", "ctor"})
+
+
+class CallEdge:
+    """One resolved call site: ``caller`` invokes ``callee``."""
+
+    __slots__ = ("caller", "callee", "kind", "lineno", "col")
+
+    def __init__(self, caller: str, callee: str, kind: str,
+                 lineno: int, col: int = 0) -> None:
+        self.caller = caller
+        self.callee = callee
+        self.kind = kind
+        self.lineno = lineno
+        self.col = col
+
+    def __repr__(self) -> str:
+        return (f"CallEdge({self.caller!r} -> {self.callee!r}, "
+                f"{self.kind}, line {self.lineno})")
+
+
+class FunctionInfo:
+    """One function, method or nested def."""
+
+    __slots__ = ("qualname", "module", "name", "cls", "path", "node",
+                 "is_async", "lineno", "hot_seed")
+
+    def __init__(self, qualname: str, module: str, name: str,
+                 cls: Optional[str], path: str, node: ast.AST,
+                 is_async: bool, hot_seed: bool) -> None:
+        self.qualname = qualname
+        self.module = module
+        self.name = name
+        self.cls = cls  # enclosing class qualname, if a method
+        self.path = path
+        self.node = node
+        self.is_async = is_async
+        self.lineno = getattr(node, "lineno", 1)
+        self.hot_seed = hot_seed  # defined inside a hot-path directory
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.qualname!r})"
+
+
+class ClassInfo:
+    """One class: its methods, base names and inferred attribute types."""
+
+    __slots__ = ("qualname", "module", "name", "bases", "methods",
+                 "attr_types", "node")
+
+    def __init__(self, qualname: str, module: str, name: str,
+                 bases: list[str], node: ast.ClassDef) -> None:
+        self.qualname = qualname
+        self.module = module
+        self.name = name
+        #: textual (dotted) base-class expressions, resolved lazily
+        self.bases = bases
+        #: method name -> FunctionInfo
+        self.methods: dict[str, FunctionInfo] = {}
+        #: instance attribute name -> project class qualname (from
+        #: ``self.x = Ctor(...)`` / annotated parameters)
+        self.attr_types: dict[str, str] = {}
+        self.node = node
+
+
+class ModuleInfo:
+    """One parsed module and its binding environment."""
+
+    __slots__ = ("name", "path", "source", "tree", "imports",
+                 "functions", "classes", "is_package")
+
+    def __init__(self, name: str, path: str, source: str,
+                 tree: ast.Module, is_package: bool) -> None:
+        self.name = name
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.is_package = is_package
+        #: local binding -> dotted target ("json", "repro.serve.checkpoint",
+        #: "repro.core.pair.Pair", ...)
+        self.imports: dict[str, str] = {}
+        #: top-level function name -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class name -> ClassInfo
+        self.classes: dict[str, ClassInfo] = {}
+
+
+class Project:
+    """The parsed project: modules, functions, classes, call edges."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: caller qualname -> outgoing edges
+        self.edges: dict[str, list[CallEdge]] = {}
+        #: function qualname -> [(blocking dotted name, lineno), ...]
+        self.blocking_calls: dict[str, list[tuple[str, int]]] = {}
+
+    # -- lookups --------------------------------------------------------
+    def callees(self, qualname: str,
+                kinds: Optional[frozenset] = None) -> list[CallEdge]:
+        edges = self.edges.get(qualname, [])
+        if kinds is None:
+            return edges
+        return [edge for edge in edges if edge.kind in kinds]
+
+    def function_at(self, module: str, name: str) -> Optional[FunctionInfo]:
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        return info.functions.get(name)
+
+    def resolve_class(self, module: str, dotted: str) -> Optional[ClassInfo]:
+        """A class named by ``dotted`` as seen from ``module``."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+        # local class
+        if len(parts) == 1 and head in info.classes:
+            return info.classes[head]
+        # imported binding (possibly itself dotted)
+        target = info.imports.get(head)
+        if target is not None:
+            dotted = ".".join([target, *parts[1:]])
+        # longest module prefix + class name
+        pieces = dotted.split(".")
+        for split in range(len(pieces) - 1, 0, -1):
+            mod, rest = ".".join(pieces[:split]), pieces[split:]
+            if mod in self.modules and len(rest) == 1:
+                return self.modules[mod].classes.get(rest[0])
+        return self.classes.get(dotted)
+
+    def lookup_method(self, class_qualname: str,
+                      name: str) -> Optional[FunctionInfo]:
+        """Resolve a method on a class, walking project-local bases."""
+        seen: set[str] = set()
+        queue = deque([class_qualname])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            if name in cls.methods:
+                return cls.methods[name]
+            for base in cls.bases:
+                resolved = self.resolve_class(cls.module, base)
+                if resolved is not None:
+                    queue.append(resolved.qualname)
+        return None
+
+
+# ----------------------------------------------------------------------
+# file collection + module naming
+# ----------------------------------------------------------------------
+def collect_python_files(paths: Iterable[str]) -> list[str]:
+    """Every ``*.py`` under the given files/trees, ``__pycache__``
+    skipped, sorted within each tree for stable output."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            files.append(path)
+    return files
+
+
+def module_name_for_path(path: str) -> str:
+    """The dotted module name, derived by walking up through package
+    directories (those holding an ``__init__.py``)."""
+    path = os.path.normpath(os.path.abspath(path))
+    directory, filename = os.path.split(path)
+    stem = os.path.splitext(filename)[0]
+    parts: list[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        if not pkg:
+            break
+        parts.insert(0, pkg)
+    return ".".join(parts) if parts else stem
+
+
+def _relative_base(module: str, is_package: bool, level: int) -> str:
+    """The anchor package for a ``from ...x import y`` statement."""
+    parts = module.split(".")
+    drop = level - 1 if is_package else level
+    if drop >= len(parts):
+        return ""
+    return ".".join(parts[:len(parts) - drop]) if drop else module
+
+
+# ----------------------------------------------------------------------
+# pass 1: registration
+# ----------------------------------------------------------------------
+def _register_module(project: Project, path: str, source: str,
+                     hot_seed: bool) -> Optional[ModuleInfo]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None  # the per-file pass reports RA100
+    is_package = os.path.basename(path) == "__init__.py"
+    name = module_name_for_path(path)
+    info = ModuleInfo(name, path, source, tree, is_package)
+    project.modules[name] = info
+
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname:
+                    info.imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    info.imports[root] = root
+        elif isinstance(stmt, ast.ImportFrom):
+            base = stmt.module or ""
+            if stmt.level:
+                anchor = _relative_base(name, is_package, stmt.level)
+                base = f"{anchor}.{stmt.module}" if stmt.module else anchor
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                info.imports[alias.asname or alias.name] = target
+
+    def register_function(node, qualname: str, cls: Optional[str],
+                          top_level: bool) -> FunctionInfo:
+        fn = FunctionInfo(
+            qualname, name, node.name, cls, path, node,
+            isinstance(node, ast.AsyncFunctionDef), hot_seed,
+        )
+        project.functions[qualname] = fn
+        if top_level:
+            info.functions[node.name] = fn
+        # nested defs become functions in their own right
+        for child in node.body:
+            _register_nested(child, f"{qualname}.<locals>")
+        return fn
+
+    def _register_nested(stmt, prefix: str) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            register_function(stmt, f"{prefix}.{stmt.name}", None, False)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While, ast.If)):
+            for child in [*stmt.body, *stmt.orelse]:
+                _register_nested(child, prefix)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for child in stmt.body:
+                _register_nested(child, prefix)
+        elif isinstance(stmt, ast.Try):
+            blocks = [*stmt.body, *stmt.orelse, *stmt.finalbody]
+            for handler in stmt.handlers:
+                blocks.extend(handler.body)
+            for child in blocks:
+                _register_nested(child, prefix)
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            register_function(stmt, f"{name}.{stmt.name}", None, True)
+        elif isinstance(stmt, ast.ClassDef):
+            class_qualname = f"{name}.{stmt.name}"
+            bases = [_dotted_text(b) for b in stmt.bases]
+            cls = ClassInfo(class_qualname, name, stmt.name,
+                            [b for b in bases if b], stmt)
+            info.classes[stmt.name] = cls
+            project.classes[class_qualname] = cls
+            for member in stmt.body:
+                if isinstance(member,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method = register_function(
+                        member, f"{class_qualname}.{member.name}",
+                        class_qualname, False,
+                    )
+                    cls.methods[member.name] = method
+    return info
+
+
+def _dotted_text(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as text for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# pass 2: resolution
+# ----------------------------------------------------------------------
+#: calls that block the event loop (dotted names after alias
+#: resolution); ``open`` is the builtin.
+BLOCKING_CALLS = frozenset({
+    "open",
+    "io.open",
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.replace",
+    "os.fsync",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.delete",
+    "requests.request",
+})
+
+__all__.append("BLOCKING_CALLS")
+
+
+class _Resolver(ast.NodeVisitor):
+    """Resolves one function body's call sites into project edges."""
+
+    def __init__(self, project: Project, module: ModuleInfo,
+                 fn: FunctionInfo) -> None:
+        self.project = project
+        self.module = module
+        self.fn = fn
+        #: local variable -> project class qualname
+        self.var_types: dict[str, str] = {}
+        #: names of nested defs visible in this scope
+        self.local_defs: dict[str, str] = {}
+        self._collect_scope(fn.node)
+
+    # -- scope seeding --------------------------------------------------
+    def _collect_scope(self, node) -> None:
+        args = node.args
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg:
+            all_args.append(args.vararg)
+        if args.kwarg:
+            all_args.append(args.kwarg)
+        for arg in all_args:
+            if arg.annotation is not None:
+                dotted = _dotted_text(arg.annotation)
+                if dotted:
+                    cls = self.project.resolve_class(
+                        self.module.name, dotted
+                    )
+                    if cls is not None:
+                        self.var_types[arg.arg] = cls.qualname
+        for stmt in ast.walk(node):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and stmt is not node:
+                self.local_defs.setdefault(
+                    stmt.name,
+                    f"{self.fn.qualname}.<locals>.{stmt.name}",
+                )
+
+    # -- traversal ------------------------------------------------------
+    def run(self) -> None:
+        for stmt in self.fn.node.body:
+            self._visit_block(stmt)
+
+    def _visit_block(self, node) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes resolve separately
+        if isinstance(node, ast.Assign):
+            self._track_assignment(node)
+        elif isinstance(node, ast.AnnAssign):
+            self._track_ann_assignment(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Call):
+                self._visit_call(child)
+            self._visit_block(child)
+
+    def _track_assignment(self, node: ast.Assign) -> None:
+        cls = self._class_of_call(node.value)
+        if cls is None and isinstance(node.value, ast.Name):
+            cls = self.var_types.get(node.value.id)
+        if cls is None:
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.var_types[target.id] = cls
+            elif isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self" and self.fn.cls:
+                owner = self.project.classes.get(self.fn.cls)
+                if owner is not None:
+                    owner.attr_types[target.attr] = cls
+
+    def _track_ann_assignment(self, node: ast.AnnAssign) -> None:
+        dotted = _dotted_text(node.annotation)
+        if not dotted or not isinstance(node.target, ast.Name):
+            return
+        cls = self.project.resolve_class(self.module.name, dotted)
+        if cls is not None:
+            self.var_types[node.target.id] = cls.qualname
+
+    def _class_of_call(self, value: ast.expr) -> Optional[str]:
+        """``Ctor(...)`` -> the constructed project class, if any."""
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = _dotted_text(value.func)
+        if dotted is None:
+            return None
+        cls = self.project.resolve_class(self.module.name, dotted)
+        return cls.qualname if cls is not None else None
+
+    # -- call resolution ------------------------------------------------
+    def _visit_call(self, node: ast.Call) -> None:
+        dotted = self._resolved_dotted(node.func)
+        if dotted is not None and dotted in BLOCKING_CALLS:
+            self.project.blocking_calls.setdefault(
+                self.fn.qualname, []
+            ).append((dotted, node.lineno))
+        if dotted in ("functools.partial", "partial") and node.args:
+            resolved = self._resolve_callable(node.args[0])
+            if resolved is not None:
+                self._add_edge(resolved, "partial", node)
+            return
+        resolved = self._resolve_callable(node.func)
+        if resolved is None:
+            return
+        kind = "direct"
+        target = self.project.functions.get(resolved)
+        if target is None:
+            # constructor: edge to __init__ when the class is local
+            cls = self.project.classes.get(resolved)
+            if cls is not None:
+                init = self.project.lookup_method(resolved, "__init__")
+                if init is None:
+                    return
+                resolved, kind = init.qualname, "ctor"
+            else:
+                return
+        elif target.cls is not None:
+            kind = "method"
+        self._add_edge(resolved, kind, node)
+
+    def _add_edge(self, callee: str, kind: str, node: ast.Call) -> None:
+        self.project.edges.setdefault(self.fn.qualname, []).append(
+            CallEdge(self.fn.qualname, callee, kind,
+                     node.lineno, node.col_offset)
+        )
+
+    def _resolved_dotted(self, func: ast.expr) -> Optional[str]:
+        """The dotted name with the leading binding resolved through
+        this module's imports (``t.sleep`` -> ``time.sleep``)."""
+        dotted = _dotted_text(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.var_types or head in self.local_defs:
+            return dotted
+        target = self.module.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def _resolve_callable(self, func: ast.expr) -> Optional[str]:
+        """A call target expression -> function/class qualname."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.local_defs:
+                return self.local_defs[name]
+            if name in self.var_types:
+                return None  # calling an instance: __call__, out of scope
+            local = self.module.functions.get(name)
+            if local is not None:
+                return local.qualname
+            if name in self.module.classes:
+                return self.module.classes[name].qualname
+            target = self.module.imports.get(name)
+            if target is not None:
+                return self._lookup_dotted(target)
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            # self.method() / cls.method() and self.attr.method()
+            if isinstance(base, ast.Name) and base.id in ("self", "cls") \
+                    and self.fn.cls is not None:
+                method = self.project.lookup_method(self.fn.cls, func.attr)
+                return method.qualname if method is not None else None
+            if isinstance(base, ast.Attribute) \
+                    and isinstance(base.value, ast.Name) \
+                    and base.value.id == "self" and self.fn.cls is not None:
+                owner = self.project.classes.get(self.fn.cls)
+                if owner is not None:
+                    attr_cls = owner.attr_types.get(base.attr)
+                    if attr_cls is not None:
+                        method = self.project.lookup_method(
+                            attr_cls, func.attr
+                        )
+                        if method is not None:
+                            return method.qualname
+                return None
+            # typed local: x.method()
+            if isinstance(base, ast.Name) and base.id in self.var_types:
+                method = self.project.lookup_method(
+                    self.var_types[base.id], func.attr
+                )
+                return method.qualname if method is not None else None
+            # module attribute chains: pkg.mod.func()
+            dotted = self._resolved_dotted(func)
+            if dotted is not None:
+                return self._lookup_dotted(dotted)
+        return None
+
+    def _lookup_dotted(self, dotted: str) -> Optional[str]:
+        """A fully-resolved dotted target -> project function/class."""
+        if dotted in self.project.functions \
+                or dotted in self.project.classes:
+            return dotted
+        # longest module prefix, then attribute walk (module.func or
+        # module.Class)
+        pieces = dotted.split(".")
+        for split in range(len(pieces) - 1, 0, -1):
+            mod = ".".join(pieces[:split])
+            info = self.project.modules.get(mod)
+            if info is None:
+                continue
+            rest = pieces[split:]
+            if len(rest) == 1:
+                if rest[0] in info.functions:
+                    return info.functions[rest[0]].qualname
+                if rest[0] in info.classes:
+                    return info.classes[rest[0]].qualname
+                # re-exported / aliased inside that module
+                onward = info.imports.get(rest[0])
+                if onward is not None and onward != dotted:
+                    return self._lookup_dotted(onward)
+            elif len(rest) == 2 and rest[0] in info.classes:
+                method = info.classes[rest[0]].methods.get(rest[1])
+                if method is not None:
+                    return method.qualname
+        return None
+
+
+def build_project(
+    paths: Iterable[str],
+    *,
+    sources: Optional[dict[str, str]] = None,
+) -> Project:
+    """Parse a source tree into a resolved :class:`Project`.
+
+    ``sources`` short-circuits disk reads for files already in memory
+    (the lint driver reads each file exactly once).
+    """
+    from repro.audit.lint import _is_hot_path
+
+    project = Project()
+    files = collect_python_files(paths)
+    modules: list[ModuleInfo] = []
+    for path in files:
+        if sources is not None and path in sources:
+            source = sources[path]
+        else:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        info = _register_module(project, path, source, _is_hot_path(path))
+        if info is not None:
+            modules.append(info)
+    # Two resolution sweeps: the first populates class attribute types
+    # (``self.x = Ctor(...)``), the second resolves the method calls
+    # that depend on them.  Edges are rebuilt from scratch in the last
+    # sweep so none are duplicated.
+    for sweep in range(2):
+        project.edges.clear()
+        project.blocking_calls.clear()
+        for info in modules:
+            for fn in project.functions.values():
+                if fn.module == info.name:
+                    _Resolver(project, info, fn).run()
+    return project
+
+
+# ----------------------------------------------------------------------
+# hot-path propagation
+# ----------------------------------------------------------------------
+def hot_functions(project: Project) -> dict[str, tuple[str, ...]]:
+    """Every function reachable from a hot-path seed, mapped to one
+    witness call chain ``(seed, ..., function)`` of qualnames."""
+    hot: dict[str, tuple[str, ...]] = {}
+    queue: deque[str] = deque()
+    for qualname, fn in project.functions.items():
+        if fn.hot_seed:
+            hot[qualname] = (qualname,)
+            queue.append(qualname)
+    while queue:
+        current = queue.popleft()
+        chain = hot[current]
+        for edge in project.edges.get(current, ()):
+            if edge.callee not in hot:
+                hot[edge.callee] = chain + (edge.callee,)
+                queue.append(edge.callee)
+    return hot
+
+
+def _short_chain(project: Project, chain: Sequence[str]) -> str:
+    names = []
+    for qualname in chain:
+        fn = project.functions.get(qualname)
+        names.append(fn.name if fn is not None else qualname)
+    return " -> ".join(names)
+
+
+def hot_path_violations(project: Project) -> list[Violation]:
+    """RA105/RA106/RA108 findings in functions that are hot only by
+    reachability (defined outside the hot-path directories)."""
+    from repro.audit.lint import lint_function_hot
+
+    violations: list[Violation] = []
+    seen: set[tuple[str, str]] = set()
+    hot = hot_functions(project)
+    for qualname, chain in sorted(hot.items()):
+        fn = project.functions.get(qualname)
+        if fn is None or fn.hot_seed:
+            continue  # hot files are covered by the per-file pass
+        module = project.modules.get(fn.module)
+        if module is None:
+            continue
+        suffix = f" [hot path via {_short_chain(project, chain)}]"
+        for violation in lint_function_hot(fn.node, module.tree, fn.path):
+            key = (violation.rule, violation.location)
+            if key in seen:
+                continue  # nested defs are walked by their parent too
+            seen.add(key)
+            violations.append(Violation(
+                violation.rule,
+                violation.message + suffix,
+                paper_ref=violation.paper_ref,
+                subject=violation.subject,
+                location=violation.location,
+            ))
+    return violations

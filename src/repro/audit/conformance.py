@@ -1,0 +1,139 @@
+"""RA301 — wire-protocol conformance across the serve layer.
+
+``serve/protocol.py`` declares the op vocabulary (``OPS``);
+``serve/server.py`` dispatches each op to an ``_op_<name>`` method;
+``serve/client.py`` encodes each op as a ``self.request("<op>", ...)``
+call.  The three must agree:
+
+* an op in ``OPS`` with no ``_op_<name>`` handler is a wire error
+  waiting for the first client that sends it;
+* an op in ``OPS`` the client never encodes is dead vocabulary (or a
+  missing client feature);
+* an ``_op_<name>`` handler or client op literal outside ``OPS`` is
+  unreachable dead code (the server rejects unknown ops before
+  dispatch).
+
+The check is cross-module and purely structural — no imports are
+executed.  When the analyzed tree has no ``.serve.protocol`` module
+(e.g. fixture corpora) the check is silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.audit.callgraph import ModuleInfo, Project
+from repro.audit.report import Violation
+
+__all__ = ["conformance_violations"]
+
+_PAPER_REF = "docs/audit.md rule catalogue"
+
+
+def _find_module(project: Project, suffix: str) -> Optional[ModuleInfo]:
+    for name, info in project.modules.items():
+        if name == suffix or name.endswith("." + suffix):
+            return info
+    return None
+
+
+def _declared_ops(info: ModuleInfo) -> Optional[tuple[list[tuple[str, int, int]], int]]:
+    """``OPS`` entries as ``(op, line, col)`` plus the assignment line."""
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "OPS" for t in stmt.targets
+        ) and isinstance(stmt.value, (ast.Tuple, ast.List)):
+            entries = [
+                (element.value, element.lineno, element.col_offset)
+                for element in stmt.value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+            return entries, stmt.lineno
+    return None
+
+
+def _server_handlers(info: ModuleInfo) -> dict[str, tuple[int, int]]:
+    """``op -> (line, col)`` for every ``_op_<name>`` method."""
+    handlers: dict[str, tuple[int, int]] = {}
+    for node in ast.walk(info.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name.startswith("_op_"):
+            handlers[node.name[len("_op_"):]] = (
+                node.lineno, node.col_offset,
+            )
+    return handlers
+
+
+def _client_ops(info: ModuleInfo) -> dict[str, tuple[int, int]]:
+    """``op -> (line, col)`` for every ``...request("<op>", ...)``."""
+    ops: dict[str, tuple[int, int]] = {}
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "request" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) \
+                    and isinstance(first.value, str):
+                ops.setdefault(first.value, (node.lineno, node.col_offset))
+    return ops
+
+
+def conformance_violations(project: Project) -> list[Violation]:
+    protocol = _find_module(project, "serve.protocol")
+    if protocol is None:
+        return []
+    declared = _declared_ops(protocol)
+    if declared is None:
+        return []
+    entries, ops_lineno = declared
+    ops = {name for name, _l, _c in entries}
+
+    server = _find_module(project, "serve.server")
+    client = _find_module(project, "serve.client")
+    handlers = _server_handlers(server) if server is not None else {}
+    encoders = _client_ops(client) if client is not None else {}
+
+    violations: list[Violation] = []
+    for op, lineno, col in entries:
+        if server is not None and op not in handlers:
+            violations.append(Violation(
+                "RA301",
+                f"protocol op {op!r} has no _op_{op} handler in "
+                f"{server.name} — a client sending it gets a wire error",
+                paper_ref=_PAPER_REF,
+                subject=op,
+                location=f"{protocol.path}:{lineno}:{col}",
+            ))
+        if client is not None and op not in encoders:
+            violations.append(Violation(
+                "RA301",
+                f"protocol op {op!r} has no client encoder in "
+                f"{client.name} (no request({op!r}, ...) call)",
+                paper_ref=_PAPER_REF,
+                subject=op,
+                location=f"{protocol.path}:{lineno}:{col}",
+            ))
+    for op, (lineno, col) in sorted(handlers.items()):
+        if op not in ops:
+            violations.append(Violation(
+                "RA301",
+                f"_op_{op} handles an op missing from {protocol.name}."
+                f"OPS — the server rejects unknown ops before dispatch, "
+                "so the handler is unreachable",
+                paper_ref=_PAPER_REF,
+                subject=op,
+                location=f"{server.path}:{lineno}:{col}",
+            ))
+    for op, (lineno, col) in sorted(encoders.items()):
+        if op not in ops:
+            violations.append(Violation(
+                "RA301",
+                f"client encodes op {op!r} missing from {protocol.name}."
+                "OPS — the server will reject it",
+                paper_ref=_PAPER_REF,
+                subject=op,
+                location=f"{client.path}:{lineno}:{col}",
+            ))
+    return violations

@@ -1,0 +1,149 @@
+"""Machine-readable emitters for lint findings (JSON and SARIF 2.1.0).
+
+``to_json`` is the compact interchange form (one object, ``violations``
++ ``warnings`` arrays).  ``to_sarif`` produces a minimal SARIF 2.1.0
+document — the format CI systems and code-scanning UIs ingest — with
+the rule metadata taken from the shared catalogue
+(:mod:`repro.audit.rules`), so titles shown in a SARIF viewer match
+``--explain`` and ``docs/audit.md`` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Sequence
+
+from repro.audit.report import Violation
+from repro.audit.rules import rule_info
+
+__all__ = ["to_json", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "docs/audit.md"
+
+
+def _split_location(violation: Violation) -> tuple[str, int, int]:
+    path, line, col = violation.location.rsplit(":", 2)
+    return path, int(line), int(col)
+
+
+def _violation_dict(violation: Violation, *, baselined: bool) -> dict:
+    path, line, col = _split_location(violation)
+    entry = {
+        "rule": violation.rule,
+        "message": violation.message,
+        "path": path.replace(os.sep, "/"),
+        "line": line,
+        "column": col,
+    }
+    if violation.subject:
+        entry["subject"] = violation.subject
+    if baselined:
+        entry["baselined"] = True
+    return entry
+
+
+def to_json(
+    violations: Sequence[Violation],
+    warnings: Sequence[Violation] = (),
+    *,
+    grandfathered: Sequence[Violation] = (),
+) -> str:
+    document = {
+        "tool": _TOOL_NAME,
+        "violations": [
+            _violation_dict(v, baselined=False) for v in violations
+        ] + [
+            _violation_dict(v, baselined=True) for v in grandfathered
+        ],
+        "warnings": [
+            _violation_dict(v, baselined=False) for v in warnings
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"
+
+
+def _sarif_result(violation: Violation, level: str,
+                  baselined: Optional[bool]) -> dict:
+    path, line, col = _split_location(violation)
+    result = {
+        "ruleId": violation.rule,
+        "level": level,
+        "message": {"text": violation.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": path.replace(os.sep, "/"),
+                },
+                "region": {
+                    "startLine": max(line, 1),
+                    "startColumn": col + 1,  # SARIF columns are 1-based
+                },
+            },
+        }],
+    }
+    if baselined is not None:
+        # SARIF's own vocabulary for grandfathered findings
+        result["baselineState"] = "unchanged" if baselined else "new"
+    return result
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    warnings: Sequence[Violation] = (),
+    *,
+    grandfathered: Sequence[Violation] = (),
+    track_baseline: bool = False,
+) -> str:
+    """A SARIF 2.1.0 run for the given findings.
+
+    With ``track_baseline`` each result carries ``baselineState``
+    (``"new"`` vs ``"unchanged"``) so SARIF viewers can filter to
+    exactly what strict mode fails on.
+    """
+    rule_ids = sorted(
+        {v.rule for v in (*violations, *warnings, *grandfathered)}
+    )
+    rules = []
+    for rule_id in rule_ids:
+        info = rule_info(rule_id)
+        descriptor = {"id": rule_id}
+        if info is not None:
+            descriptor["shortDescription"] = {"text": info.title}
+            descriptor["fullDescription"] = {"text": info.rationale}
+            descriptor["defaultConfiguration"] = {
+                "level": "warning" if info.kind == "warning" else "error",
+            }
+        rules.append(descriptor)
+    results = [
+        _sarif_result(v, "error", False if track_baseline else None)
+        for v in violations
+    ]
+    results.extend(
+        _sarif_result(v, "error", True if track_baseline else None)
+        for v in grandfathered
+    )
+    results.extend(
+        _sarif_result(v, "warning", None) for v in warnings
+    )
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri": _TOOL_URI,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2) + "\n"

@@ -42,31 +42,27 @@ pre-commit hooks without any third-party tooling; ``[tool.ruff]`` in
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from typing import Iterable, Optional, Sequence
 
+from dataclasses import dataclass, field
+
 from repro.audit.report import Violation
+from repro.audit.rules import RULES
 
 __all__ = [
+    "AnalysisResult",
     "HOT_PATH_PARTS",
     "RULES",
+    "analyze_paths",
     "lint_file",
+    "lint_function_hot",
     "lint_paths",
     "lint_source",
 ]
-
-RULES = {
-    "RA100": "file does not parse",
-    "RA101": "float score compared with == / != outside a tolerance helper",
-    "RA102": "mutable default argument",
-    "RA103": "public module does not define __all__",
-    "RA104": "__all__ names an undefined attribute",
-    "RA105": "list-literal membership test inside a hot-path loop",
-    "RA106": "list.insert(0, ...) inside a hot-path loop",
-    "RA107": "bare except:",
-    "RA108": "time.time() in a hot-path module (use time.perf_counter)",
-}
 
 #: directory names whose modules get the hot-path rules
 #: (RA105/RA106/RA108)
@@ -92,14 +88,32 @@ _ALLOW_RE = re.compile(
 
 
 def _suppressions(source: str) -> dict[int, set[str]]:
-    """Per-line suppressed rule ids (only ``allow`` tags with a reason)."""
+    """Per-line suppressed rule ids (only ``allow`` tags with a reason).
+
+    Tags are recognized in real comment tokens only — an ``allow[...]``
+    quoted inside a docstring or string literal (rule documentation,
+    fixture text) neither suppresses nor counts as stale for RA109.
+    Unparseable files fall back to a plain line scan so a suppression
+    next to a syntax error still behaves predictably.
+    """
     suppressed: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_RE.search(line)
+
+    def record(lineno: int, text: str) -> None:
+        match = _ALLOW_RE.search(text)
         if match is None or not match.group("reason"):
-            continue
+            return
         rules = {r.strip() for r in match.group("rules").split(",")}
         suppressed.setdefault(lineno, set()).update(rules)
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                record(token.start[0], token.string)
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        suppressed.clear()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            record(lineno, line)
     return suppressed
 
 
@@ -389,19 +403,15 @@ def _is_hot_path(path: str) -> bool:
     return any(part in HOT_PATH_PARTS for part in parts[:-1])
 
 
-def lint_source(
+def lint_source_raw(
     source: str,
     path: str = "<string>",
     *,
     hot_path: Optional[bool] = None,
 ) -> list[Violation]:
-    """Lint one module's source text; returns its violations.
-
-    ``hot_path`` forces the RA105/RA106/RA108 rules on or off; by
-    default they apply when the file lives under one of the
-    :data:`HOT_PATH_PARTS` directories (``core/``, ``structures/``,
-    ``stream/``, ``obs/``, ``serve/``).
-    """
+    """Like :func:`lint_source` but *without* applying ``allow``
+    suppressions — the project driver (:func:`analyze_paths`) applies
+    them itself so it can also detect stale ones (RA109)."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -435,17 +445,157 @@ def lint_source(
                     paper_ref="docs/audit.md rule catalogue",
                     location=f"{path}:{lineno}:{col}",
                 ))
+    return linter.violations
 
-    suppressed = _suppressions(source)
-    if not suppressed:
-        return linter.violations
+
+def _apply_suppressions(
+    violations: Iterable[Violation],
+    suppressed: dict[int, set[str]],
+) -> list[Violation]:
     kept: list[Violation] = []
-    for violation in linter.violations:
+    for violation in violations:
         lineno = int(violation.location.rsplit(":", 2)[-2])
         if violation.rule in suppressed.get(lineno, ()):
             continue
         kept.append(violation)
     return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    hot_path: Optional[bool] = None,
+) -> list[Violation]:
+    """Lint one module's source text; returns its violations.
+
+    ``hot_path`` forces the RA105/RA106/RA108 rules on or off; by
+    default they apply when the file lives under one of the
+    :data:`HOT_PATH_PARTS` directories (``core/``, ``structures/``,
+    ``stream/``, ``obs/``, ``serve/``).
+    """
+    violations = lint_source_raw(source, path, hot_path=hot_path)
+    suppressed = _suppressions(source)
+    if not suppressed:
+        return violations
+    return _apply_suppressions(violations, suppressed)
+
+
+#: the rules the project-wide hot-path propagation re-runs on
+#: hot-reachable functions (everything else stays per-file).
+_HOT_RULES = frozenset({"RA105", "RA106", "RA108"})
+
+
+def lint_function_hot(
+    node: ast.AST,
+    module_tree: ast.Module,
+    path: str,
+) -> list[Violation]:
+    """The hot-path rules (RA105/RA106/RA108) applied to one function
+    node as if its file were on the hot-path list.
+
+    ``module_tree`` supplies the surrounding module so RA108 sees
+    ``import time as t`` / ``from time import time`` aliases declared
+    outside the function body.
+    """
+    linter = _Linter(path, hot_path=True)
+    for stmt in ast.walk(module_tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "time":
+                    linter._time_module_aliases.add(alias.asname or "time")
+        elif isinstance(stmt, ast.ImportFrom) and stmt.module == "time":
+            for alias in stmt.names:
+                if alias.name == "time":
+                    linter._time_func_aliases.add(alias.asname or alias.name)
+    linter.visit(node)
+    return [v for v in linter.violations if v.rule in _HOT_RULES]
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of a full project analysis.
+
+    ``violations`` fail the lint; ``warnings`` (stale suppressions,
+    RA109) are reported but never fail.
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+    warnings: list[Violation] = field(default_factory=list)
+
+
+def _location_sort_key(violation: Violation) -> tuple:
+    path, line, col = violation.location.rsplit(":", 2)
+    return (path, int(line), int(col), violation.rule)
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    *,
+    project: bool = True,
+) -> AnalysisResult:
+    """The full analysis: per-file rules plus (when ``project`` is
+    true) the cross-module passes — call-graph hot-path propagation
+    (RA105/106/108 in hot-*reachable* functions), the async-safety
+    family (RA201–RA205) and protocol conformance (RA301).
+
+    ``allow`` suppressions apply uniformly to every family, and any
+    suppression that matches no finding becomes an RA109 warning.
+    """
+    from repro.audit.asynccheck import async_violations
+    from repro.audit.callgraph import (
+        build_project,
+        collect_python_files,
+        hot_path_violations,
+    )
+    from repro.audit.conformance import conformance_violations
+
+    files = collect_python_files(paths)
+    sources: dict[str, str] = {}
+    raw: list[Violation] = []
+    suppressions: dict[str, dict[int, set[str]]] = {}
+    for path in files:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        sources[path] = source
+        raw.extend(lint_source_raw(source, path))
+        marks = _suppressions(source)
+        if marks:
+            suppressions[path] = marks
+
+    if project:
+        graph = build_project(files, sources=sources)
+        raw.extend(hot_path_violations(graph))
+        raw.extend(async_violations(graph))
+        raw.extend(conformance_violations(graph))
+
+    used: set[tuple[str, int, str]] = set()
+    kept: list[Violation] = []
+    for violation in raw:
+        path, line, _col = violation.location.rsplit(":", 2)
+        lineno = int(line)
+        if violation.rule in suppressions.get(path, {}).get(lineno, ()):
+            used.add((path, lineno, violation.rule))
+            continue
+        kept.append(violation)
+
+    warnings: list[Violation] = []
+    for path, marks in suppressions.items():
+        for lineno, rules in marks.items():
+            for rule in sorted(rules):
+                if (path, lineno, rule) not in used:
+                    warnings.append(Violation(
+                        "RA109",
+                        f"stale suppression: allow[{rule}] matches no "
+                        "finding on this line — delete it or narrow the "
+                        "rule list",
+                        paper_ref="docs/audit.md rule catalogue",
+                        location=f"{path}:{lineno}:0",
+                    ))
+
+    kept.sort(key=_location_sort_key)
+    warnings.sort(key=_location_sort_key)
+    return AnalysisResult(kept, warnings)
 
 
 def lint_file(path: str) -> list[Violation]:

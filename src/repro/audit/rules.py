@@ -1,0 +1,310 @@
+"""The lint rule catalogue — one source of truth for every consumer.
+
+Every static rule the audit subsystem can fire is described once, here,
+as a :class:`RuleInfo` record: identifier, one-line title, the rationale
+(why the pattern is a bug in *this* codebase), a minimal triggering
+example and the idiomatic fix.  Three consumers render the same records:
+
+* ``python -m repro lint --explain RAxxx`` (:func:`explain_rule`),
+* the generated catalogue block in ``docs/audit.md``
+  (:func:`render_markdown`; a regression test pins the docs to this
+  output, so the two can never drift), and
+* the SARIF emitter (:mod:`repro.audit.emit`), which ships the titles
+  as SARIF rule metadata.
+
+Rule families:
+
+* **RA1xx** — per-file rules (:mod:`repro.audit.lint`): float-score
+  equality, mutable defaults, ``__all__`` hygiene, hot-path
+  anti-patterns, bare ``except``, wall-clock timings, stale
+  suppressions.
+* **RA2xx** — async-safety rules (:mod:`repro.audit.asynccheck`) over a
+  per-function CFG with await-point segmentation, powered by the
+  project-wide call graph (:mod:`repro.audit.callgraph`).
+* **RA3xx** — cross-module protocol conformance
+  (:mod:`repro.audit.conformance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "CATALOG",
+    "RULES",
+    "RuleInfo",
+    "explain_rule",
+    "render_markdown",
+    "rule_info",
+]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One catalogued rule.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier (``"RA105"``).
+    title:
+        One-line summary (what fires).
+    rationale:
+        Why the pattern is a defect in this codebase.
+    example:
+        A minimal triggering snippet (used verbatim by fixture tests).
+    fix:
+        The idiomatic correction.
+    kind:
+        ``"error"`` (fails the lint) or ``"warning"`` (reported, never
+        fails).
+    scope:
+        ``"file"`` for single-module rules, ``"project"`` for rules
+        needing the cross-module analyzer.
+    """
+
+    id: str
+    title: str
+    rationale: str
+    example: str
+    fix: str
+    kind: str = "error"
+    scope: str = "file"
+
+
+CATALOG: tuple[RuleInfo, ...] = (
+    RuleInfo(
+        "RA100",
+        "file does not parse",
+        "Every other rule needs an AST; a syntax error masks all of "
+        "them, so it is reported as its own finding.",
+        "def broken(:\n    pass\n",
+        "Fix the syntax error.",
+    ),
+    RuleInfo(
+        "RA101",
+        "float score compared with == / != outside a tolerance helper",
+        "Equal raw scores are perturbed into a total order (paper "
+        "footnote 1); comparing `score`/`local_score`/`raw_score` "
+        "operands with `==` reintroduces exactly the tie bugs the "
+        "perturbation exists to prevent.",
+        "def same(pair, other):\n    return pair.score == other.score\n",
+        "Compare `score_key` tuples, or use a tolerance helper "
+        "(`math.isclose`, a function named `approx*`/`*close*`).",
+    ),
+    RuleInfo(
+        "RA102",
+        "mutable default argument",
+        "A list/dict/set default is evaluated once and shared across "
+        "every call — a classic silent-corruption source.",
+        "def push(item, out=[]):\n    out.append(item)\n    return out\n",
+        "Default to `None` (or an immutable value) and allocate inside "
+        "the function.",
+    ),
+    RuleInfo(
+        "RA103",
+        "public module does not define __all__",
+        "The API surface is a tested contract "
+        "(`tests/test_public_api.py`); a module without `__all__` "
+        "leaks internals through `from module import *`.",
+        "def api():\n    return 1\n",
+        "Declare `__all__` listing the public names.",
+    ),
+    RuleInfo(
+        "RA104",
+        "__all__ names an undefined attribute",
+        "A stale export breaks `from repro import *` and the public "
+        "API tests.",
+        '__all__ = ["missing"]\n',
+        "Remove the stale entry or define/import the name.",
+    ),
+    RuleInfo(
+        "RA105",
+        "list-literal membership test inside a hot-path loop",
+        "`x in [a, b, c]` is O(n) per evaluation; inside a hot-path "
+        "loop that multiplies into the per-tick budget.",
+        "def scan(items):\n"
+        "    for item in items:\n"
+        "        if item in [1, 2, 3]:\n"
+        "            return item\n",
+        "Build a `set`/`frozenset` constant once and test against it.",
+    ),
+    RuleInfo(
+        "RA106",
+        "list.insert(0, ...) inside a hot-path loop",
+        "Front-insertion shifts the whole list — O(n) per call, O(n²) "
+        "per loop.",
+        "def rev(items, out):\n"
+        "    for item in items:\n"
+        "        out.insert(0, item)\n",
+        "Use `collections.deque.appendleft`, or append then reverse "
+        "once.",
+    ),
+    RuleInfo(
+        "RA107",
+        "bare except:",
+        "A bare `except:` swallows `KeyboardInterrupt`/`SystemExit` "
+        "and hides the `ReproError` hierarchy.",
+        "def f():\n    try:\n        return 1\n    except:\n"
+        "        return 2\n",
+        "Catch `ReproError` or a concrete exception type.",
+    ),
+    RuleInfo(
+        "RA108",
+        "time.time() in a hot-path module (use time.perf_counter)",
+        "Wall-clock time is NTP-slewed and coarse on some platforms; "
+        "timings feeding the `repro.obs` metrics must use the "
+        "monotonic `time.perf_counter()`.  Any import alias is "
+        "caught, including `from time import time`.",
+        "import time\n\ndef stamp():\n    return time.time()\n",
+        "Use `time.perf_counter()` (or suppress with a reason when a "
+        "real epoch timestamp is required, e.g. file metadata).",
+    ),
+    RuleInfo(
+        "RA109",
+        "stale suppression: allow tag matches no finding",
+        "An `# audit: allow[...]` comment whose rule no longer fires "
+        "on that line is dead weight — it hides nothing today but "
+        "will silently swallow a future regression on that line.",
+        "x = 1  # audit: allow[RA105] once suppressed a real finding\n",
+        "Delete the stale tag (or narrow its rule list).",
+        kind="warning",
+    ),
+    RuleInfo(
+        "RA201",
+        "blocking call inside async def",
+        "A blocking call (`time.sleep`, sync file/socket I/O, "
+        "`subprocess`) on the event loop stalls *every* connection — "
+        "the many-subscribers-one-stream shape multiplies one blocked "
+        "handler into global head-of-line blocking.  The call graph "
+        "propagates through sync helpers, so blocking I/O buried two "
+        "calls deep is still reported at the async frame that "
+        "reaches it.",
+        "import time\n\nasync def handler():\n    time.sleep(1.0)\n",
+        "Use the async equivalent (`asyncio.sleep`, stream APIs), or "
+        "push the blocking section through "
+        "`loop.run_in_executor(...)`.",
+        scope="project",
+    ),
+    RuleInfo(
+        "RA202",
+        "shared state mutated on both sides of an await without a lock",
+        "An `await` is a scheduling point: another handler can run and "
+        "observe (or race) the half-updated `self.`/module-level "
+        "state.  The paper's structures (skyband, staircase, PST) "
+        "assume a single writer per tick — interleaved mutation "
+        "violates that silently.",
+        "async def update(self, item):\n"
+        "    self.pending.append(item)\n"
+        "    await self.flush()\n"
+        "    self.pending.pop()\n",
+        "Finish all shared-state mutation before the first await (or "
+        "hold an `asyncio.Lock` across the critical section).",
+        scope="project",
+    ),
+    RuleInfo(
+        "RA203",
+        "fire-and-forget task: create_task/ensure_future result dropped",
+        "A task whose reference is discarded can be garbage-collected "
+        "mid-flight, and its exception is never retrieved — failures "
+        "vanish into 'Task exception was never retrieved' log spam "
+        "(or silence).",
+        "import asyncio\n\nasync def kick(coro):\n"
+        "    asyncio.ensure_future(coro)\n",
+        "Keep a reference (e.g. add to a task set with a done-callback "
+        "that retrieves the exception), or await the task.",
+        scope="project",
+    ),
+    RuleInfo(
+        "RA204",
+        "lock held across await of an unbounded operation",
+        "Awaiting an unbounded operation (queue put/get, socket "
+        "read/drain, bare wait) while holding a lock turns one slow "
+        "peer into a deadlock for every other handler queued on the "
+        "lock.",
+        "async def deliver(self, item):\n"
+        "    async with self.lock:\n"
+        "        await self.queue.put(item)\n",
+        "Shrink the critical section: copy the state under the lock, "
+        "release it, then await the slow operation.",
+        scope="project",
+    ),
+    RuleInfo(
+        "RA205",
+        "coroutine called but never awaited",
+        "Calling an `async def` without awaiting it creates a "
+        "coroutine object and throws it away — the body never runs "
+        "and Python only warns at garbage-collection time, far from "
+        "the bug.",
+        "async def step():\n    ...\n\n"
+        "async def tick():\n    step()\n",
+        "Add `await` (or wrap in `asyncio.create_task(...)` and keep "
+        "the reference).",
+        scope="project",
+    ),
+    RuleInfo(
+        "RA301",
+        "protocol frame type without server handler and client encoder",
+        "Every op declared in `serve/protocol.py` must have a matching "
+        "`_op_<name>` server handler and a client-side encoder — a "
+        "declared-but-unhandled frame is a wire error waiting for the "
+        "first client that sends it, and an undeclared handler is "
+        "unreachable dead code.",
+        'OPS = ("ingest", "ghost")\n'
+        "# server defines _op_ingest only; no client sends \"ghost\"\n",
+        "Add the missing `_op_<name>` handler / client encoder, or "
+        "drop the op from `OPS`.",
+        scope="project",
+    ),
+)
+
+_BY_ID = {rule.id: rule for rule in CATALOG}
+
+#: backward-compatible ``id -> title`` mapping (the shape the original
+#: per-file pass exposed as ``repro.audit.lint.RULES``).
+RULES = {rule.id: rule.title for rule in CATALOG}
+
+
+def rule_info(rule_id: str) -> Optional[RuleInfo]:
+    """The catalogue record for ``rule_id`` (``None`` when unknown)."""
+    return _BY_ID.get(rule_id.strip().upper())
+
+
+def explain_rule(rule_id: str) -> Optional[str]:
+    """The ``--explain`` text for one rule (``None`` when unknown)."""
+    rule = rule_info(rule_id)
+    if rule is None:
+        return None
+    lines = [
+        f"{rule.id}: {rule.title}",
+        f"severity: {rule.kind} · scope: {rule.scope}",
+        "",
+        "Why:",
+        f"  {rule.rationale}",
+        "",
+        "Example (fires):",
+    ]
+    lines.extend(f"  {line}" for line in rule.example.rstrip("\n").split("\n"))
+    lines.extend(["", "Fix:", f"  {rule.fix}"])
+    return "\n".join(lines)
+
+
+def render_markdown() -> str:
+    """The full catalogue as markdown — the exact block embedded in
+    ``docs/audit.md`` between the ``RULES:BEGIN``/``RULES:END`` markers
+    (a test diffs the two, so the docs can never drift from the code).
+    """
+    out: list[str] = []
+    for rule in CATALOG:
+        out.append(f"### `{rule.id}` — {rule.title}")
+        out.append("")
+        out.append(f"*{rule.kind}, {rule.scope} scope.* {rule.rationale}")
+        out.append("")
+        out.append("```python")
+        out.extend(rule.example.rstrip("\n").split("\n"))
+        out.append("```")
+        out.append("")
+        out.append(f"**Fix:** {rule.fix}")
+        out.append("")
+    return "\n".join(out).rstrip("\n") + "\n"

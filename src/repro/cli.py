@@ -159,13 +159,49 @@ def _print_report(monitor: TopKPairsMonitor, handle, tick: int,
 def build_lint_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Static lint pass with project-specific rules "
-        "(RA101-RA108, see docs/audit.md); exits 1 on findings.",
+        description="Project static analysis: per-file rules "
+        "(RA100-RA108), call-graph hot-path propagation, async-safety "
+        "rules (RA201-RA205) and protocol conformance (RA301); see "
+        "docs/audit.md.  Exits 1 on findings (with --strict: on "
+        "findings not in the baseline).",
     )
     parser.add_argument(
         "paths", nargs="*", default=None,
         help="files or directory trees to lint "
         "(default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="baseline-aware gating: fail only on findings not listed "
+        "in the baseline file (the count can only ratchet down)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout "
+        "(a one-line summary still prints)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings (default: "
+        ".audit-baseline.json in the working directory, when present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-project", action="store_true",
+        help="per-file rules only; skip the cross-module passes "
+        "(call graph, RA2xx, RA301)",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print one rule's rationale, example and fix, then exit "
+        "(e.g. --explain RA202)",
     )
     return parser
 
@@ -173,11 +209,28 @@ def build_lint_parser() -> argparse.ArgumentParser:
 def run_lint(argv: Sequence[str],
              stdout: Optional[TextIO] = None) -> int:
     """``python -m repro lint [paths]`` — exit 1 when rules fire."""
-    from repro.audit.lint import lint_paths
+    from repro.audit.baseline import (
+        BASELINE_NAME,
+        load_baseline,
+        partition_violations,
+        render_baseline,
+    )
+    from repro.audit.emit import to_json, to_sarif
+    from repro.audit.lint import analyze_paths
     from repro.audit.report import summarize
+    from repro.audit.rules import explain_rule
 
     stdout = stdout if stdout is not None else sys.stdout
     args = build_lint_parser().parse_args(argv)
+    if args.explain is not None:
+        text = explain_rule(args.explain)
+        if text is None:
+            raise SystemExit(
+                f"repro lint: unknown rule {args.explain!r}; "
+                "see docs/audit.md for the catalogue"
+            )
+        print(text, file=stdout)
+        return 0
     paths = args.paths
     if not paths:
         paths = [os.path.dirname(os.path.abspath(__file__))]
@@ -187,11 +240,69 @@ def run_lint(argv: Sequence[str],
             "repro lint: no such file or directory: "
             + ", ".join(missing)
         )
-    violations = lint_paths(paths)
-    for violation in violations:
-        print(violation, file=stdout)
-    print(f"lint: {summarize(violations)}", file=stdout)
-    return 1 if violations else 0
+    result = analyze_paths(paths, project=not args.no_project)
+    violations, warnings = result.violations, result.warnings
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(BASELINE_NAME):
+        baseline_path = BASELINE_NAME
+
+    if args.write_baseline:
+        target = baseline_path if baseline_path is not None \
+            else BASELINE_NAME
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(violations))
+        print(
+            f"baseline: {len(violations)} finding(s) written to {target}",
+            file=stdout,
+        )
+        return 0
+
+    grandfathered: list = []
+    unused: list = []
+    if args.strict:
+        keys = load_baseline(baseline_path) if baseline_path else set()
+        new, grandfathered, unused = partition_violations(violations, keys)
+    else:
+        new = violations
+
+    summary = f"lint: {summarize(new)}"
+    if args.strict:
+        summary += (
+            f" (strict: {len(grandfathered)} baselined, "
+            f"{len(warnings)} warning(s))"
+        )
+    if args.format == "text":
+        lines = [str(violation) for violation in new]
+        lines.extend(f"{violation} [baselined]" for violation in grandfathered)
+        lines.extend(f"warning: {warning}" for warning in warnings)
+        lines.extend(
+            f"warning: stale baseline entry matches no finding: "
+            f"[{rule}] {path}: {message}"
+            for rule, path, message in unused
+        )
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write("\n".join([*lines, summary]) + "\n")
+            print(f"{summary} -> {args.out}", file=stdout)
+        else:
+            for line in lines:
+                print(line, file=stdout)
+            print(summary, file=stdout)
+    else:
+        if args.format == "json":
+            document = to_json(new, warnings, grandfathered=grandfathered)
+        else:
+            document = to_sarif(new, warnings,
+                                grandfathered=grandfathered,
+                                track_baseline=args.strict)
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            print(f"{summary} -> {args.out}", file=stdout)
+        else:
+            stdout.write(document)
+    return 1 if new else 0
 
 
 def build_audit_parser() -> argparse.ArgumentParser:
@@ -233,6 +344,10 @@ def build_audit_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", default=None, metavar="OUT.json",
                         help="also collect repro.obs metrics and write a "
                         "registry snapshot to this JSON file")
+    parser.add_argument("--lint", action="store_true",
+                        help="after the runtime checks, run the static "
+                        "analyzer in strict mode (repro lint --strict) "
+                        "over the installed package and merge exit codes")
     return parser
 
 
@@ -286,7 +401,11 @@ def run_audit(argv: Sequence[str],
             extra={"command": "audit", "steps": args.steps},
         )
         print(f"metrics written to {args.metrics}", file=stdout)
-    return 1 if auditor.violations else 0
+    exit_code = 1 if auditor.violations else 0
+    if args.lint:
+        lint_code = run_lint(["--strict"], stdout)
+        exit_code = exit_code or lint_code
+    return exit_code
 
 
 def build_bench_parser() -> argparse.ArgumentParser:

@@ -46,10 +46,12 @@ from repro.serve.session import SCORING_NAMES, ServerMonitor
 __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "checkpoint_document",
     "checkpoint_state",
     "load_checkpoint",
     "restore_server_monitor",
     "save_checkpoint",
+    "write_checkpoint_document",
 ]
 
 FORMAT_NAME = "repro-checkpoint"
@@ -80,11 +82,15 @@ def checkpoint_state(session: ServerMonitor) -> dict:
     }
 
 
-def save_checkpoint(session: ServerMonitor, path: str) -> dict:
-    """Write a checkpoint atomically; returns summary metadata.
+def checkpoint_document(session: ServerMonitor) -> tuple[str, dict]:
+    """Serialize a session into ``(document, summary-metadata)``.
+
+    Pure snapshot — no file I/O — so the asyncio server can capture a
+    consistent state on the event loop (no ingest can interleave) and
+    hand the blocking write to an executor thread.
 
     Raises :class:`~repro.exceptions.CheckpointError` when the window
-    holds a payload JSON cannot represent (the file is not written).
+    holds a payload JSON cannot represent.
     """
     state = checkpoint_state(session)
     try:
@@ -93,6 +99,19 @@ def save_checkpoint(session: ServerMonitor, path: str) -> dict:
         raise CheckpointError(
             f"window payloads must be JSON-serializable to checkpoint: {exc}"
         ) from exc
+    meta = {
+        "bytes": len(document) + 1,
+        "objects": len(state["window"]),
+        "queries": len(state["queries"]),
+        "next_seq": state["next_seq"],
+    }
+    return document, meta
+
+
+def write_checkpoint_document(document: str, path: str) -> None:
+    """Write an already-serialized checkpoint atomically (temp file,
+    fsync, ``os.replace``).  Blocking — call from a worker thread when
+    on the event loop."""
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         handle.write(document)
@@ -100,13 +119,17 @@ def save_checkpoint(session: ServerMonitor, path: str) -> dict:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp_path, path)
-    return {
-        "path": path,
-        "bytes": len(document) + 1,
-        "objects": len(state["window"]),
-        "queries": len(state["queries"]),
-        "next_seq": state["next_seq"],
-    }
+
+
+def save_checkpoint(session: ServerMonitor, path: str) -> dict:
+    """Write a checkpoint atomically; returns summary metadata.
+
+    Raises :class:`~repro.exceptions.CheckpointError` when the window
+    holds a payload JSON cannot represent (the file is not written).
+    """
+    document, meta = checkpoint_document(session)
+    write_checkpoint_document(document, path)
+    return {"path": path, **meta}
 
 
 def load_checkpoint(path: str) -> dict:

@@ -112,6 +112,10 @@ class ServeServer:
         self._subscribers: dict[str, set[_Connection]] = {}
         self._stopping = False
         self._stopped = asyncio.Event()
+        #: strong references to background tasks (pumps, shutdown);
+        #: without them a task can be garbage-collected mid-flight and
+        #: its exception silently dropped
+        self._background: set[asyncio.Task] = set()
         # -- metrics ---------------------------------------------------
         r = registry if registry is not None else MetricsRegistry()
         self.registry = r
@@ -152,6 +156,31 @@ class ServeServer:
             "repro_serve_checkpoint_seconds",
             "wall seconds per checkpoint save",
         )
+        self._m_task_errors = r.counter(
+            "repro_serve_task_errors_total",
+            "background tasks (pumps, shutdown) that died on an "
+            "unhandled exception",
+        )
+
+    # ------------------------------------------------------------------
+    # background tasks
+    # ------------------------------------------------------------------
+    def _spawn(self, coro) -> asyncio.Task:
+        """Run a coroutine in the background *accountably*: the task is
+        strongly referenced until done, and its exception — if any — is
+        retrieved and counted instead of rotting unobserved."""
+        task = asyncio.ensure_future(coro)
+        self._background.add(task)
+        task.add_done_callback(self._reap_background)
+        return task
+
+    def _reap_background(self, task: asyncio.Task) -> None:
+        self._background.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self._m_task_errors.inc()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -177,7 +206,7 @@ class ServeServer:
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
                 loop.add_signal_handler(
-                    signum, lambda: asyncio.ensure_future(self.stop())
+                    signum, lambda: self._spawn(self.stop())
                 )
             except (NotImplementedError, RuntimeError):
                 return
@@ -221,6 +250,11 @@ class ServeServer:
                 await conn.pump
             except asyncio.CancelledError:
                 pass
+            except Exception:
+                # A pump that died on a bug was already counted by the
+                # _spawn done-callback; its failure must not also abort
+                # the reader's cleanup path.
+                pass
         try:
             if farewell is not None:
                 conn.writer.write(farewell)
@@ -237,7 +271,7 @@ class ServeServer:
         self._connections.add(conn)
         self._m_connections.inc()
         self._m_active.inc()
-        conn.pump = asyncio.ensure_future(self._event_pump(conn))
+        conn.pump = self._spawn(self._event_pump(conn))
         writer.write(encode_frame({
             "event": "hello",
             "protocol": PROTOCOL_VERSION,
@@ -374,8 +408,12 @@ class ServeServer:
                     frame["lagged"] = True
                 payload = encode_frame(frame)
                 if self.backpressure == "block":
-                    await conn.events.put(payload)
+                    # Bookkeeping precedes the await: the frame above
+                    # already consumed the lagged flag, and no other
+                    # handler may observe it half-updated while this
+                    # one waits for queue space.
                     conn.lagged.discard(delta.query)
+                    await conn.events.put(payload)
                     self._m_deltas.inc()
                     enqueued += 1
                 else:
@@ -424,10 +462,14 @@ class ServeServer:
         # (subscribe-then-unregister must not strand them waiting).
         subscribers = self._subscribers.pop(handle_id, set())
         closed = encode_frame({"event": "closed", "query": handle_id})
+        # All registry bookkeeping completes before the first await so
+        # a handler scheduled at the put() below never sees a
+        # half-unregistered query.
         for subscriber in subscribers:
             subscriber.subscriptions.discard(handle_id)
             subscriber.lagged.discard(handle_id)
             self._m_subscribers.dec()
+        for subscriber in subscribers:
             await subscriber.events.put(closed)
         self._send(conn, ok_frame("unregister", request_id,
                                   query=handle_id))
@@ -484,15 +526,28 @@ class ServeServer:
         if self.checkpoint_dir is not None and not os.path.isabs(path):
             path = os.path.join(self.checkpoint_dir, path)
         start = perf_counter()
+        # The snapshot happens synchronously on the event loop (so no
+        # ingest can interleave and the document is tick-consistent);
+        # only the blocking file write leaves the loop.
         try:
-            meta = checkpoint_module.save_checkpoint(self.session, path)
+            document, meta = checkpoint_module.checkpoint_document(
+                self.session
+            )
         except ReproError as exc:
             raise ProtocolError("checkpoint_failed", str(exc)) from exc
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                None,
+                checkpoint_module.write_checkpoint_document,
+                document, path,
+            )
         except OSError as exc:
             raise ProtocolError("checkpoint_failed",
                                 f"cannot write {path!r}: {exc}") from exc
         elapsed = perf_counter() - start
         self._m_checkpoint_seconds.observe(elapsed)
+        meta["path"] = path
         meta["seconds"] = elapsed
         self._send(conn, ok_frame("checkpoint", request_id, **meta))
 
@@ -517,7 +572,7 @@ class ServeServer:
             await conn.writer.drain()
         except (ConnectionError, OSError):
             pass
-        asyncio.ensure_future(self.stop())
+        self._spawn(self.stop())
 
 
 class BackgroundServer:

@@ -1,0 +1,4 @@
+"""Async-safety fixtures: per rule (RA201-RA205), one module holding a
+minimal trigger and a near-miss that must stay clean."""
+
+__all__ = []

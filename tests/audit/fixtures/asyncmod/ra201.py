@@ -1,0 +1,36 @@
+"""RA201: blocking calls inside (or reachable from) async def."""
+
+import asyncio
+import time
+
+__all__ = [
+    "blocks_directly",
+    "blocks_transitively",
+    "offloads_to_executor",
+    "sleeps_properly",
+    "sync_writer",
+]
+
+
+async def blocks_directly():
+    time.sleep(0.5)  # trigger: blocking sleep on the event loop
+
+
+def sync_writer(path, data):
+    with open(path, "w") as handle:  # blocking I/O, fine in sync code
+        handle.write(data)
+
+
+async def blocks_transitively(path):
+    sync_writer(path, "x")  # trigger: reaches open() one hop down
+
+
+async def sleeps_properly():
+    await asyncio.sleep(0.5)  # near-miss: async sleep is fine
+
+
+async def offloads_to_executor(path):
+    # near-miss: the blocking function is passed as a *value* to an
+    # executor, not invoked on the loop — the sanctioned escape hatch
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, sync_writer, path, "x")

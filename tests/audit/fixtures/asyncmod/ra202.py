@@ -1,0 +1,51 @@
+"""RA202: shared state mutated on both sides of an await, no lock."""
+
+import asyncio
+
+__all__ = ["Session"]
+
+REGISTRY = {}
+
+
+class Session:
+    def __init__(self):
+        self.pending = []
+        self.flushed = 0
+        self._lock = asyncio.Lock()
+        self.queue = asyncio.Queue()
+
+    async def races(self, item):
+        self.pending.append(item)  # write, segment 0
+        await self.queue.put(item)
+        self.pending.pop()  # trigger: write, segment 1 — race window
+
+    async def races_in_loop(self, items):
+        for item in items:
+            # trigger: iteration 2's append races iteration 1's await
+            self.pending.append(item)
+            await self.queue.put(item)
+
+    async def races_global(self, key, value):
+        REGISTRY[key] = value  # write, segment 0
+        await self.queue.put(key)
+        REGISTRY.pop(key)  # trigger: module state on the far side
+
+    async def mutates_before_await_only(self, item):
+        # near-miss: every mutation completes before the first await
+        self.pending.append(item)
+        self.flushed += 1
+        await self.queue.put(item)
+
+    async def mutates_under_lock(self, item):
+        # near-miss: the lock serializes the whole critical section
+        # (the inner await is bounded, so RA204 stays quiet too)
+        async with self._lock:
+            self.pending.append(item)
+            await asyncio.wait_for(self.queue.put(item), timeout=1.0)
+            self.pending.pop()
+
+    async def counts_metrics(self, metric, item):
+        # near-miss: metric verbs (inc/set/observe) are not state races
+        metric.inc()
+        await self.queue.put(item)
+        metric.set(len(self.pending))

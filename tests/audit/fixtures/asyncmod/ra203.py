@@ -1,0 +1,26 @@
+"""RA203: fire-and-forget create_task/ensure_future."""
+
+import asyncio
+
+__all__ = ["fires_and_forgets", "keeps_reference", "awaits_task"]
+
+
+async def work():
+    await asyncio.sleep(0)
+
+
+async def fires_and_forgets():
+    asyncio.ensure_future(work())  # trigger: reference discarded
+    asyncio.create_task(work())  # trigger: same, via create_task
+
+
+async def keeps_reference(tasks):
+    # near-miss: the task is retained (caller owns its lifecycle)
+    task = asyncio.create_task(work())
+    tasks.append(task)
+    return task
+
+
+async def awaits_task():
+    # near-miss: awaiting retrieves the result/exception inline
+    await asyncio.ensure_future(work())

@@ -1,0 +1,31 @@
+"""RA204: lock held across await of an unbounded operation."""
+
+import asyncio
+
+__all__ = ["Courier"]
+
+
+class Courier:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self.queue = asyncio.Queue()
+        self.delivered = []
+
+    async def holds_lock_across_put(self, item):
+        async with self._lock:
+            await self.queue.put(item)  # trigger: unbounded under lock
+
+    async def holds_lock_across_wait(self, event):
+        async with self._lock:
+            await event.wait()  # trigger: bare wait under lock
+
+    async def bounded_under_lock(self, item):
+        # near-miss: wait_for carries a timeout — bounded by design
+        async with self._lock:
+            await asyncio.wait_for(self.queue.put(item), timeout=1.0)
+
+    async def copies_then_awaits(self, item):
+        # near-miss: critical section shrunk — await happens lock-free
+        async with self._lock:
+            self.delivered.append(item)
+        await self.queue.put(item)

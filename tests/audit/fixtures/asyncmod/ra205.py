@@ -1,0 +1,22 @@
+"""RA205: coroutine called but never awaited."""
+
+import asyncio
+
+__all__ = ["drops_coroutine", "awaits_coroutine", "spawns_coroutine"]
+
+
+async def step():
+    await asyncio.sleep(0)
+
+
+async def drops_coroutine():
+    step()  # trigger: coroutine object created and thrown away
+
+
+async def awaits_coroutine():
+    await step()  # near-miss: properly awaited
+
+
+async def spawns_coroutine(tasks):
+    # near-miss: the coroutine call is an argument, not a bare statement
+    tasks.append(asyncio.create_task(step()))

@@ -1,0 +1,5 @@
+"""Mini project fixture: hot-path code in ``core/`` calling helpers in
+a non-hot directory — the shape the file-list-based per-file lint
+misses and call-graph propagation must catch."""
+
+__all__ = []

@@ -1,0 +1,39 @@
+"""Helpers in a NON-hot directory, reachable from sweep_skyband.
+
+``rank_filter`` is two call-hops from the hot entry point
+(``sweep_skyband -> merge_candidates -> rank_filter``) and contains
+RA105/RA106 violations the per-file lint cannot see (``analysis/`` is
+not on the hot-path directory list).  ``stamp_tick`` adds an RA108.
+``offline_report`` is NOT reachable from hot code and must stay
+unflagged even though it has the same patterns.
+"""
+
+import time
+
+__all__ = ["merge_candidates", "offline_report", "rank_filter", "stamp_tick"]
+
+
+def merge_candidates(entries):
+    stamp_tick()
+    return rank_filter(entries)
+
+
+def rank_filter(entries):
+    out = []
+    for entry in entries:
+        if entry in [1, 2, 3]:
+            out.insert(0, entry)
+    return out
+
+
+def stamp_tick():
+    return time.time()
+
+
+def offline_report(entries):
+    """Same patterns, but nothing hot reaches this function."""
+    out = []
+    for entry in entries:
+        if entry in [7, 8, 9]:
+            out.insert(0, entry)
+    return out

@@ -1,0 +1,10 @@
+"""Hot-path entry point (lives under ``core/`` -> hot seed)."""
+
+from hotproj.analysis.helpers import merge_candidates
+
+__all__ = ["sweep_skyband"]
+
+
+def sweep_skyband(entries):
+    """The per-tick sweep; every function it reaches is hot."""
+    return merge_candidates(entries)

@@ -1,0 +1,3 @@
+"""RA301 fixture: a mini serve tree with deliberate protocol drift."""
+
+__all__ = []

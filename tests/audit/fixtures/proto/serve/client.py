@@ -1,0 +1,18 @@
+"""Client side: encoders for ingest/snapshot, plus one for
+``undeclared`` — an op missing from OPS (the server will reject it)."""
+
+__all__ = ["MiniClient"]
+
+
+class MiniClient:
+    def request(self, op, **fields):
+        return {"op": op, **fields}
+
+    def ingest(self, rows):
+        return self.request("ingest", rows=rows)
+
+    def snapshot(self):
+        return self.request("snapshot")
+
+    def probe(self):
+        return self.request("undeclared")

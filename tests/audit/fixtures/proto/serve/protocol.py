@@ -1,0 +1,10 @@
+"""Declared op vocabulary.
+
+``ingest`` and ``snapshot`` are fully wired (near-misses: must NOT be
+flagged).  ``ghost`` has neither handler nor encoder (two findings);
+``phantom`` has a handler but no client encoder (one finding).
+"""
+
+__all__ = ["OPS"]
+
+OPS = ("ingest", "snapshot", "ghost", "phantom")

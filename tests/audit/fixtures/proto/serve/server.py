@@ -1,0 +1,18 @@
+"""Server side: handlers for ingest/snapshot/phantom, plus ``_op_rogue``
+— an op the protocol never declared (unreachable dead code)."""
+
+__all__ = ["MiniServer"]
+
+
+class MiniServer:
+    async def _op_ingest(self, conn, frame, request_id):
+        return "ok"
+
+    async def _op_snapshot(self, conn, frame, request_id):
+        return "ok"
+
+    async def _op_phantom(self, conn, frame, request_id):
+        return "ok"
+
+    async def _op_rogue(self, conn, frame, request_id):
+        return "never dispatched"

@@ -1,0 +1,5 @@
+"""Call-graph shape fixtures: each module pins one tricky resolution
+case (bound methods, import aliasing, decorators, recursion,
+functools.partial)."""
+
+__all__ = []

@@ -1,0 +1,14 @@
+"""Import aliasing: ``from x import y as z`` and ``import a.b as c``."""
+
+import shapes.targets as tgt
+from shapes.targets import helper as renamed
+
+__all__ = ["via_from_alias", "via_module_alias"]
+
+
+def via_from_alias(x):
+    return renamed(x)
+
+
+def via_module_alias(x):
+    return tgt.other_helper(x)

@@ -1,0 +1,22 @@
+"""Decorator-wrapped defs: the binding survives decoration, so calls
+to the decorated name must still produce edges to it."""
+
+import functools
+
+__all__ = ["caller", "logged", "wrapped_step"]
+
+
+def logged(fn):
+    @functools.wraps(fn)
+    def inner(*args, **kwargs):
+        return fn(*args, **kwargs)
+    return inner
+
+
+@logged
+def wrapped_step(x):
+    return x * 2
+
+
+def caller(x):
+    return wrapped_step(x)

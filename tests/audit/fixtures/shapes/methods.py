@@ -1,0 +1,34 @@
+"""Bound-method resolution: self-calls, inherited methods, methods on
+locals holding class instances, and ``self.attr`` instance types."""
+
+__all__ = ["Base", "Engine", "Widget", "drive", "drive_attr"]
+
+
+class Base:
+    def inherited(self):
+        return 0
+
+
+class Widget(Base):
+    def spin(self):
+        return self.turn() + self.inherited()
+
+    def turn(self):
+        return 1
+
+
+class Engine:
+    def __init__(self):
+        self.widget = Widget()
+
+    def run(self):
+        return self.widget.spin()
+
+
+def drive():
+    w = Widget()
+    return w.spin()
+
+
+def drive_attr(engine: Engine):
+    return engine.run()

@@ -1,0 +1,15 @@
+"""functools.partial: a *reference* edge (kind ``partial``), distinct
+from invocation — RA201 propagation must not cross it."""
+
+import functools
+from functools import partial
+
+from shapes.targets import helper
+
+__all__ = ["bind_both_ways"]
+
+
+def bind_both_ways():
+    first = functools.partial(helper, 1)
+    second = partial(helper, 2)
+    return first, second

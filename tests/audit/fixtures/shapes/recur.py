@@ -1,0 +1,20 @@
+"""Recursion and call cycles: traversal must terminate and keep the
+self/mutual edges."""
+
+__all__ = ["countdown", "ping", "pong"]
+
+
+def countdown(n):
+    if n <= 0:
+        return 0
+    return countdown(n - 1)
+
+
+def ping(n):
+    if n <= 0:
+        return 0
+    return pong(n - 1)
+
+
+def pong(n):
+    return ping(n - 1)

@@ -1,0 +1,11 @@
+"""Plain call targets the other shape modules resolve to."""
+
+__all__ = ["helper", "other_helper"]
+
+
+def helper(x):
+    return x + 1
+
+
+def other_helper(x):
+    return x - 1

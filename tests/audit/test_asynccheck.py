@@ -1,0 +1,144 @@
+"""Tests for the async-safety rules (`repro.audit.asynccheck`):
+every RA2xx rule has a fixture that triggers it and a near-miss that
+must stay clean."""
+
+from __future__ import annotations
+
+import os
+
+from repro.audit.asynccheck import async_violations
+from repro.audit.callgraph import build_project
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+ASYNCMOD = os.path.join(FIXTURES, "asyncmod")
+
+
+def findings_for(module_basename):
+    project = build_project([os.path.join(ASYNCMOD, module_basename)])
+    return async_violations(project)
+
+
+def by_subject(violations):
+    out = {}
+    for violation in violations:
+        out.setdefault(violation.subject.rsplit(".", 1)[-1], set()).add(
+            violation.rule
+        )
+    return out
+
+
+class TestRA201Blocking:
+    def setup_method(self):
+        self.by_fn = by_subject(findings_for("ra201.py"))
+
+    def test_direct_blocking_call_flagged(self):
+        assert "RA201" in self.by_fn.get("blocks_directly", set())
+
+    def test_transitive_blocking_via_sync_helper_flagged(self):
+        assert "RA201" in self.by_fn.get("blocks_transitively", set())
+
+    def test_chain_named_in_transitive_message(self):
+        found = findings_for("ra201.py")
+        transitive = next(
+            v for v in found
+            if v.subject.endswith("blocks_transitively")
+        )
+        assert "sync_writer" in transitive.message
+
+    def test_async_sleep_clean(self):
+        assert "sleeps_properly" not in self.by_fn
+
+    def test_executor_offload_clean(self):
+        # passing the blocking function as a value is the escape hatch
+        assert "offloads_to_executor" not in self.by_fn
+
+    def test_sync_function_itself_clean(self):
+        assert "sync_writer" not in self.by_fn
+
+
+class TestRA202SharedStateRace:
+    def setup_method(self):
+        self.by_fn = by_subject(findings_for("ra202.py"))
+
+    def test_write_on_both_sides_of_await_flagged(self):
+        assert "RA202" in self.by_fn.get("races", set())
+
+    def test_write_plus_await_in_loop_flagged(self):
+        assert "RA202" in self.by_fn.get("races_in_loop", set())
+
+    def test_module_level_state_flagged(self):
+        assert "RA202" in self.by_fn.get("races_global", set())
+
+    def test_mutation_finished_before_await_clean(self):
+        assert "mutates_before_await_only" not in self.by_fn
+
+    def test_mutation_under_lock_clean(self):
+        assert "mutates_under_lock" not in self.by_fn
+
+    def test_metric_calls_are_not_mutations(self):
+        assert "counts_metrics" not in self.by_fn
+
+    def test_target_named_in_message(self):
+        found = findings_for("ra202.py")
+        races = next(v for v in found if v.subject.endswith(".races"))
+        assert "self.pending" in races.message
+
+
+class TestRA203FireAndForget:
+    def setup_method(self):
+        self.by_fn = by_subject(findings_for("ra203.py"))
+
+    def test_discarded_spawns_flagged(self):
+        found = findings_for("ra203.py")
+        hits = [v for v in found if v.rule == "RA203"]
+        assert len(hits) == 2  # ensure_future AND create_task
+        assert all(
+            v.subject.endswith("fires_and_forgets") for v in hits
+        )
+
+    def test_retained_task_clean(self):
+        assert "keeps_reference" not in self.by_fn
+
+    def test_awaited_spawn_clean(self):
+        assert "awaits_task" not in self.by_fn
+
+
+class TestRA204LockAcrossAwait:
+    def setup_method(self):
+        self.by_fn = by_subject(findings_for("ra204.py"))
+
+    def test_unbounded_put_under_lock_flagged(self):
+        assert "RA204" in self.by_fn.get("holds_lock_across_put", set())
+
+    def test_bare_wait_under_lock_flagged(self):
+        assert "RA204" in self.by_fn.get("holds_lock_across_wait", set())
+
+    def test_wait_for_is_bounded_and_clean(self):
+        assert "bounded_under_lock" not in self.by_fn
+
+    def test_shrunk_critical_section_clean(self):
+        assert "copies_then_awaits" not in self.by_fn
+
+
+class TestRA205UnawaitedCoroutine:
+    def setup_method(self):
+        self.by_fn = by_subject(findings_for("ra205.py"))
+
+    def test_bare_coroutine_call_flagged(self):
+        assert "RA205" in self.by_fn.get("drops_coroutine", set())
+
+    def test_awaited_call_clean(self):
+        assert "awaits_coroutine" not in self.by_fn
+
+    def test_spawned_call_clean(self):
+        assert "spawns_coroutine" not in self.by_fn
+
+
+class TestShippedServeLayerIsClean:
+    def test_no_async_findings_in_src(self):
+        import repro
+
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        project = build_project([package_dir])
+        assert async_violations(project) == []

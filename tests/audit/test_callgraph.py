@@ -1,0 +1,153 @@
+"""Tests for the project call graph (`repro.audit.callgraph`): edge
+resolution on tricky shapes and transitive hot-path propagation."""
+
+from __future__ import annotations
+
+import os
+
+from repro.audit.callgraph import (
+    build_project,
+    hot_functions,
+    hot_path_violations,
+)
+from repro.audit.lint import analyze_paths, lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+SHAPES = os.path.join(FIXTURES, "shapes")
+HOTPROJ = os.path.join(FIXTURES, "hotproj")
+
+
+def edges_of(project, kinds=None):
+    out = set()
+    for edge_list in project.edges.values():
+        for edge in edge_list:
+            if kinds is None or edge.kind in kinds:
+                out.add((edge.caller, edge.callee, edge.kind))
+    return out
+
+
+class TestShapes:
+    def setup_method(self):
+        self.project = build_project([SHAPES])
+        self.edges = edges_of(self.project)
+
+    def test_bound_methods_resolve(self):
+        assert ("shapes.methods.Widget.spin",
+                "shapes.methods.Widget.turn", "method") in self.edges
+        assert ("shapes.methods.drive",
+                "shapes.methods.Widget.spin", "method") in self.edges
+
+    def test_inherited_method_resolves_through_base(self):
+        assert ("shapes.methods.Widget.spin",
+                "shapes.methods.Base.inherited", "method") in self.edges
+
+    def test_self_attr_and_annotated_param_types(self):
+        # self.widget = Widget() in __init__ types the attribute ...
+        assert ("shapes.methods.Engine.run",
+                "shapes.methods.Widget.spin", "method") in self.edges
+        # ... and engine: Engine annotation types the parameter
+        assert ("shapes.methods.drive_attr",
+                "shapes.methods.Engine.run", "method") in self.edges
+
+    def test_from_import_alias(self):
+        assert ("shapes.aliasing.via_from_alias",
+                "shapes.targets.helper", "direct") in self.edges
+
+    def test_module_alias(self):
+        assert ("shapes.aliasing.via_module_alias",
+                "shapes.targets.other_helper", "direct") in self.edges
+
+    def test_decorated_function_still_resolves(self):
+        assert ("shapes.decorated.caller",
+                "shapes.decorated.wrapped_step", "direct") in self.edges
+
+    def test_recursion_and_cycles_terminate(self):
+        assert ("shapes.recur.countdown",
+                "shapes.recur.countdown", "direct") in self.edges
+        assert ("shapes.recur.ping",
+                "shapes.recur.pong", "direct") in self.edges
+        assert ("shapes.recur.pong",
+                "shapes.recur.ping", "direct") in self.edges
+        # hot_functions must not loop forever on the cycle
+        hot_functions(self.project)
+
+    def test_functools_partial_is_a_reference_edge(self):
+        partials = edges_of(self.project, kinds={"partial"})
+        assert ("shapes.partials.bind_both_ways",
+                "shapes.targets.helper", "partial") in partials
+        # both spellings (functools.partial and bare partial) resolve
+        count = sum(
+            1 for edge_list in self.project.edges.values()
+            for edge in edge_list
+            if edge.kind == "partial"
+            and edge.callee == "shapes.targets.helper"
+        )
+        assert count == 2
+
+
+class TestHotPathPropagation:
+    def setup_method(self):
+        self.project = build_project([HOTPROJ])
+
+    def test_hot_seeds_and_transitive_closure(self):
+        hot = hot_functions(self.project)
+        assert "hotproj.core.skyband.sweep_skyband" in hot
+        assert "hotproj.analysis.helpers.merge_candidates" in hot
+        assert "hotproj.analysis.helpers.rank_filter" in hot
+        assert "hotproj.analysis.helpers.stamp_tick" in hot
+        # not reachable from any hot seed
+        assert "hotproj.analysis.helpers.offline_report" not in hot
+
+    def test_witness_chain_runs_seed_to_function(self):
+        hot = hot_functions(self.project)
+        chain = hot["hotproj.analysis.helpers.rank_filter"]
+        assert chain[0] == "hotproj.core.skyband.sweep_skyband"
+        assert chain[-1] == "hotproj.analysis.helpers.rank_filter"
+        assert len(chain) == 3  # two call-hops from the entry point
+
+    def test_two_hop_helper_flagged_where_per_file_lint_is_blind(self):
+        # The per-file pass cannot see it: analysis/ is not a hot dir.
+        per_file = lint_paths([HOTPROJ])
+        assert {v.rule for v in per_file} & {"RA105", "RA106", "RA108"} \
+            == set()
+        # The project pass can.
+        found = hot_path_violations(self.project)
+        rules = {v.rule for v in found}
+        assert rules == {"RA105", "RA106", "RA108"}
+        helper_path = os.path.join("analysis", "helpers.py")
+        assert all(helper_path in v.location for v in found)
+
+    def test_chain_is_named_in_the_message(self):
+        found = hot_path_violations(self.project)
+        ra105 = next(v for v in found if v.rule == "RA105")
+        assert "sweep_skyband -> merge_candidates -> rank_filter" \
+            in ra105.message
+
+    def test_unreachable_function_with_same_patterns_clean(self):
+        found = hot_path_violations(self.project)
+        assert not any("offline_report" in v.message for v in found)
+
+    def test_analyze_paths_carries_project_findings(self):
+        result = analyze_paths([HOTPROJ])
+        assert {v.rule for v in result.violations} \
+            == {"RA105", "RA106", "RA108"}
+        # with project analysis off, the tree looks clean
+        result = analyze_paths([HOTPROJ], project=False)
+        assert result.violations == []
+
+
+class TestModuleModel:
+    def test_module_names_from_package_walk(self):
+        project = build_project([HOTPROJ])
+        assert "hotproj.core.skyband" in project.modules
+        assert "hotproj.analysis.helpers" in project.modules
+
+    def test_syntax_error_file_is_skipped_not_fatal(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        good = tmp_path / "fine.py"
+        good.write_text("__all__ = []\n\ndef f():\n    return 1\n")
+        project = build_project([str(tmp_path)])
+        assert "fine" in project.modules
+        assert "broken" not in project.modules

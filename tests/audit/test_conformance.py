@@ -1,0 +1,68 @@
+"""Tests for RA301 protocol conformance (`repro.audit.conformance`)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.audit.callgraph import build_project
+from repro.audit.conformance import conformance_violations
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+PROTO = os.path.join(FIXTURES, "proto")
+
+
+class TestProtocolDrift:
+    def setup_method(self):
+        self.found = conformance_violations(build_project([PROTO]))
+        self.by_subject = {}
+        for violation in self.found:
+            self.by_subject.setdefault(violation.subject, []).append(
+                violation
+            )
+
+    def test_exactly_the_planted_findings(self):
+        assert {v.rule for v in self.found} == {"RA301"}
+        assert len(self.found) == 5
+
+    def test_undeclared_op_missing_handler_and_encoder(self):
+        ghost = self.by_subject["ghost"]
+        assert len(ghost) == 2
+        messages = " | ".join(v.message for v in ghost)
+        assert "_op_ghost" in messages and "client encoder" in messages
+        assert all("protocol.py" in v.location for v in ghost)
+
+    def test_op_with_handler_but_no_encoder(self):
+        phantom = self.by_subject["phantom"]
+        assert len(phantom) == 1
+        assert "client encoder" in phantom[0].message
+
+    def test_handler_for_undeclared_op(self):
+        rogue = self.by_subject["rogue"]
+        assert len(rogue) == 1
+        assert "unreachable" in rogue[0].message
+        assert "server.py" in rogue[0].location
+
+    def test_client_encoding_undeclared_op(self):
+        undeclared = self.by_subject["undeclared"]
+        assert len(undeclared) == 1
+        assert "client.py" in undeclared[0].location
+
+    def test_fully_wired_ops_are_near_misses(self):
+        assert "ingest" not in self.by_subject
+        assert "snapshot" not in self.by_subject
+
+
+class TestConformanceScope:
+    def test_tree_without_protocol_module_is_silent(self, tmp_path):
+        module = tmp_path / "plain.py"
+        module.write_text("__all__ = []\n\ndef f():\n    return 1\n")
+        project = build_project([str(tmp_path)])
+        assert conformance_violations(project) == []
+
+    def test_shipped_serve_layer_conforms(self):
+        import repro
+
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        project = build_project([package_dir])
+        assert conformance_violations(project) == []

@@ -1,0 +1,298 @@
+"""Tests for strict/baseline gating, the JSON/SARIF emitters, stale
+suppression detection (RA109) and the single-source rule catalogue."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.audit.baseline import (
+    load_baseline,
+    partition_violations,
+    render_baseline,
+)
+from repro.audit.emit import to_json, to_sarif
+from repro.audit.lint import analyze_paths
+from repro.audit.rules import CATALOG, RULES, explain_rule, render_markdown
+from repro.cli import run_lint
+from repro.exceptions import ReproError
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+
+def write_module(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestSuppressionsAndStaleAllows:
+    def test_comma_separated_rule_list_suppresses_both(self, tmp_path):
+        write_module(
+            tmp_path, "core/hot.py",
+            """\
+            __all__ = []
+            import time
+
+            def f(items):
+                for item in items:
+                    if item in [1] and time.time():  # audit: allow[RA105,RA108] fixture needs both
+                        return item
+            """,
+        )
+        result = analyze_paths([str(tmp_path)])
+        assert result.violations == []
+        assert result.warnings == []  # both tags matched -> none stale
+
+    def test_stale_allow_becomes_ra109_warning(self, tmp_path):
+        write_module(
+            tmp_path, "plain.py",
+            """\
+            __all__ = []
+
+            def f(items=[]):  # audit: allow[RA102] shared sentinel list
+                return items  # audit: allow[RA105] nothing fires here
+            """,
+        )
+        result = analyze_paths([str(tmp_path)])
+        assert result.violations == []  # RA102 suppressed
+        assert [w.rule for w in result.warnings] == ["RA109"]
+        assert "RA105" in result.warnings[0].message
+
+    def test_allow_text_inside_docstring_is_inert(self, tmp_path):
+        write_module(
+            tmp_path, "docs_only.py",
+            '''\
+            __all__ = []
+
+            def f():
+                """Suppress with ``# audit: allow[RA105] reason``."""
+                return 1
+            ''',
+        )
+        result = analyze_paths([str(tmp_path)])
+        assert result.violations == []
+        assert result.warnings == []  # quoted tag neither fires nor rots
+
+    def test_suppression_applies_to_project_scope_findings(self, tmp_path):
+        write_module(
+            tmp_path, "svc.py",
+            """\
+            __all__ = []
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # audit: allow[RA201] startup path, loop not serving yet
+            """,
+        )
+        result = analyze_paths([str(tmp_path)])
+        assert result.violations == []
+        assert result.warnings == []
+
+
+class TestBaseline:
+    def make_violations(self, tmp_path):
+        write_module(
+            tmp_path, "bad.py",
+            """\
+            __all__ = []
+
+            def f(items=[]):
+                return items
+            """,
+        )
+        return analyze_paths([str(tmp_path)]).violations
+
+    def test_roundtrip_and_partition(self, tmp_path):
+        violations = self.make_violations(tmp_path)
+        assert [v.rule for v in violations] == ["RA102"]
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(render_baseline(violations))
+        keys = load_baseline(str(baseline_file))
+        new, grandfathered, unused = partition_violations(violations, keys)
+        assert new == [] and len(grandfathered) == 1 and unused == []
+
+    def test_line_shift_does_not_break_the_match(self, tmp_path):
+        violations = self.make_violations(tmp_path)
+        baseline_keys = {
+            (v.rule, v.location.rsplit(":", 2)[0].replace(os.sep, "/"),
+             v.message)
+            for v in violations
+        }
+        # same finding, different line -> still grandfathered
+        (tmp_path / "bad.py").write_text(
+            "__all__ = []\n\n\n\n\ndef f(items=[]):\n    return items\n"
+        )
+        shifted = analyze_paths([str(tmp_path)]).violations
+        new, grandfathered, _ = partition_violations(shifted, baseline_keys)
+        assert new == [] and len(grandfathered) == 1
+
+    def test_unused_entries_reported(self, tmp_path):
+        violations = self.make_violations(tmp_path)
+        keys = {("RA999", "gone.py", "never existed")}
+        new, _grandfathered, unused = partition_violations(violations, keys)
+        assert len(new) == 1
+        assert unused == [("RA999", "gone.py", "never existed")]
+
+    def test_missing_file_is_empty_and_garbage_raises(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == set()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_baseline(str(bad))
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"format": "something-else"}')
+        with pytest.raises(ReproError):
+            load_baseline(str(foreign))
+
+
+class TestEmitters:
+    def sample(self, tmp_path):
+        write_module(
+            tmp_path, "bad.py",
+            "__all__ = []\n\ndef f(items=[]):\n    return items\n",
+        )
+        return analyze_paths([str(tmp_path)])
+
+    def test_json_document(self, tmp_path):
+        result = self.sample(tmp_path)
+        document = json.loads(to_json(result.violations, result.warnings))
+        assert document["tool"] == "repro-lint"
+        assert document["violations"][0]["rule"] == "RA102"
+        assert document["violations"][0]["line"] == 3
+
+    def test_sarif_document(self, tmp_path):
+        result = self.sample(tmp_path)
+        document = json.loads(
+            to_sarif(result.violations, result.warnings,
+                     track_baseline=True)
+        )
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "RA102" in rule_ids
+        result0 = run["results"][0]
+        assert result0["ruleId"] == "RA102"
+        assert result0["baselineState"] == "new"
+        region = result0["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+
+class TestStrictCli:
+    def run(self, argv):
+        out = io.StringIO()
+        code = run_lint(argv, out)
+        return code, out.getvalue()
+
+    def test_write_baseline_then_strict_passes(self, tmp_path):
+        write_module(
+            tmp_path, "bad.py",
+            "__all__ = []\n\ndef f(items=[]):\n    return items\n",
+        )
+        baseline = tmp_path / "bl.json"
+        code, output = self.run([
+            str(tmp_path), "--write-baseline", "--baseline", str(baseline),
+        ])
+        assert code == 0 and "1 finding(s)" in output
+        code, output = self.run([
+            str(tmp_path), "--strict", "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "[baselined]" in output and "1 baselined" in output
+
+    def test_strict_fails_on_new_finding_only(self, tmp_path):
+        write_module(
+            tmp_path, "bad.py",
+            "__all__ = []\n\ndef f(items=[]):\n    return items\n",
+        )
+        baseline = tmp_path / "bl.json"
+        self.run([str(tmp_path), "--write-baseline",
+                  "--baseline", str(baseline)])
+        write_module(
+            tmp_path, "worse.py",
+            "__all__ = []\n\ndef g(extra={}):\n    return extra\n",
+        )
+        code, output = self.run([
+            str(tmp_path), "--strict", "--baseline", str(baseline),
+        ])
+        assert code == 1
+        assert "worse.py" in output
+
+    def test_non_strict_fails_on_any_finding(self, tmp_path):
+        write_module(
+            tmp_path, "bad.py",
+            "__all__ = []\n\ndef f(items=[]):\n    return items\n",
+        )
+        code, _ = self.run([str(tmp_path)])
+        assert code == 1
+
+    def test_sarif_out_file(self, tmp_path):
+        write_module(
+            tmp_path, "bad.py",
+            "__all__ = []\n\ndef f(items=[]):\n    return items\n",
+        )
+        out_file = tmp_path / "report.sarif"
+        code, output = self.run([
+            str(tmp_path), "--format", "sarif", "--out", str(out_file),
+        ])
+        assert code == 1 and str(out_file) in output
+        document = json.loads(out_file.read_text())
+        assert document["runs"][0]["results"][0]["ruleId"] == "RA102"
+
+    def test_explain_prints_rationale_and_example(self):
+        code, output = self.run(["--explain", "RA202"])
+        assert code == 0
+        assert "scheduling point" in output
+        assert "async def update" in output
+
+    def test_explain_unknown_rule_errors(self):
+        with pytest.raises(SystemExit):
+            self.run(["--explain", "RA999"])
+
+    def test_repo_is_clean_under_strict_with_empty_baseline(self):
+        src = os.path.join(REPO_ROOT, "src")
+        baseline = os.path.join(REPO_ROOT, ".audit-baseline.json")
+        assert load_baseline(baseline) == set()  # empty by policy
+        code, output = self.run([src, "--strict", "--baseline", baseline])
+        assert code == 0, output
+
+
+class TestSingleSourceOfTruth:
+    def test_every_rule_explained(self):
+        for rule in CATALOG:
+            text = explain_rule(rule.id)
+            assert text is not None
+            assert rule.id in text and "Example" in text and "Fix" in text
+
+    def test_rules_mapping_covers_all_families(self):
+        for rule_id in ("RA100", "RA109", "RA201", "RA202", "RA203",
+                        "RA204", "RA205", "RA301"):
+            assert rule_id in RULES
+
+    def test_docs_catalogue_matches_render_markdown(self):
+        docs_path = os.path.join(REPO_ROOT, "docs", "audit.md")
+        with open(docs_path, encoding="utf-8") as handle:
+            docs = handle.read()
+        begin, end = "<!-- RULES:BEGIN -->", "<!-- RULES:END -->"
+        assert begin in docs and end in docs
+        block = docs.split(begin, 1)[1].split(end, 1)[0].strip("\n")
+        assert block == render_markdown().strip("\n"), (
+            "docs/audit.md rule catalogue has drifted from "
+            "repro.audit.rules.render_markdown(); regenerate the block"
+        )
+
+    def test_audit_umbrella_lint_flag(self):
+        from repro.cli import run_audit
+
+        out = io.StringIO()
+        code = run_audit(["--steps", "40", "--window", "32", "--lint"], out)
+        assert code == 0
+        assert "lint:" in out.getvalue()
