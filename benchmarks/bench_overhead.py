@@ -26,6 +26,7 @@ import json
 import time
 
 from repro.bench.harness import PaperParameters, synthetic_rows, us_per
+from repro.bench.reporting import stamp_result
 from repro.core.monitor import TopKPairsMonitor
 from repro.obs import NULL_RECORDER, MetricsRecorder
 from repro.scoring.library import k_closest_pairs
@@ -84,6 +85,7 @@ def run_overhead():
         "disabled_overhead_pct": (t_null / t_enabled - 1.0) * 100.0,
         "hook_ns": _hook_micro_cost() * 1e9,
     }
+    stamp_result(result, suite="obs_overhead")
     with open(_OUTPUT, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")

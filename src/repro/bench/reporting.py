@@ -1,17 +1,63 @@
-"""Plain-text figure reporting for the benchmark harness.
+"""Reporting helpers for the benchmark harness: text figures and the
+``BENCH_*.json`` provenance stamp.
 
 Each benchmark regenerates one of the paper's figures as a series table:
 one row per x-value, one column per algorithm, values in the figure's unit
 (typically microseconds per object update or per query).  The tables are
 printed to stdout so ``pytest benchmarks/ --benchmark-only -s`` shows the
 paper-shaped output next to pytest-benchmark's own timing table.
+
+Every ``BENCH_*.json`` writer also funnels through :func:`stamp_result`,
+which records a ``schema_version`` and the emitting git revision — the
+two fields that make benchmark trajectories comparable across PRs (a
+number that moved means the code moved, not the file format).
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import subprocess
+from typing import Mapping, Optional, Sequence
 
-__all__ = ["format_figure", "print_figure"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "format_figure",
+    "git_revision",
+    "print_figure",
+    "stamp_result",
+]
+
+#: bumped whenever the shape of any BENCH_*.json payload changes
+#: incompatibly; trend tooling refuses to diff across versions.
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_revision() -> Optional[str]:
+    """The short git revision of the working tree, or ``None`` when git
+    (or a repository) is unavailable — results must still be writable
+    from a tarball checkout or an installed wheel."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10.0, check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    revision = proc.stdout.strip()
+    return revision if proc.returncode == 0 and revision else None
+
+
+def stamp_result(result: dict, *, suite: str) -> dict:
+    """Attach the provenance stamp to one benchmark payload (in place;
+    returned for chaining).
+
+    Adds ``schema_version``, ``suite`` and ``git_revision`` (``None``
+    outside a git checkout).  Existing keys are overwritten — a stale
+    stamp inherited from a loaded baseline would be worse than none.
+    """
+    result["schema_version"] = BENCH_SCHEMA_VERSION
+    result["suite"] = suite
+    result["git_revision"] = git_revision()
+    return result
 
 
 def format_figure(

@@ -26,6 +26,7 @@ import json
 from time import perf_counter
 
 from repro.bench.harness import SCALE, synthetic_rows
+from repro.bench.reporting import stamp_result
 from repro.serve.checkpoint import restore_server_monitor, save_checkpoint
 from repro.serve.client import ServeClient, apply_delta
 from repro.serve.server import BackgroundServer
@@ -94,7 +95,13 @@ def _bench_deltas(client: ServeClient, rows, k: int) -> dict:
         "ticks": len(rows),
         "delta_events": delta_events,
         "replay_consistent": replay_consistent,
+        # "samples" is the percentile population size: latencies are
+        # only collected on ticks that changed the subscriber's answer,
+        # so it is usually far below "ticks" — p99 over a handful of
+        # samples degenerates to the max (the reason delta_ticks
+        # defaults high enough for hundreds of samples at scale 1).
         "latency_us": {
+            "samples": len(latencies),
             "p50": _percentile(latencies, 0.50) * 1e6,
             "p99": _percentile(latencies, 0.99) * 1e6,
             "max": (latencies[-1] if latencies else 0.0) * 1e6,
@@ -132,7 +139,10 @@ def run_serve_bench(
     window = _scaled(512) if window is None else window
     k = 5 if k is None else k
     ingest_rows = _scaled(4096) if ingest_rows is None else ingest_rows
-    delta_ticks = _scaled(512) if delta_ticks is None else delta_ticks
+    # ~150 answer-changing deltas at scale 1 (the rate decays as the
+    # window saturates); the old 512 ticks produced ~20 samples,
+    # collapsing p99 into max.
+    delta_ticks = _scaled(4096) if delta_ticks is None else delta_ticks
     rows = synthetic_rows(ingest_rows + delta_ticks, d, seed=13)
     session = ServerMonitor(window, d)
     with BackgroundServer(session) as background:
@@ -158,6 +168,7 @@ def run_serve_bench(
 
 
 def write_serve_json(result: dict, path: str = DEFAULT_OUTPUT) -> str:
+    stamp_result(result, suite="serve")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -30,6 +30,7 @@ import json
 from time import perf_counter
 
 from repro.bench.harness import SCALE, PaperParameters, synthetic_rows
+from repro.bench.reporting import stamp_result
 from repro.core.monitor import TopKPairsMonitor
 from repro.obs import MetricsRecorder
 from repro.scoring.library import k_closest_pairs
@@ -213,6 +214,7 @@ def run_throughput(*, repeats: int = 3, k: int | None = None,
 
 
 def write_throughput_json(result: dict, path: str = DEFAULT_OUTPUT) -> str:
+    stamp_result(result, suite="throughput")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -29,12 +29,17 @@ Usage examples::
     # fast-path vs legacy maintenance throughput -> BENCH_throughput.json
     python -m repro bench throughput
 
-    # serve the monitor over TCP (NDJSON protocol, docs/serving.md)
-    python -m repro serve --window 1000 --columns 2 --port 7807
+    # serve the monitor over TCP (NDJSON protocol, docs/serving.md),
+    # with the telemetry HTTP sidecar on port 7808
+    python -m repro serve --window 1000 --columns 2 --port 7807 \
+        --obs-port 7808
 
     # talk to it: ingest a CSV, then watch a top-3 closest query live
     python -m repro client ingest --port 7807 --columns 2 data.csv
     python -m repro client watch --port 7807 --scoring closest --k 3
+
+    # pretty-print the server's live ingest ticks off the sidecar
+    python -m repro obs tail --port 7808
 
 Scoring functions: ``closest`` (s1), ``furthest`` (s2), ``similar`` (s3),
 ``dissimilar`` (s4), each over all ``--columns`` attributes.
@@ -65,12 +70,14 @@ __all__ = [
     "build_client_parser",
     "build_lint_parser",
     "build_obs_parser",
+    "build_obs_tail_parser",
     "build_serve_parser",
     "run_audit",
     "run_bench",
     "run_client",
     "run_lint",
     "run_obs",
+    "run_obs_tail",
     "run_serve",
 ]
 
@@ -541,9 +548,108 @@ def build_obs_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_obs_tail_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs tail",
+        description="Attach to a running server's telemetry sidecar "
+        "(repro serve --obs-port) and pretty-print its live ingest "
+        "ticks from the /ticks NDJSON stream.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="sidecar address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, required=True,
+                        help="sidecar port (the --obs-port value)")
+    parser.add_argument("--backlog", type=int, default=0,
+                        help="replay up to this many retained ticks "
+                        "before going live (default 0)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="exit after this many ticks "
+                        "(default: run until the server stops)")
+    parser.add_argument("--raw", action="store_true",
+                        help="print the NDJSON records verbatim instead "
+                        "of the human one-liners")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="connect timeout in seconds (default 10)")
+    return parser
+
+
+def _format_tick(record: dict) -> str:
+    parts = [
+        f"tick {record.get('tick', '?')}:",
+        f"rows={record.get('rows', '?')}",
+        f"deltas={record.get('deltas', '?')}",
+    ]
+    seconds = record.get("seconds")
+    if isinstance(seconds, (int, float)):
+        parts.append(f"{seconds * 1e3:.2f}ms")
+    trace = record.get("trace")
+    if trace:
+        parts.append(f"trace={trace}")
+    return " ".join(parts)
+
+
+def run_obs_tail(argv: Sequence[str],
+                 stdout: Optional[TextIO] = None) -> int:
+    """``python -m repro obs tail`` — live tick stream off the sidecar."""
+    import json
+    import socket
+
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_obs_tail_parser().parse_args(argv)
+    target = f"/ticks?backlog={max(0, args.backlog)}"
+    if args.limit is not None:
+        target += f"&limit={args.limit}"
+    try:
+        sock = socket.create_connection((args.host, args.port),
+                                        timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(
+            f"repro obs tail: cannot reach {args.host}:{args.port} "
+            f"({exc}); is the server running with --obs-port?"
+        ) from exc
+    seen = 0
+    try:
+        sock.sendall(
+            f"GET {target} HTTP/1.0\r\nHost: {args.host}\r\n\r\n"
+            .encode("latin-1")
+        )
+        # Live tailing blocks indefinitely between ticks by design; the
+        # timeout only guards the connect + handshake above.
+        sock.settimeout(None)
+        handle = sock.makefile("r", encoding="utf-8")
+        status = handle.readline().split()
+        if len(status) < 2 or status[1] != "200":
+            raise SystemExit(
+                f"repro obs tail: sidecar answered "
+                f"{' '.join(status) or 'nothing'}"
+            )
+        for line in handle:  # drain response headers
+            if line in ("\r\n", "\n"):
+                break
+        try:
+            for line in handle:
+                if not line.strip():
+                    continue
+                if args.raw:
+                    print(line.rstrip("\n"), file=stdout, flush=True)
+                else:
+                    print(_format_tick(json.loads(line)), file=stdout,
+                          flush=True)
+                seen += 1
+        except KeyboardInterrupt:
+            pass
+    finally:
+        sock.close()
+    print(f"tailed {seen} tick(s)", file=stdout)
+    return 0
+
+
 def run_obs(argv: Sequence[str],
             stdout: Optional[TextIO] = None) -> int:
-    """``python -m repro obs`` — instrumented synthetic run + export."""
+    """``python -m repro obs`` — instrumented synthetic run + export
+    (``obs tail`` attaches to a live sidecar instead)."""
+    if argv and argv[0] == "tail":
+        return run_obs_tail(list(argv[1:]), stdout)
     from repro.datasets.synthetic import make_stream
     from repro.obs import (
         MetricsRecorder,
@@ -655,6 +761,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         "verifier (slow; for debugging)")
     parser.add_argument("--metrics", default=None, metavar="OUT.json",
                         help="write a metrics registry snapshot on exit")
+    parser.add_argument("--obs-port", type=int, default=None,
+                        help="also serve the telemetry HTTP sidecar "
+                        "(/metrics, /healthz, /varz, /tracez, /ticks) on "
+                        "this port; 0 picks a free port and announces it "
+                        "(default: no sidecar)")
+    parser.add_argument("--obs-host", default="127.0.0.1",
+                        help="sidecar bind address (default 127.0.0.1)")
+    parser.add_argument("--trace-capacity", type=int, default=512,
+                        help="finished spans kept for /tracez; 0 disables "
+                        "request tracing entirely (default 512)")
+    parser.add_argument("--flight-dir", default=".", metavar="DIR",
+                        help="directory for flight-recorder JSONL dumps "
+                        "(default: working directory)")
+    parser.add_argument("--slow-tick-ms", type=float, default=None,
+                        help="dump the flight recorder when an ingest "
+                        "tick exceeds this many milliseconds "
+                        "(default: disabled)")
     return parser
 
 
@@ -663,6 +786,8 @@ def run_serve(argv: Sequence[str],
     """``python -m repro serve`` — run the server on the main thread."""
     import asyncio
 
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.spans import NULL_SPANS, SpanRecorder
     from repro.serve.checkpoint import restore_server_monitor, save_checkpoint
     from repro.serve.server import ServeServer
     from repro.serve.session import ServerMonitor
@@ -673,8 +798,22 @@ def run_serve(argv: Sequence[str],
         raise SystemExit(
             "--window >= 2, --columns >= 1 and --queue-depth >= 1 required"
         )
+    if args.trace_capacity < 0:
+        raise SystemExit("--trace-capacity >= 0 required")
+    spans = (SpanRecorder(args.trace_capacity)
+             if args.trace_capacity > 0 else NULL_SPANS)
+    flight = FlightRecorder(
+        dump_dir=args.flight_dir,
+        slow_tick_seconds=(args.slow_tick_ms / 1e3
+                           if args.slow_tick_ms is not None else None),
+    )
+    # Finished spans tee into the flight recorder so post-mortem dumps
+    # carry the request story, not just tick summaries.
+    if spans is not NULL_SPANS:
+        spans.sink = flight.record_span
     if args.restore is not None:
         session = restore_server_monitor(args.restore, audit=args.audit)
+        session.spans = spans
         if session.config["num_attributes"] != args.columns:
             raise SystemExit(
                 f"--columns {args.columns} does not match the checkpoint's "
@@ -683,12 +822,13 @@ def run_serve(argv: Sequence[str],
     else:
         session = ServerMonitor(
             args.window, args.columns, time_horizon=args.horizon,
-            strategy=args.strategy, audit=args.audit,
+            strategy=args.strategy, audit=args.audit, spans=spans,
         )
     server = ServeServer(
         session, host=args.host, port=args.port,
         backpressure=args.backpressure, queue_depth=args.queue_depth,
         checkpoint_dir=args.checkpoint_dir,
+        flight=flight, obs_port=args.obs_port, obs_host=args.obs_host,
     )
 
     async def serve() -> None:
@@ -698,6 +838,10 @@ def run_serve(argv: Sequence[str],
         # for this line before connecting).
         print(f"repro serve: listening on {server.host}:{server.port}",
               file=stdout, flush=True)
+        if server.obs is not None:
+            print(f"repro serve: telemetry on "
+                  f"http://{server.obs.host}:{server.obs.port}",
+                  file=stdout, flush=True)
         await server.serve_until_stopped()
 
     try:

@@ -20,7 +20,16 @@ The paper's whole argument is quantitative: the K-skyband stays near the
   :class:`Counters` (moved here from ``repro.analysis.cost_model``,
   which remains a compatibility shim);
 * :mod:`repro.obs.export` — exporters: Prometheus text exposition,
-  JSON-lines tick stream, CSV, and JSON registry snapshots.
+  JSON-lines tick stream, CSV, and JSON registry snapshots;
+* :mod:`repro.obs.spans` — request-level span tracing: client-minted
+  trace ids carried through the serving layer, recorded into a bounded
+  :class:`SpanRecorder` ring (null-object twin :data:`NULL_SPANS`);
+* :mod:`repro.obs.flight` — the :class:`FlightRecorder` post-mortem
+  ring (spans + ticks + error frames) with triggered JSONL dumps, and
+  the :class:`RingLog` cursor-addressed bounded log under it;
+* :mod:`repro.obs.httpd` — the stdlib asyncio HTTP sidecar serving
+  ``/metrics``, ``/healthz``, ``/varz``, ``/tracez`` and ``/ticks``
+  (``repro serve --obs-port``).
 
 Usage::
 
@@ -37,6 +46,7 @@ Metric catalogue and exporter formats: ``docs/observability.md``.
 """
 
 from repro.obs.cost_model import Counters, CountingScoringFunction
+from repro.obs.flight import FlightRecorder, RingLog
 from repro.obs.export import (
     registry_to_json,
     to_prometheus,
@@ -52,12 +62,21 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.httpd import PROMETHEUS_CONTENT_TYPE, ObsHTTPServer
 from repro.obs.recorder import (
     NULL_RECORDER,
     MetricsRecorder,
     NullRecorder,
     Timer,
     timed,
+)
+from repro.obs.spans import (
+    NULL_SPANS,
+    NullSpanRecorder,
+    Span,
+    SpanRecorder,
+    new_span_id,
+    new_trace_id,
 )
 from repro.obs.trace import PHASES, TickEvent, TraceRecorder
 
@@ -67,16 +86,26 @@ __all__ = [
     "CountingScoringFunction",
     "DEFAULT_SECONDS_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRecorder",
     "MetricsRegistry",
     "NULL_RECORDER",
+    "NULL_SPANS",
     "NullRecorder",
+    "NullSpanRecorder",
+    "ObsHTTPServer",
     "PHASES",
+    "PROMETHEUS_CONTENT_TYPE",
+    "RingLog",
+    "Span",
+    "SpanRecorder",
     "TickEvent",
     "Timer",
     "TraceRecorder",
+    "new_span_id",
+    "new_trace_id",
     "registry_to_json",
     "timed",
     "to_prometheus",

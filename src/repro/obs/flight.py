@@ -1,0 +1,199 @@
+"""The flight recorder: a bounded ring of recent telemetry, dumped on
+trouble.
+
+Production post-mortems need the moments *before* the failure, not the
+steady state after it.  A :class:`FlightRecorder` keeps the last
+``capacity`` telemetry records — finished spans, per-ingest tick
+summaries, structured error frames — in a ring buffer, and writes them
+out as one JSONL file when something goes wrong:
+
+* the serving layer answers a request with a **structured error frame**;
+* an ingest **tick exceeds the slow-tick threshold**;
+* the operator sends **SIGUSR2** to a running ``repro serve``.
+
+Dumps are rate-limited (``min_dump_interval`` seconds, monotonic clock)
+so an error storm produces one post-mortem file, not thousands; file
+names carry a process-local counter plus the trigger reason
+(``flight-0001-slow_tick.jsonl``), never a wall-clock stamp (RA108).
+
+:class:`RingLog` is the underlying bounded sequence-numbered log; the
+HTTP sidecar reuses it for the ``/ticks`` live stream, where the
+sequence numbers give cheap resumable cursors.
+
+The recorder itself is synchronous and allocation-light; the *dump* path
+does blocking file I/O, so async callers (the serve event loop) must run
+:meth:`dump` through ``loop.run_in_executor`` — exactly like checkpoint
+writes (see ``ServeServer._write_flight_dump``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from time import perf_counter
+from typing import IO, Optional, Union
+
+__all__ = ["FlightRecorder", "RingLog"]
+
+
+class RingLog:
+    """A bounded log of JSON-able records with absolute sequence numbers.
+
+    Appends are O(1); :meth:`since` returns every retained record newer
+    than a cursor plus the new cursor, so pollers resume exactly where
+    they left off even after the ring evicted older entries.
+    """
+
+    __slots__ = ("_records", "_seq")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._records: deque[tuple[int, dict]] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def append(self, record: dict) -> int:
+        """Append one record; returns its sequence number (1-based)."""
+        self._seq += 1
+        self._records.append((self._seq, record))
+        return self._seq
+
+    @property
+    def seq(self) -> int:
+        """The newest sequence number (0 when nothing was appended)."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def since(self, cursor: int) -> tuple[list[dict], int]:
+        """``(records newer than cursor, newest seq)`` — poll + resume.
+
+        ``list()`` snapshots the deque atomically first, so a reader on
+        another thread never races an append mid-iteration.
+        """
+        items = list(self._records)
+        return [record for seq, record in items if seq > cursor], self._seq
+
+    def snapshot(self) -> list[dict]:
+        """Every retained record, oldest first."""
+        return [record for _seq, record in list(self._records)]
+
+
+class FlightRecorder:
+    """Bounded telemetry ring with triggered JSONL dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Records retained (spans + ticks + errors share one ring).
+    dump_dir:
+        Directory dump files are minted in (created on first dump).
+    slow_tick_seconds:
+        Ingest ticks slower than this should trigger a dump (the serve
+        layer compares and calls :meth:`plan_dump`); ``None`` disables.
+    min_dump_interval:
+        Monotonic seconds between dumps; triggers inside the window are
+        counted (``dumps_suppressed``) but write nothing.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        *,
+        dump_dir: str = ".",
+        slow_tick_seconds: Optional[float] = None,
+        min_dump_interval: float = 5.0,
+    ) -> None:
+        self.ring = RingLog(capacity)
+        self.dump_dir = dump_dir
+        self.slow_tick_seconds = slow_tick_seconds
+        self.min_dump_interval = min_dump_interval
+        self.dumps_written = 0
+        self.dumps_suppressed = 0
+        self._dump_counter = 0
+        self._last_dump_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_span(self, span: dict) -> None:
+        """Record one finished span dict (the ``SpanRecorder.sink``
+        hook)."""
+        self.ring.append({"kind": "span", **span})
+
+    def record_tick(self, tick: dict) -> None:
+        """Record one per-ingest tick summary."""
+        self.ring.append({"kind": "tick", **tick})
+
+    def record_error(self, code: str, message: str,
+                     op: Optional[str] = None,
+                     peer: Optional[str] = None) -> None:
+        """Record one structured error frame the server sent."""
+        record: dict = {"kind": "error", "code": code, "message": message}
+        if op is not None:
+            record["op"] = op
+        if peer is not None:
+            record["peer"] = peer
+        self.ring.append(record)
+
+    def is_slow_tick(self, seconds: float) -> bool:
+        """Whether one tick's duration crosses the slow-tick threshold."""
+        return (self.slow_tick_seconds is not None
+                and seconds > self.slow_tick_seconds)
+
+    # ------------------------------------------------------------------
+    # dumping
+    # ------------------------------------------------------------------
+    def plan_dump(self, reason: str, *, force: bool = False) -> Optional[str]:
+        """Mint the next dump path, or ``None`` when rate-limited.
+
+        Splitting *planning* (synchronous, cheap) from *writing*
+        (:meth:`dump`, blocking I/O) lets the event loop reserve the
+        dump slot immediately and push the file write to an executor.
+        ``force`` skips the rate limit — operator-triggered dumps
+        (SIGUSR2) must never be swallowed by an earlier automatic one.
+        """
+        now = perf_counter()
+        if not force and self._last_dump_at is not None \
+                and now - self._last_dump_at < self.min_dump_interval:
+            self.dumps_suppressed += 1
+            return None
+        self._last_dump_at = now
+        self._dump_counter += 1
+        return os.path.join(
+            self.dump_dir, f"flight-{self._dump_counter:04d}-{reason}.jsonl"
+        )
+
+    def dump(self, path_or_handle: Union[str, IO[str]],
+             reason: str = "manual") -> int:
+        """Write the ring as JSONL (header record first); returns the
+        record count written (excluding the header).
+
+        Blocking file I/O — run through an executor from async code.
+        """
+        records = self.ring.snapshot()
+        header = {
+            "kind": "flight_dump",
+            "reason": reason,
+            "records": len(records),
+            "newest_seq": self.ring.seq,
+        }
+        if hasattr(path_or_handle, "write"):
+            self._write(path_or_handle, header, records)
+        else:
+            directory = os.path.dirname(path_or_handle)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(path_or_handle, "w", encoding="utf-8") as handle:
+                self._write(handle, header, records)
+        self.dumps_written += 1
+        return len(records)
+
+    @staticmethod
+    def _write(handle: IO[str], header: dict, records: list[dict]) -> None:
+        handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()

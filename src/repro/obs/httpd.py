@@ -1,0 +1,283 @@
+"""The telemetry HTTP sidecar: ``/metrics``, ``/healthz``, ``/varz``,
+``/tracez``, ``/ticks``.
+
+A tiny stdlib-only asyncio HTTP server that runs *next to* the NDJSON
+serving port (``repro serve --obs-port``) and exposes the process's
+observability surfaces over plain GET:
+
+============  =======================================================
+``/metrics``  the :class:`~repro.obs.metrics.MetricsRegistry` in
+              Prometheus text exposition format (scrape-ready)
+``/healthz``  liveness JSON — window occupancy, last-tick age,
+              subscriber count — from a caller-supplied probe
+``/varz``     the full registry snapshot as JSON
+``/tracez``   recent finished spans (``?trace=<id>`` filters to one
+              trace, ``?limit=N`` bounds the count)
+``/ticks``    live NDJSON stream of per-ingest tick summaries from a
+              :class:`~repro.obs.flight.RingLog` (``?backlog=M``
+              replays up to M retained records first, ``?limit=N``
+              closes the stream after N records — handy for one-shot
+              tools like ``repro obs tail --limit 5``)
+============  =======================================================
+
+Deliberately *not* a web framework: HTTP/1.0 semantics, GET only, one
+request per connection, ``Connection: close``.  That keeps the whole
+parser at a readline plus a header drain, and means ``stop()`` never
+waits on an idle keep-alive socket.  The only long-lived handler is
+``/ticks``, whose poll loop re-checks the server's stopping flag every
+``poll_interval`` seconds, so shutdown is bounded too.
+
+Everything served here is a synchronous snapshot of process-local state
+(registry, span ring, tick ring) — handlers never touch files, never
+block, and never mutate server state, so they are safe under the
+project's async lint rules (RA201/RA202) without locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.export import registry_to_json, to_prometheus
+from repro.obs.flight import FlightRecorder, RingLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_SPANS
+
+__all__ = ["ObsHTTPServer", "PROMETHEUS_CONTENT_TYPE"]
+
+#: the content type Prometheus scrapers expect from a text endpoint
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_JSON = "application/json; charset=utf-8"
+
+
+def _json_body(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _first_int(params: dict, key: str, default: int) -> int:
+    values = params.get(key)
+    if not values:
+        return default
+    try:
+        return int(values[0])
+    except ValueError:
+        return default
+
+
+class ObsHTTPServer:
+    """The sidecar server.  All knobs are optional: a surface whose
+    backing object was not supplied serves an empty-but-valid response,
+    so the sidecar composes with any subset of the obs stack.
+
+    Parameters
+    ----------
+    registry:
+        Metrics for ``/metrics`` and ``/varz``.
+    spans:
+        Span recorder for ``/tracez`` (default: the null recorder).
+    flight:
+        Flight recorder; surfaced in ``/healthz`` (dump counters).
+    ticks:
+        Ring log of tick summaries streamed by ``/ticks``.
+    health:
+        Zero-arg callable returning a JSON-able dict merged into
+        ``/healthz`` — the serve layer passes a probe reporting window
+        occupancy, last-tick age and subscriber count.  Must be cheap
+        and synchronous; it runs on the event loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        spans=None,
+        flight: Optional[FlightRecorder] = None,
+        ticks: Optional[RingLog] = None,
+        health: Optional[Callable[[], dict]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = 5.0,
+        poll_interval: float = 0.1,
+    ) -> None:
+        self.registry = registry
+        self.spans = spans if spans is not None else NULL_SPANS
+        self.flight = flight
+        self.ticks = ticks
+        self.health = health
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.poll_interval = poll_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and start serving; returns the resolved port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop accepting and wind down live handlers.
+
+        Setting the stopping flag first lets any open ``/ticks`` stream
+        notice within one poll interval, so ``wait_closed()`` (which on
+        Python 3.12 waits for handler tasks) terminates promptly.
+        """
+        self._stopping = True
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readline(), self.request_timeout
+            )
+            parts = request.decode("latin-1", "replace").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0], parts[1]
+            # Drain headers; HTTP/1.0 + Connection: close means we never
+            # need their contents.
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), self.request_timeout
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            split = urlsplit(target)
+            params = parse_qs(split.query)
+            if method != "GET":
+                await self._send(
+                    writer, 405, _JSON,
+                    _json_body({"error": "method_not_allowed"}),
+                )
+            elif split.path == "/ticks":
+                await self._stream_ticks(writer, params)
+            else:
+                status, ctype, body = self._render(split.path, params)
+                await self._send(writer, status, ctype, body)
+        except (ConnectionError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _render(self, path: str, params: dict) -> tuple[int, str, bytes]:
+        """Route one non-streaming GET to ``(status, ctype, body)``."""
+        try:
+            if path == "/metrics":
+                text = (to_prometheus(self.registry)
+                        if self.registry is not None else "")
+                return 200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8")
+            if path == "/healthz":
+                return 200, _JSON, _json_body(self._healthz())
+            if path == "/varz":
+                payload = (registry_to_json(self.registry)
+                           if self.registry is not None
+                           else {"metrics": {}})
+                return 200, _JSON, _json_body(payload)
+            if path == "/tracez":
+                return 200, _JSON, _json_body(self._tracez(params))
+            return 404, _JSON, _json_body(
+                {"error": "not_found", "path": path}
+            )
+        except Exception as exc:
+            return 500, _JSON, _json_body(
+                {"error": "internal", "type": type(exc).__name__,
+                 "message": str(exc)}
+            )
+
+    def _healthz(self) -> dict:
+        payload: dict = {"status": "ok"}
+        if self.health is not None:
+            payload.update(self.health())
+        if self.flight is not None:
+            payload["flight"] = {
+                "records": len(self.flight.ring),
+                "dumps_written": self.flight.dumps_written,
+                "dumps_suppressed": self.flight.dumps_suppressed,
+            }
+        return payload
+
+    def _tracez(self, params: dict) -> dict:
+        limit = _first_int(params, "limit", 64)
+        traces = params.get("trace")
+        if traces:
+            spans = self.spans.for_trace(traces[0])
+        else:
+            spans = self.spans.recent(limit)
+        return {
+            "spans": spans,
+            "finished_total": self.spans.finished_total,
+            "enabled": bool(self.spans.enabled),
+        }
+
+    async def _stream_ticks(self, writer: asyncio.StreamWriter,
+                            params: dict) -> None:
+        """NDJSON-stream tick records until limit, disconnect or stop."""
+        writer.write(
+            b"HTTP/1.0 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        ring = self.ticks
+        if ring is None:
+            return
+        limit = _first_int(params, "limit", 0)
+        backlog = _first_int(params, "backlog", 0)
+        cursor = max(0, ring.seq - max(0, backlog))
+        sent = 0
+        while not self._stopping:
+            records, cursor = ring.since(cursor)
+            for record in records:
+                writer.write(
+                    json.dumps(record, separators=(",", ":"))
+                    .encode("utf-8") + b"\n"
+                )
+                sent += 1
+                if limit and sent >= limit:
+                    break
+            if records:
+                await writer.drain()
+            if limit and sent >= limit:
+                return
+            await asyncio.sleep(self.poll_interval)
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, status: int,
+                    ctype: str, body: bytes) -> None:
+        reason = {200: "OK", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "Error")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()

@@ -1,0 +1,253 @@
+"""Lightweight span tracing for request-level observability.
+
+A *span* is one named, timed operation; spans sharing a **trace id** form
+the story of one request — the tracing substrate the serving layer uses
+to follow a single ingest frame from the client, through the server op
+handler and the engine tick, to every subscriber delta it produced
+(docs/serving.md walks one trace end to end).
+
+Design constraints, in order:
+
+* **monotonic clocks only** — span timestamps are
+  :func:`time.perf_counter` offsets, never wall-clock time (lint rule
+  RA108: wall time is NTP-slewed and coarse on some platforms).  Span
+  ``start`` values are therefore only comparable within one process;
+  cross-process correlation happens through the trace id, not the clock;
+* **near-zero disabled cost** — like
+  :class:`~repro.obs.recorder.NullRecorder`, the shared
+  :data:`NULL_SPANS` recorder pins ``enabled = False`` as a class
+  attribute and hands out one shared no-op span, so an untraced hot path
+  pays a single attribute check;
+* **bounded memory** — finished spans land in a ring buffer
+  (``capacity`` most recent); a long-lived server can trace forever
+  without growing.
+
+Trace and span ids are opaque lowercase-hex strings.  Ids are *minted at
+the client* (:func:`new_trace_id`) and carried in the optional ``trace``
+field of serve frames; the server never invents a trace id for a request
+that did not ask to be traced.
+
+Usage::
+
+    spans = SpanRecorder(capacity=512)
+    with spans.span("op:ingest", trace=trace_id, peer="10.0.0.7:4242"):
+        ...handle the frame...
+    spans.for_trace(trace_id)   # -> [span dict, ...]
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from time import perf_counter
+from typing import Callable, Optional
+
+__all__ = [
+    "NULL_SPANS",
+    "NullSpanRecorder",
+    "Span",
+    "SpanRecorder",
+    "new_span_id",
+    "new_trace_id",
+]
+
+#: process-local id source; independence across processes comes from the
+#: interpreter seeding :mod:`random` from OS entropy at startup.
+_IDS = random.Random()
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id (16 hex chars), minted client-side."""
+    return f"{_IDS.getrandbits(64):016x}"
+
+
+def new_span_id() -> str:
+    """A fresh 32-bit span id (8 hex chars)."""
+    return f"{_IDS.getrandbits(32):08x}"
+
+
+class Span:
+    """One named, timed operation (usually used as a context manager).
+
+    ``start`` is a :func:`time.perf_counter` offset; ``seconds`` is
+    ``None`` until :meth:`finish` (or ``__exit__``) closes the span,
+    which also records it into the owning :class:`SpanRecorder`.
+    Finishing twice is a no-op, so ``with`` blocks and explicit
+    :meth:`finish` calls compose safely.
+    """
+
+    __slots__ = ("name", "trace", "span_id", "parent", "start", "seconds",
+                 "attrs", "_recorder")
+
+    def __init__(
+        self,
+        recorder: Optional["SpanRecorder"],
+        name: str,
+        trace: Optional[str],
+        parent: Optional[str],
+        attrs: dict,
+    ) -> None:
+        self.name = name
+        self.trace = trace
+        self.span_id = new_span_id()
+        self.parent = parent
+        self.attrs = attrs
+        self.seconds: Optional[float] = None
+        self._recorder = recorder
+        self.start = perf_counter()
+
+    def finish(self) -> "Span":
+        """Close the span (idempotent) and record it."""
+        if self.seconds is None:
+            self.seconds = perf_counter() - self.start
+            if self._recorder is not None:
+                self._recorder._record(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs = dict(self.attrs)
+            self.attrs["error"] = exc_type.__name__
+        self.finish()
+        return False
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-able view (the shape ``/tracez`` and dumps ship)."""
+        record: dict[str, object] = {
+            "name": self.name,
+            "trace": self.trace,
+            "span": self.span_id,
+            "parent": self.parent,
+            "start": self.start,
+            "seconds": self.seconds,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def __repr__(self) -> str:
+        state = f"{self.seconds * 1e6:.0f}us" if self.seconds is not None \
+            else "open"
+        return f"Span({self.name!r}, trace={self.trace!r}, {state})"
+
+
+class SpanRecorder:
+    """Bounded ring buffer of finished spans.
+
+    Parameters
+    ----------
+    capacity:
+        Most-recent finished spans to keep.
+    sink:
+        Optional callable receiving each finished span's
+        :meth:`Span.to_dict` — the hook the serve layer uses to tee
+        spans into the flight recorder.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 512,
+                 sink: Optional[Callable[[dict], None]] = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.sink = sink
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._finished = 0
+
+    def span(self, name: str, *, trace: Optional[str] = None,
+             parent: Optional[str] = None, **attrs) -> Span:
+        """Open a new span (finish it to record it)."""
+        return Span(self, name, trace, parent, attrs)
+
+    def _record(self, span: Span) -> None:
+        self._spans.append(span)
+        self._finished += 1
+        if self.sink is not None:
+            self.sink(span.to_dict())
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def finished_total(self) -> int:
+        """Spans finished over the recorder's lifetime (ring or not)."""
+        return self._finished
+
+    def recent(self, limit: Optional[int] = None) -> list[dict]:
+        """The most recent finished spans, newest first."""
+        # list() snapshots the deque atomically, so concurrent appends
+        # from the serving thread never invalidate the iteration.
+        spans = list(self._spans)
+        spans.reverse()
+        if limit is not None:
+            spans = spans[:limit]
+        return [span.to_dict() for span in spans]
+
+    def for_trace(self, trace_id: str) -> list[dict]:
+        """Every retained span of one trace, oldest first."""
+        return [span.to_dict() for span in list(self._spans)
+                if span.trace == trace_id]
+
+
+class _NullSpan:
+    """The shared do-nothing span :data:`NULL_SPANS` hands out."""
+
+    __slots__ = ()
+
+    name = ""
+    trace = None
+    span_id = ""
+    parent = None
+    start = 0.0
+    seconds = 0.0
+    attrs: dict = {}
+
+    def finish(self) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def to_dict(self) -> dict[str, object]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullSpanRecorder:
+    """The disabled recorder: one attribute check, no allocation."""
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    sink = None
+    finished_total = 0
+
+    def span(self, name: str, *, trace: Optional[str] = None,
+             parent: Optional[str] = None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __len__(self) -> int:
+        return 0
+
+    def recent(self, limit: Optional[int] = None) -> list[dict]:
+        return []
+
+    def for_trace(self, trace_id: str) -> list[dict]:
+        return []
+
+
+#: the process-wide shared no-op span recorder (stateless, safe to share)
+NULL_SPANS = NullSpanRecorder()

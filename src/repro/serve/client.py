@@ -187,11 +187,21 @@ class ServeClient:
         rows: Sequence[Sequence[float]],
         *,
         timestamps: Optional[Sequence[float]] = None,
+        trace: Optional[str] = None,
     ) -> dict:
-        """Admit rows; the ack reports exactly how many were ingested."""
+        """Admit rows; the ack reports exactly how many were ingested.
+
+        Pass a ``trace`` id (mint one with
+        :func:`repro.obs.spans.new_trace_id`) to follow this batch end
+        to end: the server runs the op and tick under spans carrying the
+        id, stamps it onto every delta the batch produced, and echoes it
+        in the ack — then ``/tracez?trace=<id>`` on the sidecar shows
+        the whole story.
+        """
         return self.request(
             "ingest", rows=[list(row) for row in rows],
             timestamps=list(timestamps) if timestamps is not None else None,
+            trace=trace,
         )
 
     def register(self, scoring: str, k: int,

@@ -17,6 +17,13 @@ frame per line.  Three frame shapes travel over a connection:
   in sync without re-shipping the full top-k every tick (the
   delta-based protocol of Mäcker et al., see PAPERS.md).
 
+Any request may additionally carry an optional ``trace`` field — an
+opaque client-minted id string (see :func:`repro.obs.spans.new_trace_id`)
+propagated end to end: the server opens an ``op:<name>`` span under it,
+the ingest tick runs under it, every delta event the tick produced
+carries it, and the ingest ack echoes it back.  :func:`trace_of`
+validates the field; untraced frames (the default) pay nothing.
+
 Pairs cross the wire via :func:`pair_to_wire` — a deterministic dict
 (sequence numbers, score, attribute values) so two servers holding the
 same window produce byte-identical serializations.
@@ -33,6 +40,7 @@ from repro.exceptions import ProtocolError
 __all__ = [
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
+    "MAX_TRACE_ID_CHARS",
     "OPS",
     "PROTOCOL_VERSION",
     "decode_frame",
@@ -40,6 +48,7 @@ __all__ = [
     "error_frame",
     "ok_frame",
     "pair_to_wire",
+    "trace_of",
 ]
 
 #: bumped on every incompatible wire change; the ``hello`` event and
@@ -51,6 +60,10 @@ PROTOCOL_VERSION = 1
 #: answered with ``frame_too_large`` and the connection is closed, since
 #: the stream can no longer be resynchronized).
 MAX_FRAME_BYTES = 1 << 20
+
+#: trace ids are opaque, but unbounded ones would let a client bloat
+#: every span record and delta frame the server emits.
+MAX_TRACE_ID_CHARS = 64
 
 #: the request operations the server understands.
 OPS = (
@@ -101,6 +114,27 @@ def decode_frame(line: bytes) -> dict:
             f"frame must be a JSON object, got {type(payload).__name__}",
         )
     return payload
+
+
+def trace_of(frame: dict) -> Optional[str]:
+    """The request's validated ``trace`` id, or ``None`` when untraced.
+
+    Raises ``bad_request`` for a non-string or oversized id — a frame
+    that *tried* to trace deserves a loud failure, not silent dropping.
+    """
+    trace = frame.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, str) or not trace:
+        raise ProtocolError(
+            "bad_request", "'trace' must be a non-empty string"
+        )
+    if len(trace) > MAX_TRACE_ID_CHARS:
+        raise ProtocolError(
+            "bad_request",
+            f"'trace' exceeds {MAX_TRACE_ID_CHARS} characters",
+        )
+    return trace
 
 
 def ok_frame(op: str, request_id=None, **payload) -> dict:

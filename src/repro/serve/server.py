@@ -19,9 +19,26 @@ any number of clients.  Design points:
   acceptor, flush every event queue, send a ``bye`` event and close;
   an optional checkpoint-on-exit persists the window on the way down;
 * **observability** — connection/frame/error counters, delta fan-out
-  and drop counters, queue-depth gauge and checkpoint timings, all in a
+  and drop counters, per-op latency histograms, per-subscriber
+  queue-depth/drop/lag series and checkpoint timings, all in a
   :class:`~repro.obs.metrics.MetricsRegistry` (shareable with the
-  monitor's recorder, exported via the ``stats`` op).
+  monitor's recorder, exported via the ``stats`` op and the HTTP
+  sidecar);
+* **request tracing** — a frame carrying a ``trace`` id runs its op
+  handler under an ``op:<name>`` span, its ingest tick under a ``tick``
+  span, and stamps the id onto every delta it caused (the end-to-end
+  story ``/tracez`` tells; see docs/serving.md);
+* **flight recorder + sidecar** — recent spans, tick summaries and
+  error frames land in a :class:`~repro.obs.flight.FlightRecorder` that
+  dumps JSONL on error frames, slow ticks and SIGUSR2; an optional
+  :class:`~repro.obs.httpd.ObsHTTPServer` (``--obs-port``) serves
+  ``/metrics``, ``/healthz``, ``/varz``, ``/tracez`` and ``/ticks`` on
+  the same event loop.
+
+Per-subscriber metric series are labelled by peer address; children are
+kept for the registry's lifetime, so the label cardinality equals the
+number of distinct peers seen — fine for the single-digit-subscriber
+deployments this layer targets, revisit before multi-tenancy.
 """
 
 from __future__ import annotations
@@ -34,7 +51,10 @@ from time import perf_counter
 from typing import Optional
 
 from repro.exceptions import ProtocolError, ReproError
+from repro.obs.flight import FlightRecorder, RingLog
+from repro.obs.httpd import ObsHTTPServer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_SPANS
 from repro.serve import checkpoint as checkpoint_module
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
@@ -45,6 +65,7 @@ from repro.serve.protocol import (
     error_frame,
     ok_frame,
     pair_to_wire,
+    trace_of,
 )
 from repro.serve.session import ServerMonitor
 
@@ -89,6 +110,11 @@ class ServeServer:
         max_frame_bytes: int = MAX_FRAME_BYTES,
         checkpoint_dir: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        spans=None,
+        flight: Optional[FlightRecorder] = None,
+        obs_port: Optional[int] = None,
+        obs_host: str = "127.0.0.1",
+        ticks_capacity: int = 256,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ProtocolError(
@@ -107,6 +133,19 @@ class ServeServer:
         self.queue_depth = queue_depth
         self.max_frame_bytes = max_frame_bytes
         self.checkpoint_dir = checkpoint_dir
+        # The session's span recorder is adopted when no explicit one is
+        # given, so op spans and engine tick spans share a single ring
+        # (never test recorder truthiness — an *empty* ring is falsy).
+        if spans is None:
+            spans = getattr(session, "spans", None)
+        self.spans = spans if spans is not None else NULL_SPANS
+        self.flight = flight
+        self.obs_port = obs_port
+        self.obs_host = obs_host
+        self.obs: Optional[ObsHTTPServer] = None
+        #: recent per-ingest tick summaries (the ``/ticks`` stream)
+        self.ticks = RingLog(ticks_capacity)
+        self._last_tick_at: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[_Connection] = set()
         self._subscribers: dict[str, set[_Connection]] = {}
@@ -161,6 +200,26 @@ class ServeServer:
             "background tasks (pumps, shutdown) that died on an "
             "unhandled exception",
         )
+        self._m_op_seconds = r.histogram(
+            "repro_serve_op_seconds",
+            "request handling seconds, by op (validation to response)",
+            labelnames=("op",),
+        )
+        self._m_sub_queue = r.gauge(
+            "repro_serve_subscriber_queue_depth",
+            "event-queue depth per subscriber at the last fan-out",
+            labelnames=("peer",),
+        )
+        self._m_sub_drops = r.counter(
+            "repro_serve_subscriber_dropped_total",
+            "delta events dropped per subscriber (drop policy)",
+            labelnames=("peer",),
+        )
+        self._m_sub_lagged = r.gauge(
+            "repro_serve_subscriber_lagged_queries",
+            "queries currently marked lagged per subscriber",
+            labelnames=("peer",),
+        )
 
     # ------------------------------------------------------------------
     # background tasks
@@ -186,12 +245,28 @@ class ServeServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind and start accepting; resolves :attr:`port` when 0."""
+        """Bind and start accepting; resolves :attr:`port` when 0.
+
+        When :attr:`obs_port` is set the telemetry HTTP sidecar starts
+        on the same event loop, sharing the server's registry, span
+        ring, flight recorder and tick log.
+        """
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,
             limit=self.max_frame_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.obs_port is not None:
+            self.obs = ObsHTTPServer(
+                registry=self.registry,
+                spans=self.spans,
+                flight=self.flight,
+                ticks=self.ticks,
+                health=self._health_probe,
+                host=self.obs_host,
+                port=self.obs_port,
+            )
+            self.obs_port = await self.obs.start()
 
     async def serve_until_stopped(self) -> None:
         """Run until :meth:`stop` completes (signal, op, or caller)."""
@@ -210,6 +285,17 @@ class ServeServer:
                 )
             except (NotImplementedError, RuntimeError):
                 return
+        # SIGUSR2 = operator-requested flight dump (forced past the rate
+        # limit); absent on platforms without user signals.
+        sigusr2 = getattr(signal, "SIGUSR2", None)
+        if sigusr2 is not None and self.flight is not None:
+            try:
+                loop.add_signal_handler(
+                    sigusr2,
+                    lambda: self._maybe_dump("sigusr2", force=True),
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
 
     async def stop(self) -> None:
         """Drain and shut down: stop accepting, flush every subscriber
@@ -224,6 +310,8 @@ class ServeServer:
         bye = encode_frame({"event": "bye", "reason": "shutdown"})
         for conn in list(self._connections):
             await self._close_connection(conn, farewell=bye)
+        if self.obs is not None:
+            await self.obs.stop()
         self._stopped.set()
 
     async def _close_connection(self, conn: _Connection,
@@ -328,20 +416,40 @@ class ServeServer:
             return
         self._m_frames.labels(op).inc()
         handler = getattr(self, f"_op_{op}")
+        span = None
+        if self.spans.enabled:
+            trace = frame.get("trace")
+            if isinstance(trace, str) and trace:
+                # The op span opens even for a trace id the handler will
+                # later reject — a failed traced request must still show
+                # up in /tracez.
+                span = self.spans.span(f"op:{op}", trace=trace,
+                                       op=op, peer=conn.name)
+        started = perf_counter()
         try:
             await handler(conn, frame, request_id)
         except ProtocolError as exc:
+            if span is not None:
+                span.attrs["error"] = exc.code
             self._send_error(conn, exc.code, str(exc),
                              request_id=request_id, op=op)
         except ReproError as exc:
+            if span is not None:
+                span.attrs["error"] = "bad_request"
             self._send_error(conn, "bad_request", str(exc),
                              request_id=request_id, op=op)
         except (ConnectionError, OSError):
             raise
         except Exception as exc:  # the server must never die on a frame
+            if span is not None:
+                span.attrs["error"] = "internal"
             self._send_error(conn, "internal",
                              f"{type(exc).__name__}: {exc}",
                              request_id=request_id, op=op)
+        finally:
+            self._m_op_seconds.labels(op).observe(perf_counter() - started)
+            if span is not None:
+                span.finish()
 
     def _send(self, conn: _Connection, frame: dict) -> None:
         conn.writer.write(encode_frame(frame))
@@ -349,8 +457,45 @@ class ServeServer:
     def _send_error(self, conn: _Connection, code: str, message: str,
                     *, request_id=None, op: Optional[str] = None) -> None:
         self._m_errors.labels(code).inc()
+        if self.flight is not None:
+            self.flight.record_error(code, message, op=op, peer=conn.name)
+            self._maybe_dump(f"error_{code}")
         self._send(conn, error_frame(code, message,
                                      request_id=request_id, op=op))
+
+    # ------------------------------------------------------------------
+    # flight recorder + health
+    # ------------------------------------------------------------------
+    def _maybe_dump(self, reason: str, *, force: bool = False) -> None:
+        """Kick off a flight-recorder dump in the background (subject to
+        the recorder's rate limit unless ``force``)."""
+        if self.flight is None:
+            return
+        path = self.flight.plan_dump(reason, force=force)
+        if path is not None:
+            self._spawn(self._write_flight_dump(path, reason))
+
+    async def _write_flight_dump(self, path: str, reason: str) -> None:
+        # Blocking file I/O leaves the loop, same as checkpoint writes.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.flight.dump, path, reason)
+
+    def _health_probe(self) -> dict:
+        """The ``/healthz`` payload (cheap, synchronous)."""
+        last = self._last_tick_at
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "window_size": len(self.session.monitor.manager),
+            "now_seq": self.session.monitor.manager.now_seq,
+            "last_tick_age_seconds": (
+                perf_counter() - last if last is not None else None
+            ),
+            "connections": len(self._connections),
+            "subscribers": sum(
+                len(s) for s in self._subscribers.values()
+            ),
+            "queries": len(self.session.queries()),
+        }
 
     # ------------------------------------------------------------------
     # event fan-out
@@ -401,6 +546,8 @@ class ServeServer:
                 "entered": [pair_to_wire(p) for p in delta.entered],
                 "left": [pair_to_wire(p) for p in delta.left],
             }
+            if delta.trace is not None:
+                base["trace"] = delta.trace
             for conn in list(subscribers):
                 frame = base
                 if delta.query in conn.lagged:
@@ -422,11 +569,16 @@ class ServeServer:
                     except asyncio.QueueFull:
                         conn.lagged.add(delta.query)
                         self._m_dropped.inc()
+                        self._m_sub_drops.labels(conn.name).inc()
                     else:
                         conn.lagged.discard(delta.query)
                         self._m_deltas.inc()
                         enqueued += 1
                 deepest = max(deepest, conn.events.qsize())
+                self._m_sub_queue.labels(conn.name).set(
+                    conn.events.qsize()
+                )
+                self._m_sub_lagged.labels(conn.name).set(len(conn.lagged))
         self._m_queue_depth.set(deepest)
         return enqueued
 
@@ -442,12 +594,29 @@ class ServeServer:
         if timestamps is not None and not isinstance(timestamps, list):
             raise ProtocolError("bad_request",
                                 "'timestamps' must be a list when present")
-        count, now_seq = self.session.ingest(rows, timestamps=timestamps)
+        trace = trace_of(frame)
+        started = perf_counter()
+        count, now_seq = self.session.ingest(
+            rows, timestamps=timestamps, trace=trace,
+        )
         self._m_ingested.inc(count)
         deltas = await self._fan_out_deltas()
-        self._send(conn, ok_frame("ingest", request_id,
-                                  ingested=count, now_seq=now_seq,
-                                  deltas=deltas))
+        elapsed = perf_counter() - started
+        tick_record = {"tick": now_seq, "rows": count,
+                       "deltas": deltas, "seconds": elapsed}
+        if trace is not None:
+            tick_record["trace"] = trace
+        self.ticks.append(tick_record)
+        self._last_tick_at = perf_counter()
+        if self.flight is not None:
+            self.flight.record_tick(tick_record)
+            if self.flight.is_slow_tick(elapsed):
+                self._maybe_dump("slow_tick")
+        ack = ok_frame("ingest", request_id, ingested=count,
+                       now_seq=now_seq, deltas=deltas)
+        if trace is not None:
+            ack["trace"] = trace
+        self._send(conn, ack)
 
     async def _op_register(self, conn, frame, request_id) -> None:
         handle_id = self.session.register(
@@ -561,6 +730,8 @@ class ServeServer:
             "subscriptions": sum(
                 len(s) for s in self._subscribers.values()
             ),
+            "obs_port": self.obs.port if self.obs is not None else None,
+            "tracing": bool(self.spans.enabled),
         }
         if frame.get("metrics"):
             payload["metrics"] = self.registry.snapshot()
@@ -598,6 +769,11 @@ class BackgroundServer:
     @property
     def port(self) -> int:
         return self.server.port
+
+    @property
+    def obs_port(self) -> Optional[int]:
+        """The sidecar's resolved port (``None`` when not started)."""
+        return self.server.obs_port
 
     def start(self) -> "BackgroundServer":
         self._thread = threading.Thread(

@@ -15,7 +15,12 @@ Sits between the wire (:mod:`repro.serve.server`) and the engine
   :meth:`~repro.core.monitor.TopKPairsMonitor.set_on_change`) that
   stamps the entered/left pairs with the tick they happened on; the
   server drains them after each ingest and fans them out to
-  subscribers.
+  subscribers;
+* carries **trace context** through the engine: a traced ingest runs
+  under a ``tick`` span (:mod:`repro.obs.spans`) and stamps its trace id
+  onto every :class:`DeltaEvent` the tick produced — the listener fires
+  synchronously inside ``extend``, so the active trace is plain
+  call-stack state, no thread-locals needed.
 
 Everything here is synchronous and asyncio-free, so the whole session
 layer is testable without a socket and reusable by the checkpoint
@@ -29,6 +34,7 @@ from typing import Iterable, Optional, Sequence
 from repro.core.monitor import QueryHandle, TopKPairsMonitor
 from repro.core.pair import Pair
 from repro.exceptions import ProtocolError
+from repro.obs.spans import NULL_SPANS
 from repro.scoring.base import ScoringFunction
 from repro.scoring.library import (
     k_closest_pairs,
@@ -49,16 +55,23 @@ SCORING_NAMES = {
 
 
 class DeltaEvent:
-    """One continuous query's answer change at one stream tick."""
+    """One continuous query's answer change at one stream tick.
 
-    __slots__ = ("query", "tick", "entered", "left")
+    ``trace`` is the id of the traced ingest that caused the change
+    (``None`` for untraced ingests) — the hand-off that lets one client
+    request be followed to every subscriber it touched.
+    """
+
+    __slots__ = ("query", "tick", "entered", "left", "trace")
 
     def __init__(self, query: str, tick: int,
-                 entered: list[Pair], left: list[Pair]) -> None:
+                 entered: list[Pair], left: list[Pair],
+                 trace: Optional[str] = None) -> None:
         self.query = query
         self.tick = tick
         self.entered = entered
         self.left = left
+        self.trace = trace
 
     def __repr__(self) -> str:
         return (
@@ -103,6 +116,7 @@ class ServerMonitor:
         seed: int = 0,
         audit: Optional[bool] = None,
         recorder=None,
+        spans=None,
     ) -> None:
         # The constructor arguments are kept verbatim: they are the
         # "monitor" section of every checkpoint this session writes.
@@ -118,10 +132,14 @@ class ServerMonitor:
             time_horizon=time_horizon, seed=seed, audit=audit,
             recorder=recorder,
         )
+        #: the span recorder traced ingests report to (the server adopts
+        #: this instance so op spans and tick spans share one ring)
+        self.spans = spans if spans is not None else NULL_SPANS
         self._scoring_instances: dict[str, ScoringFunction] = {}
         self._queries: dict[str, QueryRecord] = {}
         self._next_handle = 1
         self._pending_deltas: list[DeltaEvent] = []
+        self._active_trace: Optional[str] = None
 
     # ------------------------------------------------------------------
     # query registry
@@ -187,6 +205,7 @@ class ServerMonitor:
         def on_change(entered: list[Pair], left: list[Pair]) -> None:
             self._pending_deltas.append(DeltaEvent(
                 handle_id, self.monitor.manager.now_seq, entered, left,
+                self._active_trace,
             ))
         return on_change
 
@@ -218,6 +237,7 @@ class ServerMonitor:
         rows: Iterable[Sequence[float]],
         *,
         timestamps: Optional[Iterable[float]] = None,
+        trace: Optional[str] = None,
     ) -> tuple[int, int]:
         """Admit a batch of rows; returns ``(ingested, now_seq)``.
 
@@ -226,8 +246,23 @@ class ServerMonitor:
         value — the server acknowledges exactly what entered the stream.
         Answer deltas produced by the ticks accumulate for
         :meth:`drain_deltas`.
+
+        A non-``None`` ``trace`` runs the batch under a ``tick`` span
+        and stamps the id onto every delta the ticks produce; the
+        untraced path is byte-identical to before tracing existed.
         """
-        count = self.monitor.extend(rows, timestamps=timestamps)
+        if trace is None or not self.spans.enabled:
+            count = self.monitor.extend(rows, timestamps=timestamps)
+            return count, self.monitor.manager.now_seq
+        self._active_trace = trace
+        span = self.spans.span("tick", trace=trace)
+        try:
+            with span:
+                count = self.monitor.extend(rows, timestamps=timestamps)
+                span.attrs["rows"] = count
+                span.attrs["now_seq"] = self.monitor.manager.now_seq
+        finally:
+            self._active_trace = None
         return count, self.monitor.manager.now_seq
 
     def drain_deltas(self) -> list[DeltaEvent]:

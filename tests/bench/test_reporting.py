@@ -4,7 +4,50 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.reporting import format_figure
+from repro.bench.reporting import (
+    BENCH_SCHEMA_VERSION,
+    format_figure,
+    git_revision,
+    stamp_result,
+)
+
+
+class TestStampResult:
+    def test_adds_provenance_fields(self):
+        result = stamp_result({"rows": 10}, suite="serve")
+        assert result["schema_version"] == BENCH_SCHEMA_VERSION
+        assert result["suite"] == "serve"
+        assert "git_revision" in result
+        assert result["rows"] == 10
+
+    def test_stamps_in_place_and_returns_same_dict(self):
+        payload = {"x": 1}
+        assert stamp_result(payload, suite="t") is payload
+        assert payload["suite"] == "t"
+
+    def test_overwrites_stale_stamp(self):
+        payload = {"schema_version": -1, "suite": "old",
+                   "git_revision": "dead"}
+        stamp_result(payload, suite="new")
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["suite"] == "new"
+        assert payload["git_revision"] == git_revision()
+
+    def test_git_revision_shape(self):
+        revision = git_revision()
+        # None outside a checkout; a short hex id inside one.
+        if revision is not None:
+            assert 4 <= len(revision) <= 40
+            int(revision, 16)
+
+    def test_git_revision_none_when_git_missing(self, monkeypatch):
+        import subprocess as sp
+
+        def boom(*args, **kwargs):
+            raise OSError("git not found")
+
+        monkeypatch.setattr(sp, "run", boom)
+        assert git_revision() is None
 
 
 class TestFormatFigure:

@@ -77,6 +77,78 @@ class TestPrometheus:
         assert to_prometheus(MetricsRegistry()) == ""
 
 
+class TestPrometheusEdgeCases:
+    """Exposition-format corner cases: the escaping and formatting
+    rules a scraper depends on (Prometheus text format 0.0.4)."""
+
+    @staticmethod
+    def _gauge_line(value: str) -> str:
+        registry = MetricsRegistry()
+        registry.gauge("repro_g", labelnames=("name",)).labels(value).set(1)
+        text = to_prometheus(registry)
+        (line,) = [l for l in text.splitlines() if l.startswith("repro_g{")]
+        return line
+
+    def test_backslash_escaped(self):
+        assert self._gauge_line("a\\b") == 'repro_g{name="a\\\\b"} 1'
+
+    def test_newline_escaped(self):
+        assert self._gauge_line("a\nb") == 'repro_g{name="a\\nb"} 1'
+
+    def test_quote_escaped(self):
+        assert self._gauge_line('a"b') == 'repro_g{name="a\\"b"} 1'
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        # Escaping must run backslash-first: the literal input \" must
+        # become \\\" (escaped backslash, escaped quote), never \\"
+        # re-escaped into a double-escape of the whole sequence.
+        assert self._gauge_line('\\"') == 'repro_g{name="\\\\\\""} 1'
+        # A literal backslash-n stays distinguishable from a newline:
+        # the former escapes to \\n (three chars), the latter to \n.
+        assert self._gauge_line("\\n") == 'repro_g{name="\\\\n"} 1'
+        assert self._gauge_line("\n") == 'repro_g{name="\\n"} 1'
+
+    def test_inf_bucket_always_last_and_spelled_plus_inf(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(0.5,)).observe(2.0)
+        buckets = [
+            line for line in to_prometheus(registry).splitlines()
+            if line.startswith("repro_h_bucket")
+        ]
+        assert buckets == [
+            'repro_h_bucket{le="0.5"} 0',
+            'repro_h_bucket{le="+Inf"} 1',
+        ]
+
+    def test_inf_bucket_on_labelled_histogram(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "repro_h", buckets=(1.0,), labelnames=("op",)
+        )
+        family.labels("ingest").observe(5.0)
+        lines = to_prometheus(registry).splitlines()
+        assert 'repro_h_bucket{op="ingest",le="+Inf"} 1' in lines
+
+    def test_integral_bounds_render_without_trailing_zeroes(self):
+        # %g formatting: le="1", not le="1.0" — keeps series names
+        # stable however the bucket bounds were spelled in Python.
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(1.0, 2.5)).observe(0.1)
+        lines = to_prometheus(registry).splitlines()
+        assert 'repro_h_bucket{le="1"} 1' in lines
+        assert 'repro_h_bucket{le="2.5"} 1' in lines
+
+    def test_empty_registry_json_snapshot(self):
+        assert registry_to_json(MetricsRegistry()) == {"metrics": {}}
+
+    def test_empty_registry_roundtrip_is_stable(self):
+        # An empty exposition is the empty string (no trailing newline):
+        # curl on a fresh sidecar yields a valid, zero-series scrape.
+        text = to_prometheus(MetricsRegistry())
+        assert text == ""
+        assert text.splitlines() == []
+
+
 class TestTickStreams:
     def test_jsonl_one_parseable_record_per_tick(self):
         buffer = io.StringIO()

@@ -1,0 +1,143 @@
+"""Tests for the flight recorder and its ring log
+(`repro.obs.flight`)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.flight import FlightRecorder, RingLog
+
+
+class TestRingLog:
+    def test_append_returns_one_based_seq(self):
+        ring = RingLog()
+        assert ring.append({"a": 1}) == 1
+        assert ring.append({"a": 2}) == 2
+        assert ring.seq == 2
+        assert len(ring) == 2
+
+    def test_bounded_but_seq_absolute(self):
+        ring = RingLog(capacity=2)
+        for index in range(5):
+            ring.append({"i": index})
+        assert len(ring) == 2
+        assert ring.seq == 5
+        assert ring.snapshot() == [{"i": 3}, {"i": 4}]
+
+    def test_since_resumes_from_cursor(self):
+        ring = RingLog()
+        ring.append({"i": 0})
+        ring.append({"i": 1})
+        records, cursor = ring.since(0)
+        assert records == [{"i": 0}, {"i": 1}]
+        records, cursor = ring.since(cursor)
+        assert records == []
+        ring.append({"i": 2})
+        records, cursor = ring.since(cursor)
+        assert records == [{"i": 2}]
+        assert cursor == 3
+
+    def test_since_survives_eviction(self):
+        # A cursor older than the ring's oldest retained record yields
+        # everything still retained — the poller misses evicted entries
+        # but never crashes or double-reads.
+        ring = RingLog(capacity=2)
+        for index in range(5):
+            ring.append({"i": index})
+        records, cursor = ring.since(1)
+        assert records == [{"i": 3}, {"i": 4}]
+        assert cursor == 5
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingLog(0)
+
+
+class TestFlightRecording:
+    def test_record_kinds(self):
+        flight = FlightRecorder()
+        flight.record_span({"name": "tick", "trace": "t"})
+        flight.record_tick({"tick": 7, "rows": 3})
+        flight.record_error("bad_request", "nope", op="ingest",
+                            peer="127.0.0.1:9")
+        kinds = [r["kind"] for r in flight.ring.snapshot()]
+        assert kinds == ["span", "tick", "error"]
+        error = flight.ring.snapshot()[2]
+        assert error["code"] == "bad_request"
+        assert error["op"] == "ingest"
+        assert error["peer"] == "127.0.0.1:9"
+
+    def test_error_optional_fields_omitted(self):
+        flight = FlightRecorder()
+        flight.record_error("internal", "boom")
+        record = flight.ring.snapshot()[0]
+        assert "op" not in record and "peer" not in record
+
+    def test_is_slow_tick(self):
+        assert not FlightRecorder().is_slow_tick(1e9)  # no threshold
+        flight = FlightRecorder(slow_tick_seconds=0.5)
+        assert flight.is_slow_tick(0.6)
+        assert not flight.is_slow_tick(0.5)
+
+
+class TestDumping:
+    def test_plan_dump_paths_counter_based(self, tmp_path):
+        flight = FlightRecorder(dump_dir=str(tmp_path),
+                                min_dump_interval=0.0)
+        first = flight.plan_dump("error_bad_request")
+        second = flight.plan_dump("sigusr2")
+        assert first.endswith("flight-0001-error_bad_request.jsonl")
+        assert second.endswith("flight-0002-sigusr2.jsonl")
+
+    def test_rate_limit_suppresses_then_force_bypasses(self):
+        flight = FlightRecorder(min_dump_interval=3600.0)
+        assert flight.plan_dump("first") is not None
+        assert flight.plan_dump("second") is None
+        assert flight.dumps_suppressed == 1
+        assert flight.plan_dump("sigusr2", force=True) is not None
+
+    def test_dump_writes_header_then_records(self, tmp_path):
+        flight = FlightRecorder(dump_dir=str(tmp_path))
+        flight.record_tick({"tick": 1, "rows": 2})
+        flight.record_error("internal", "x")
+        path = tmp_path / "out.jsonl"
+        count = flight.dump(str(path), reason="test")
+        assert count == 2
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines[0] == {"kind": "flight_dump", "reason": "test",
+                            "records": 2, "newest_seq": 2}
+        assert lines[1]["kind"] == "tick"
+        assert lines[2]["kind"] == "error"
+        assert flight.dumps_written == 1
+
+    def test_dump_to_handle(self):
+        flight = FlightRecorder()
+        flight.record_tick({"tick": 1})
+        buffer = io.StringIO()
+        assert flight.dump(buffer) == 1
+        header = json.loads(buffer.getvalue().splitlines()[0])
+        assert header["reason"] == "manual"
+
+    def test_dump_creates_directories(self, tmp_path):
+        flight = FlightRecorder()
+        path = tmp_path / "nested" / "dir" / "f.jsonl"
+        flight.dump(str(path))
+        assert path.exists()
+
+    def test_span_sink_integration(self):
+        # The serve wiring: SpanRecorder.sink = flight.record_span tees
+        # every finished span into the flight ring.
+        from repro.obs.spans import SpanRecorder
+
+        flight = FlightRecorder()
+        spans = SpanRecorder(sink=flight.record_span)
+        with spans.span("op:ingest", trace="t"):
+            pass
+        (record,) = flight.ring.snapshot()
+        assert record["kind"] == "span"
+        assert record["name"] == "op:ingest"
+        assert record["trace"] == "t"

@@ -1,0 +1,298 @@
+"""Tests for the telemetry HTTP sidecar (`repro.obs.httpd`).
+
+Each test boots a real :class:`ObsHTTPServer` on a loopback port inside
+a private event loop and talks plain HTTP/1.0 to it — no HTTP client
+library, matching the server's own no-framework stance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.flight import FlightRecorder, RingLog
+from repro.obs.httpd import PROMETHEUS_CONTENT_TYPE, ObsHTTPServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+
+async def http_get(port: int, target: str) -> tuple[int, dict, bytes]:
+    """One HTTP/1.0 GET: ``(status, headers, body)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {target} HTTP/1.0\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def serve(test, **kwargs):
+    """Boot a sidecar, run ``test(server)``, stop it."""
+    async def body():
+        server = ObsHTTPServer(**kwargs)
+        await server.start()
+        try:
+            return await test(server)
+        finally:
+            await server.stop()
+    return run(body())
+
+
+class TestLifecycle:
+    def test_start_resolves_port_and_url(self):
+        async def check(server):
+            assert server.port != 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        serve(check)
+
+    def test_stop_is_idempotent(self):
+        async def check(server):
+            await server.stop()
+            await server.stop()
+        serve(check)
+
+
+class TestRoutes:
+    def test_metrics_prometheus_content_type(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ticks_total").inc(3)
+
+        async def check(server):
+            status, headers, body = await http_get(server.port, "/metrics")
+            assert status == 200
+            assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+            assert b"repro_ticks_total 3" in body
+            assert headers["connection"] == "close"
+        serve(check, registry=registry)
+
+    def test_metrics_without_registry_is_empty_200(self):
+        async def check(server):
+            status, _headers, body = await http_get(server.port, "/metrics")
+            assert status == 200
+            assert body == b""
+        serve(check)
+
+    def test_healthz_merges_probe_and_flight(self):
+        flight = FlightRecorder()
+        flight.record_error("internal", "x")
+
+        async def check(server):
+            status, _h, body = await http_get(server.port, "/healthz")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["window_size"] == 42
+            assert payload["flight"]["records"] == 1
+            assert payload["flight"]["dumps_written"] == 0
+        serve(check, health=lambda: {"window_size": 42}, flight=flight)
+
+    def test_varz_json_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_skyband_size").set(7)
+
+        async def check(server):
+            status, headers, body = await http_get(server.port, "/varz")
+            assert status == 200
+            assert headers["content-type"].startswith("application/json")
+            assert json.loads(body)["metrics"]["repro_skyband_size"] == 7
+        serve(check, registry=registry)
+
+    def test_varz_without_registry(self):
+        async def check(server):
+            _s, _h, body = await http_get(server.port, "/varz")
+            assert json.loads(body) == {"metrics": {}}
+        serve(check)
+
+    def test_tracez_recent_and_filtered(self):
+        spans = SpanRecorder()
+        spans.span("op:ingest", trace="aaaa").finish()
+        spans.span("tick", trace="aaaa").finish()
+        spans.span("op:stats", trace="bbbb").finish()
+
+        async def check(server):
+            _s, _h, body = await http_get(server.port, "/tracez")
+            payload = json.loads(body)
+            assert payload["enabled"] is True
+            assert payload["finished_total"] == 3
+            assert [s["name"] for s in payload["spans"]] == [
+                "op:stats", "tick", "op:ingest"
+            ]
+            _s, _h, body = await http_get(
+                server.port, "/tracez?trace=aaaa"
+            )
+            filtered = json.loads(body)["spans"]
+            assert [s["name"] for s in filtered] == ["op:ingest", "tick"]
+            _s, _h, body = await http_get(server.port, "/tracez?limit=1")
+            assert len(json.loads(body)["spans"]) == 1
+        serve(check, spans=spans)
+
+    def test_tracez_default_null_recorder(self):
+        async def check(server):
+            _s, _h, body = await http_get(server.port, "/tracez")
+            payload = json.loads(body)
+            assert payload == {"spans": [], "finished_total": 0,
+                               "enabled": False}
+        serve(check)
+
+    def test_unknown_path_404(self):
+        async def check(server):
+            status, _h, body = await http_get(server.port, "/nope")
+            assert status == 404
+            assert json.loads(body)["error"] == "not_found"
+        serve(check)
+
+    def test_non_get_405(self):
+        async def check(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            assert b"405" in raw.split(b"\r\n", 1)[0]
+        serve(check)
+
+    def test_render_failure_is_500_not_crash(self):
+        async def check(server):
+            status, _h, body = await http_get(server.port, "/healthz")
+            assert status == 500
+            payload = json.loads(body)
+            assert payload["error"] == "internal"
+            assert payload["type"] == "RuntimeError"
+        serve(check, health=lambda: (_ for _ in ()).throw(
+            RuntimeError("probe died")))
+
+    def test_bad_query_params_fall_back_to_defaults(self):
+        spans = SpanRecorder()
+        spans.span("x").finish()
+
+        async def check(server):
+            status, _h, body = await http_get(
+                server.port, "/tracez?limit=wat"
+            )
+            assert status == 200
+            assert len(json.loads(body)["spans"]) == 1
+        serve(check, spans=spans)
+
+
+class TestTickStream:
+    def test_backlog_and_limit(self):
+        ticks = RingLog()
+        for index in range(5):
+            ticks.append({"tick": index})
+
+        async def check(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /ticks?backlog=3&limit=2 HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 5.0)
+            writer.close()
+            await writer.wait_closed()
+            _head, _, body = raw.partition(b"\r\n\r\n")
+            records = [json.loads(line)
+                       for line in body.splitlines()]
+            # backlog=3 starts at tick 2; limit=2 closes after two.
+            assert records == [{"tick": 2}, {"tick": 3}]
+        serve(check, ticks=ticks)
+
+    def test_stream_sees_new_appends(self):
+        ticks = RingLog()
+
+        async def check(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /ticks?limit=1 HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            await asyncio.sleep(server.poll_interval)
+            ticks.append({"tick": 99})
+            raw = await asyncio.wait_for(reader.read(), 5.0)
+            writer.close()
+            await writer.wait_closed()
+            body = raw.partition(b"\r\n\r\n")[2]
+            assert json.loads(body.splitlines()[0]) == {"tick": 99}
+        serve(check, ticks=ticks)
+
+    def test_stop_terminates_open_stream(self):
+        # An unbounded stream (no limit) must end within about one poll
+        # interval of stop() — the Python 3.12 wait_closed() hang this
+        # design exists to avoid.
+        ticks = RingLog()
+
+        async def body():
+            server = ObsHTTPServer(ticks=ticks, poll_interval=0.05)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /ticks HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            await asyncio.sleep(0.1)
+            await asyncio.wait_for(server.stop(), 5.0)
+            await asyncio.wait_for(reader.read(), 5.0)  # EOF, no hang
+            writer.close()
+            await writer.wait_closed()
+        run(body())
+
+    def test_ticks_without_ring_closes_cleanly(self):
+        async def check(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /ticks HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 5.0)
+            writer.close()
+            await writer.wait_closed()
+            assert raw.startswith(b"HTTP/1.0 200")
+            assert raw.partition(b"\r\n\r\n")[2] == b""
+        serve(check)
+
+
+class TestRobustness:
+    def test_garbage_request_line_ignored(self):
+        async def check(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 5.0)
+            writer.close()
+            await writer.wait_closed()
+            assert raw == b""
+            # The server survives to answer the next request.
+            status, _h, _b = await http_get(server.port, "/healthz")
+            assert status == 200
+        serve(check)
+
+    def test_client_disconnect_mid_request_tolerated(self):
+        async def check(server):
+            _reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /metr")  # no newline, then vanish
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            status, _h, _b = await http_get(server.port, "/metrics")
+            assert status == 200
+        serve(check)

@@ -1,0 +1,166 @@
+"""Tests for the span tracing substrate (`repro.obs.spans`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_SPANS,
+    NullSpanRecorder,
+    SpanRecorder,
+    new_span_id,
+    new_trace_id,
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        trace = new_trace_id()
+        assert len(trace) == 16
+        int(trace, 16)
+        assert trace == trace.lower()
+
+    def test_span_id_shape(self):
+        span = new_span_id()
+        assert len(span) == 8
+        int(span, 16)
+
+    def test_ids_are_fresh(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestSpanLifecycle:
+    def test_context_manager_records_on_exit(self):
+        spans = SpanRecorder()
+        with spans.span("op:ingest", trace="t1", op="ingest") as span:
+            assert span.seconds is None
+        assert span.seconds is not None and span.seconds >= 0.0
+        assert len(spans) == 1
+        record = spans.recent()[0]
+        assert record["name"] == "op:ingest"
+        assert record["trace"] == "t1"
+        assert record["attrs"] == {"op": "ingest"}
+
+    def test_finish_is_idempotent(self):
+        spans = SpanRecorder()
+        span = spans.span("x")
+        span.finish()
+        first = span.seconds
+        span.finish()
+        assert span.seconds == first
+        assert len(spans) == 1
+        assert spans.finished_total == 1
+
+    def test_explicit_finish_inside_with_is_safe(self):
+        spans = SpanRecorder()
+        with spans.span("x") as span:
+            span.finish()
+        assert len(spans) == 1
+
+    def test_exception_stamps_error_attr_and_propagates(self):
+        spans = SpanRecorder()
+        with pytest.raises(ValueError):
+            with spans.span("x"):
+                raise ValueError("boom")
+        record = spans.recent()[0]
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_exception_does_not_mutate_shared_attrs(self):
+        # __exit__ copies attrs before adding "error", so a dict the
+        # caller handed in (or the kwargs dict) is never mutated.
+        spans = SpanRecorder()
+        span = spans.span("x")
+        original = span.attrs
+        try:
+            with span:
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "error" not in original
+
+    def test_to_dict_shape(self):
+        spans = SpanRecorder()
+        span = spans.span("tick", trace="t", parent="p", rows=3)
+        span.finish()
+        record = span.to_dict()
+        assert record["name"] == "tick"
+        assert record["trace"] == "t"
+        assert record["parent"] == "p"
+        assert record["span"] == span.span_id
+        assert record["seconds"] == span.seconds
+        assert record["attrs"] == {"rows": 3}
+
+    def test_unfinished_span_not_recorded(self):
+        spans = SpanRecorder()
+        spans.span("open")
+        assert len(spans) == 0
+        assert spans.finished_total == 0
+
+
+class TestSpanRecorder:
+    def test_ring_is_bounded_but_total_counts_on(self):
+        spans = SpanRecorder(capacity=3)
+        for index in range(5):
+            spans.span(f"s{index}").finish()
+        assert len(spans) == 3
+        assert spans.finished_total == 5
+        assert [r["name"] for r in spans.recent()] == ["s4", "s3", "s2"]
+
+    def test_recent_limit(self):
+        spans = SpanRecorder()
+        for index in range(4):
+            spans.span(f"s{index}").finish()
+        assert [r["name"] for r in spans.recent(2)] == ["s3", "s2"]
+
+    def test_for_trace_oldest_first(self):
+        spans = SpanRecorder()
+        spans.span("a", trace="t1").finish()
+        spans.span("other", trace="t2").finish()
+        spans.span("b", trace="t1").finish()
+        assert [r["name"] for r in spans.for_trace("t1")] == ["a", "b"]
+        assert spans.for_trace("missing") == []
+
+    def test_sink_receives_each_finished_span(self):
+        seen = []
+        spans = SpanRecorder(sink=seen.append)
+        spans.span("x", trace="t").finish()
+        assert len(seen) == 1
+        assert seen[0]["name"] == "x"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+    def test_empty_recorder_is_falsy_by_len_use_is_checks(self):
+        # Recorders define __len__, so an *empty but real* recorder is
+        # falsy — adoption logic must use `is not None`, never truthiness
+        # (the bug this pins: `spans or NULL_SPANS` would silently
+        # discard a fresh recorder).
+        assert not SpanRecorder()
+        assert (SpanRecorder() or NULL_SPANS) is NULL_SPANS
+
+
+class TestNullRecorder:
+    def test_disabled_flag_is_class_attribute(self):
+        assert NullSpanRecorder.enabled is False
+        assert NULL_SPANS.enabled is False
+
+    def test_null_span_is_shared_and_inert(self):
+        a = NULL_SPANS.span("x", trace="t")
+        b = NULL_SPANS.span("y")
+        assert a is b
+        with a:
+            pass
+        assert a.finish() is a
+        assert a.to_dict() == {}
+
+    def test_null_queries_empty(self):
+        assert len(NULL_SPANS) == 0
+        assert NULL_SPANS.recent() == []
+        assert NULL_SPANS.for_trace("t") == []
+        assert NULL_SPANS.finished_total == 0
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(KeyError):
+            with NULL_SPANS.span("x"):
+                raise KeyError("propagates")

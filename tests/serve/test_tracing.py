@@ -1,0 +1,237 @@
+"""End-to-end request tracing and the telemetry sidecar on a live
+server.
+
+The acceptance property pinned here: a trace id minted at the client
+appears on (1) the server's ``op:ingest`` span, (2) the engine ``tick``
+span, and (3) every delta event the batch produced and delivered to a
+subscriber — one id, the whole story.  Plus the sidecar surfaces
+(``/metrics``, ``/healthz``, ``/varz``, ``/tracez``, ``/ticks``)
+answering next to a real :class:`BackgroundServer`, and the
+``repro obs tail`` CLI attached to it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import run_obs_tail
+from repro.obs import FlightRecorder, SpanRecorder, new_trace_id
+from repro.serve.client import ServeClient, ServeRequestError
+from repro.serve.server import BackgroundServer
+from repro.serve.session import ServerMonitor
+
+
+def rows(n, seed=0):
+    rng = random.Random(seed)
+    return [[rng.random(), rng.random()] for _ in range(n)]
+
+
+@pytest.fixture()
+def traced(tmp_path):
+    """(background, client, spans, flight) with the sidecar running.
+
+    Flight dumps land in ``tmp_path`` — pytest retains the last few tmp
+    dirs, which is what CI harvests as a post-mortem artifact when the
+    serve tests fail.
+    """
+    spans = SpanRecorder(capacity=256)
+    flight = FlightRecorder(dump_dir=str(tmp_path),
+                            min_dump_interval=3600.0)
+    spans.sink = flight.record_span
+    session = ServerMonitor(48, 2, spans=spans)
+    with BackgroundServer(session, flight=flight, obs_port=0) as background:
+        with ServeClient(port=background.port) as client:
+            yield background, client, spans, flight
+
+
+def get(background, target):
+    url = f"http://127.0.0.1:{background.obs_port}{target}"
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.status, response.headers, response.read()
+
+
+def story_of(spans, trace, count, timeout=5.0):
+    """Poll for ``count`` spans of one trace.
+
+    The op span finishes *after* the response frame is written (the
+    handler's ``finally``), so right after an ack the ring may hold only
+    the tick span — a bounded wait, not a bug.
+    """
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        story = spans.for_trace(trace)
+        if len(story) >= count:
+            return story
+        time.sleep(0.01)
+    return spans.for_trace(trace)
+
+
+class TestTracePropagation:
+    def test_trace_spans_op_tick_and_deltas(self, traced):
+        background, client, spans, _flight = traced
+        query = client.register("closest", k=2)
+        client.subscribe(query)
+        trace = new_trace_id()
+
+        ack = client.ingest(rows(3), trace=trace)
+        assert ack["trace"] == trace  # echoed in the ack
+
+        # Both server-side spans carry the id.
+        story = story_of(spans, trace, 2)
+        names = [span["name"] for span in story]
+        assert names == ["tick", "op:ingest"] or names == [
+            "op:ingest", "tick"
+        ]
+        tick_span = next(s for s in story if s["name"] == "tick")
+        assert tick_span["attrs"]["rows"] == 3
+        op_span = next(s for s in story if s["name"] == "op:ingest")
+        assert op_span["attrs"]["op"] == "ingest"
+
+        # Every delta the batch produced carries the same id.
+        assert ack["deltas"] >= 1
+        for _ in range(ack["deltas"]):
+            event = client.next_event(timeout=10.0)
+            assert event["event"] == "delta"
+            assert event["trace"] == trace
+
+    def test_untraced_ingest_stays_untraced(self, traced):
+        _background, client, spans, _flight = traced
+        query = client.register("closest", k=2)
+        client.subscribe(query)
+        ack = client.ingest(rows(3))
+        assert "trace" not in ack
+        assert len(spans) == 0  # no trace id, no spans recorded
+        for _ in range(ack["deltas"]):
+            event = client.next_event(timeout=10.0)
+            assert "trace" not in event
+
+    def test_traces_are_isolated(self, traced):
+        _background, client, spans, _flight = traced
+        first, second = new_trace_id(), new_trace_id()
+        client.ingest(rows(2, seed=1), trace=first)
+        client.ingest(rows(2, seed=2), trace=second)
+        assert {s["trace"] for s in story_of(spans, first, 2)} == {first}
+        assert {s["trace"] for s in story_of(spans, second, 2)} == {second}
+
+    def test_bad_trace_rejected(self, traced):
+        _background, client, _spans, _flight = traced
+        with pytest.raises(ServeRequestError) as excinfo:
+            client.request("ingest", rows=[[0.1, 0.2]], trace="x" * 65)
+        assert excinfo.value.code == "bad_request"
+        with pytest.raises(ServeRequestError):
+            client.request("ingest", rows=[[0.1, 0.2]], trace=7)
+
+    def test_failed_op_span_records_error(self, traced):
+        _background, client, spans, flight = traced
+        trace = new_trace_id()
+        with pytest.raises(ServeRequestError):
+            client.request("register", scoring="no_such_scoring", k=2,
+                           trace=trace)
+        (span,) = story_of(spans, trace, 1)
+        assert span["name"] == "op:register"
+        assert span["attrs"]["error"] == "bad_request"
+        # The structured error also landed in the flight ring.
+        errors = [r for r in flight.ring.snapshot()
+                  if r["kind"] == "error"]
+        assert errors and errors[-1]["code"] == "bad_request"
+
+
+class TestSidecarOnLiveServer:
+    def test_all_endpoints_respond(self, traced):
+        background, client, spans, _flight = traced
+        query = client.register("closest", k=2)
+        client.subscribe(query)
+        trace = new_trace_id()
+        client.ingest(rows(3), trace=trace)
+        story_of(spans, trace, 2)  # let the op span land
+
+        status, headers, body = get(background, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert 'repro_serve_op_seconds_count{op="ingest"} 1' in text
+        assert "repro_serve_subscriber_queue_depth{" in text
+
+        status, _h, body = get(background, "/healthz")
+        health = json.loads(body)
+        assert status == 200 and health["status"] == "ok"
+        assert health["window_size"] == 3
+        assert health["subscribers"] == 1
+        assert health["last_tick_age_seconds"] >= 0.0
+
+        status, _h, body = get(background, "/varz")
+        varz = json.loads(body)
+        assert status == 200
+        assert varz["metrics"]["repro_serve_active_connections"] == 1
+
+        status, _h, body = get(background, f"/tracez?trace={trace}")
+        story = json.loads(body)
+        assert status == 200 and story["enabled"] is True
+        assert {s["name"] for s in story["spans"]} == {
+            "op:ingest", "tick"
+        }
+
+    def test_ticks_stream_carries_trace(self, traced):
+        background, client, _spans, _flight = traced
+        trace = new_trace_id()
+        client.ingest(rows(2), trace=trace)
+        status, _h, body = get(background,
+                               "/ticks?backlog=10&limit=1")
+        assert status == 200
+        record = json.loads(body.splitlines()[0])
+        assert record["tick"] == 2
+        assert record["rows"] == 2
+        assert record["trace"] == trace
+        assert record["seconds"] >= 0.0
+
+    def test_stats_reports_sidecar_and_tracing(self, traced):
+        background, client, _spans, _flight = traced
+        stats = client.stats()
+        assert stats["serve"]["obs_port"] == background.obs_port
+        assert stats["serve"]["tracing"] is True
+
+    def test_sidecar_stops_with_server(self, traced):
+        background, client, _spans, _flight = traced
+        obs_port = background.obs_port
+        client.shutdown()
+        background.stop()
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{obs_port}/healthz", timeout=2.0
+            )
+
+
+class TestObsTailCLI:
+    def test_tail_pretty_prints_ticks(self, traced):
+        background, client, _spans, _flight = traced
+        trace = new_trace_id()
+        client.ingest(rows(3), trace=trace)
+        out = io.StringIO()
+        code = run_obs_tail(
+            ["--port", str(background.obs_port), "--backlog", "10",
+             "--limit", "1"], out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "tick 3" in text
+        assert "rows=3" in text
+        assert f"trace={trace}" in text
+        assert "tailed 1 tick(s)" in text
+
+    def test_tail_raw_emits_ndjson(self, traced):
+        background, client, _spans, _flight = traced
+        client.ingest(rows(2))
+        out = io.StringIO()
+        code = run_obs_tail(
+            ["--port", str(background.obs_port), "--backlog", "10",
+             "--limit", "1", "--raw"], out,
+        )
+        assert code == 0
+        record = json.loads(out.getvalue().splitlines()[0])
+        assert record["tick"] == 2
