@@ -13,8 +13,14 @@ trip and the event-loop hop:
   latency is measured from sending the ingest request to receiving the
   tick's delta event (p50/p99/max), over the ticks that changed the
   answer;
-* **checkpoint** — save round trip plus an offline restore into a fresh
-  session.
+* **checkpoint** — save round trip plus two offline restores into fresh
+  sessions: ``replay`` (re-ingest the window; the oracle) and
+  ``structural`` (bulk-load the serialized skybands) — the ratio is the
+  v2 format's payoff;
+* **standby** — bootstrap a warm standby off the live primary
+  (``replicate`` + shipped checkpoint), measure replication apply lag
+  per ingested batch (primary ack to the standby reporting the seq),
+  then promote it.
 
 Results go to ``BENCH_serve.json``; ``REPRO_BENCH_SCALE`` shrinks or
 grows the streams (CI runs a reduced smoke pass).
@@ -113,15 +119,78 @@ def _bench_checkpoint(client: ServeClient, path: str, k: int) -> dict:
     client.register("closest", k=k)
     client.register("furthest", k=k)
     meta = client.checkpoint(path)
+    # Replay re-ingests the window through the engine (the restore
+    # oracle, and the only option for v1 documents); structural
+    # bulk-loads the serialized skybands and skiplists.  The gap between
+    # the two numbers is what the v2 format buys.
     start = perf_counter()
-    restored = restore_server_monitor(path)
+    restored = restore_server_monitor(path, mode="replay")
     restore_seconds = perf_counter() - start
+    start = perf_counter()
+    structural = restore_server_monitor(path, mode="structural")
+    restore_seconds_structural = perf_counter() - start
     return {
         "save_seconds": meta["seconds"],
         "restore_seconds": restore_seconds,
+        "restore_seconds_structural": restore_seconds_structural,
+        "structural_speedup": (restore_seconds / restore_seconds_structural
+                               if restore_seconds_structural else 0.0),
         "bytes": meta["bytes"],
         "objects": meta["objects"],
         "restored_queries": len(restored.queries()),
+        "structural_queries": len(structural.queries()),
+    }
+
+
+def _bench_standby(primary_port: int, rows, batch: int) -> dict:
+    """Boot a warm standby off the live primary, measure replication
+    apply lag (ingest ack on the primary -> standby reports the seq),
+    then promote it."""
+    from repro.serve.standby import connect_standby
+
+    start = perf_counter()
+    session, tailer = connect_standby("127.0.0.1", primary_port)
+    bootstrap_seconds = perf_counter() - start
+    bootstrap_objects = len(session.monitor.manager)
+    lags: list[float] = []
+    caught_up = True
+    replicated = 0
+    with BackgroundServer(session, role="standby",
+                          standby=tailer) as standby:
+        with ServeClient(port=primary_port) as producer, \
+                ServeClient(port=standby.port) as probe:
+            for offset in range(0, len(rows), batch):
+                ack = producer.ingest(rows[offset:offset + batch])
+                target = ack["now_seq"]
+                start = perf_counter()
+                while probe.epoch()["now_seq"] < target:
+                    if perf_counter() - start > 10.0:
+                        caught_up = False
+                        break
+                if not caught_up:
+                    break
+                lags.append(perf_counter() - start)
+                replicated += ack["ingested"]
+            start = perf_counter()
+            promote = probe.promote()
+            promote_seconds = perf_counter() - start
+    lags.sort()
+    return {
+        "bootstrap_seconds": bootstrap_seconds,
+        "bootstrap_objects": bootstrap_objects,
+        "batches": len(lags),
+        "rows": replicated,
+        "caught_up": caught_up,
+        # Lag includes one epoch-op round trip per poll, so the floor is
+        # a protocol round trip, not zero.
+        "apply_lag_us": {
+            "samples": len(lags),
+            "p50": _percentile(lags, 0.50) * 1e6,
+            "p99": _percentile(lags, 0.99) * 1e6,
+            "max": (lags[-1] if lags else 0.0) * 1e6,
+        },
+        "promote_seconds": promote_seconds,
+        "promoted_epoch": promote["epoch"],
     }
 
 
@@ -133,6 +202,7 @@ def run_serve_bench(
     ingest_rows: int | None = None,
     batch: int = 64,
     delta_ticks: int | None = None,
+    standby_rows: int | None = None,
     checkpoint_path: str = "BENCH_serve.ckpt.json",
 ) -> dict:
     """Run the serving benchmark; returns the BENCH_serve.json payload."""
@@ -143,13 +213,21 @@ def run_serve_bench(
     # window saturates); the old 512 ticks produced ~20 samples,
     # collapsing p99 into max.
     delta_ticks = _scaled(4096) if delta_ticks is None else delta_ticks
-    rows = synthetic_rows(ingest_rows + delta_ticks, d, seed=13)
+    standby_rows = _scaled(1024) if standby_rows is None else standby_rows
+    rows = synthetic_rows(ingest_rows + delta_ticks + standby_rows, d,
+                          seed=13)
     session = ServerMonitor(window, d)
     with BackgroundServer(session) as background:
         with ServeClient(port=background.port) as client:
             ingest = _bench_ingest(client, rows[:ingest_rows], batch)
-            deltas = _bench_deltas(client, rows[ingest_rows:], k)
+            deltas = _bench_deltas(
+                client, rows[ingest_rows:ingest_rows + delta_ticks], k,
+            )
             checkpoint = _bench_checkpoint(client, checkpoint_path, k)
+            standby = _bench_standby(
+                background.port,
+                rows[ingest_rows + delta_ticks:], batch,
+            )
             client.shutdown()
     return {
         "scale": SCALE,
@@ -160,10 +238,12 @@ def run_serve_bench(
             "ingest_rows": ingest_rows,
             "batch": batch,
             "delta_ticks": delta_ticks,
+            "standby_rows": standby_rows,
         },
         "ingest": ingest,
         "deltas": deltas,
         "checkpoint": checkpoint,
+        "standby": standby,
     }
 
 

@@ -470,11 +470,27 @@ def run_bench(argv: Sequence[str],
             f"{'consistent' if deltas['replay_consistent'] else 'BROKEN'}, "
             f"checkpoint save "
             f"{result['checkpoint']['save_seconds'] * 1e3:.1f} ms / restore "
-            f"{result['checkpoint']['restore_seconds'] * 1e3:.1f} ms",
+            f"{result['checkpoint']['restore_seconds'] * 1e3:.1f} ms replay "
+            f"/ {result['checkpoint']['restore_seconds_structural'] * 1e3:.1f}"
+            f" ms structural "
+            f"({result['checkpoint']['structural_speedup']:.0f}x)",
+            file=stdout,
+        )
+        standby = result["standby"]
+        print(
+            f"standby: bootstrap {standby['bootstrap_seconds'] * 1e3:.1f} ms "
+            f"({standby['bootstrap_objects']} objects), apply lag p50 "
+            f"{standby['apply_lag_us']['p50']:.0f} us / p99 "
+            f"{standby['apply_lag_us']['p99']:.0f} us over "
+            f"{standby['rows']} replicated rows, promote "
+            f"{standby['promote_seconds'] * 1e3:.1f} ms to epoch "
+            f"{standby['promoted_epoch']}"
+            + ("" if standby["caught_up"] else " [NOT CAUGHT UP]"),
             file=stdout,
         )
         print(f"written to {path}", file=stdout)
-        return 0 if deltas["replay_consistent"] else 1
+        ok = deltas["replay_consistent"] and standby["caught_up"]
+        return 0 if ok else 1
     from repro.bench.throughput import (
         DEFAULT_OUTPUT,
         run_throughput,
@@ -753,6 +769,25 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--restore", default=None, metavar="CKPT.json",
                         help="warm-start from this checkpoint before "
                         "serving")
+    parser.add_argument(
+        "--restore-mode", choices=["structural", "replay"],
+        default="structural",
+        help="how --restore rebuilds engine state: 'structural' "
+        "bulk-loads the serialized skybands (fast), 'replay' re-ingests "
+        "the window through the engine (slow oracle; also the v1 "
+        "fallback) (default structural)",
+    )
+    parser.add_argument(
+        "--standby", default=None, metavar="HOST:PORT",
+        help="run as a warm standby of the primary at HOST:PORT: "
+        "bootstrap from a shipped checkpoint, tail its replication "
+        "feed, reject ingest until promoted ('repro client promote')",
+    )
+    parser.add_argument(
+        "--standby-delta-log", default=None, metavar="OUT.jsonl",
+        help="journal every replicated answer delta to this JSONL file "
+        "(standby mode only)",
+    )
     parser.add_argument("--checkpoint-on-exit", default=None,
                         metavar="CKPT.json",
                         help="write a final checkpoint during shutdown")
@@ -791,6 +826,7 @@ def run_serve(argv: Sequence[str],
     from repro.serve.checkpoint import restore_server_monitor, save_checkpoint
     from repro.serve.server import ServeServer
     from repro.serve.session import ServerMonitor
+    from repro.serve.standby import connect_standby
 
     stdout = stdout if stdout is not None else sys.stdout
     args = build_serve_parser().parse_args(argv)
@@ -800,6 +836,11 @@ def run_serve(argv: Sequence[str],
         )
     if args.trace_capacity < 0:
         raise SystemExit("--trace-capacity >= 0 required")
+    if args.standby is not None and args.restore is not None:
+        raise SystemExit("--standby and --restore are mutually exclusive "
+                         "(a standby bootstraps from the primary)")
+    if args.standby_delta_log is not None and args.standby is None:
+        raise SystemExit("--standby-delta-log requires --standby")
     spans = (SpanRecorder(args.trace_capacity)
              if args.trace_capacity > 0 else NULL_SPANS)
     flight = FlightRecorder(
@@ -811,24 +852,41 @@ def run_serve(argv: Sequence[str],
     # carry the request story, not just tick summaries.
     if spans is not NULL_SPANS:
         spans.sink = flight.record_span
-    if args.restore is not None:
-        session = restore_server_monitor(args.restore, audit=args.audit)
-        session.spans = spans
-        if session.config["num_attributes"] != args.columns:
+    tailer = None
+    if args.standby is not None:
+        host, _, port_text = args.standby.rpartition(":")
+        if not host or not port_text.isdigit():
             raise SystemExit(
-                f"--columns {args.columns} does not match the checkpoint's "
-                f"{session.config['num_attributes']} attributes"
+                f"--standby needs HOST:PORT, got {args.standby!r}"
             )
+        session, tailer = connect_standby(
+            host, int(port_text), mode=args.restore_mode,
+            audit=args.audit, delta_log=args.standby_delta_log,
+        )
+        session.spans = spans
+    elif args.restore is not None:
+        session = restore_server_monitor(args.restore,
+                                         mode=args.restore_mode,
+                                         audit=args.audit)
+        session.spans = spans
     else:
         session = ServerMonitor(
             args.window, args.columns, time_horizon=args.horizon,
             strategy=args.strategy, audit=args.audit, spans=spans,
         )
+    if args.restore is not None or args.standby is not None:
+        if session.config["num_attributes"] != args.columns:
+            raise SystemExit(
+                f"--columns {args.columns} does not match the checkpoint's "
+                f"{session.config['num_attributes']} attributes"
+            )
     server = ServeServer(
         session, host=args.host, port=args.port,
         backpressure=args.backpressure, queue_depth=args.queue_depth,
         checkpoint_dir=args.checkpoint_dir,
         flight=flight, obs_port=args.obs_port, obs_host=args.obs_host,
+        role="standby" if tailer is not None else "primary",
+        standby=tailer,
     )
 
     async def serve() -> None:
@@ -838,6 +896,11 @@ def run_serve(argv: Sequence[str],
         # for this line before connecting).
         print(f"repro serve: listening on {server.host}:{server.port}",
               file=stdout, flush=True)
+        if tailer is not None:
+            print(f"repro serve: standby of {tailer.primary} at seq "
+                  f"{session.monitor.manager.now_seq} "
+                  f"(epoch {session.epoch})",
+                  file=stdout, flush=True)
         if server.obs is not None:
             print(f"repro serve: telemetry on "
                   f"http://{server.obs.host}:{server.obs.port}",
@@ -874,7 +937,7 @@ def build_client_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "action",
         choices=["ingest", "snapshot", "watch", "stats", "checkpoint",
-                 "shutdown"],
+                 "promote", "epoch", "shutdown"],
         help="what to do",
     )
     parser.add_argument("csv_file", nargs="?", default="-",
@@ -994,6 +1057,19 @@ def run_client(argv: Sequence[str],
                 f"{meta['seconds'] * 1e3:.1f} ms",
                 file=stdout,
             )
+        elif args.action == "promote":
+            ack = client.promote()
+            print(
+                f"promoted to primary at epoch {ack['epoch']} "
+                f"(stream is at seq {ack['now_seq']})",
+                file=stdout,
+            )
+        elif args.action == "epoch":
+            ack = client.epoch()
+            json.dump({key: ack[key] for key in ack
+                       if key not in ("ok", "op", "id")},
+                      stdout, indent=2, sort_keys=True)
+            stdout.write("\n")
         else:  # shutdown
             client.shutdown()
             print("server is shutting down", file=stdout)

@@ -481,8 +481,30 @@ class SkybandMaintainer(ABC):
         ]
         pairs.sort(key=lambda p: p.score_key)
         skyband, staircase = update_skyband_and_staircase(pairs, self.K)
+        self._install_state(skyband, staircase)
+
+    def load_state(self, skyband: list[Pair], staircase: KStaircase) -> None:
+        """Install an externally reconstructed skyband wholesale.
+
+        The checkpoint structural-restore path deserializes the skyband
+        (score-ascending) and its staircase and installs them directly,
+        skipping :meth:`bootstrap`'s ``O(N^2)`` pair enumeration — the
+        paper's point that the K-skyband is the *complete* maintainer
+        state.  The caller is responsible for having validated the pairs
+        against the live window (``restore_server_monitor`` re-sweeps
+        them through Algorithm 4 before calling this); the PST is built
+        with the sorted-input fast path and raises on out-of-order
+        input.
+        """
+        self._install_state(skyband, staircase)
+
+    def _install_state(
+        self, skyband: list[Pair], staircase: KStaircase
+    ) -> None:
         self._set_skyband(skyband, staircase)
-        self._pst = PrioritySearchTree(skyband, recorder=self._obs)
+        self._pst = PrioritySearchTree.from_sorted(
+            skyband, recorder=self._obs
+        )
         self._by_oldest = {}
         for pair in skyband:
             self._by_oldest.setdefault(pair.oldest_seq, []).append(pair)

@@ -253,6 +253,54 @@ class TopKPairsMonitor:
                     handle.state.initialize(maintainer.pst, now)
         return group
 
+    def maintainer_for(
+        self,
+        scoring_function: ScoringFunction,
+        pair_filter=None,
+    ) -> Optional[SkybandMaintainer]:
+        """The live maintainer of the skyband group for this scoring
+        function (and filter) instance, or ``None`` when no query has
+        created one.  Read-only view used by the checkpoint layer to
+        serialize maintainer state."""
+        group = self._groups.get(_group_key(scoring_function, pair_filter))
+        return group.maintainer if group is not None else None
+
+    def restore_group(
+        self,
+        scoring_function: ScoringFunction,
+        K: int,
+        skyband: list,
+        staircase,
+        *,
+        pair_filter=None,
+    ) -> None:
+        """Install a pre-built skyband group, bypassing :meth:`bootstrap`.
+
+        Checkpoint structural restore deserializes each group's skyband
+        (score-ascending :class:`~repro.core.pair.Pair` list over live
+        window objects) and staircase and installs them here *before*
+        re-registering the saved queries — ``_group_for`` then reuses
+        the group as long as ``K`` covers the queries' ``k``, so no
+        ``O(N^2)`` re-enumeration happens.  Raises
+        :class:`~repro.exceptions.InvalidParameterError` when the group
+        already exists (restoring over live state would silently discard
+        it).
+        """
+        key = _group_key(scoring_function, pair_filter)
+        if key in self._groups:
+            raise InvalidParameterError(
+                "cannot restore a skyband group that already exists; "
+                "restore into a fresh monitor"
+            )
+        strategy = self._resolve_strategy(scoring_function)
+        maintainer = self._make_maintainer(
+            scoring_function, K, strategy, pair_filter
+        )
+        maintainer.load_state(skyband, staircase)
+        self._groups[key] = _SkybandGroup(
+            scoring_function, maintainer, strategy, pair_filter
+        )
+
     def _resolve_strategy(self, scoring_function: ScoringFunction) -> str:
         if self.strategy != "auto":
             return self.strategy

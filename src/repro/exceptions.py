@@ -15,6 +15,7 @@ __all__ = [
     "InvalidParameterError",
     "ItemNotFoundError",
     "ProtocolError",
+    "ReplicationError",
     "ReproError",
     "ScoringFunctionError",
     "ServeError",
@@ -85,6 +86,14 @@ class ProtocolError(ServeError, ValueError):
 class CheckpointError(ServeError, ValueError):
     """A checkpoint file is missing, malformed, or written by an
     incompatible format version (see docs/serving.md)."""
+
+
+class ReplicationError(ServeError):
+    """The warm-standby replication feed broke an invariant the tailer
+    cannot recover from: a sequence gap, an engine desync, or an epoch
+    mismatch (see docs/serving.md, failover runbook).  The tailer stops
+    rather than silently serving answers that diverged from the
+    primary."""
 
 
 class AuditViolationError(ReproError, AssertionError):

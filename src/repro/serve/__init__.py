@@ -17,6 +17,8 @@ are the CLI entry points.
 from repro.serve.checkpoint import (
     FORMAT_NAME,
     FORMAT_VERSION,
+    RESTORE_MODES,
+    SUPPORTED_VERSIONS,
     checkpoint_state,
     load_checkpoint,
     restore_server_monitor,
@@ -36,6 +38,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.server import (
     BACKPRESSURE_POLICIES,
+    ROLES,
     BackgroundServer,
     ServeServer,
 )
@@ -45,6 +48,7 @@ from repro.serve.session import (
     QueryRecord,
     ServerMonitor,
 )
+from repro.serve.standby import StandbyTailer, connect_standby
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
@@ -57,13 +61,18 @@ __all__ = [
     "OPS",
     "PROTOCOL_VERSION",
     "QueryRecord",
+    "RESTORE_MODES",
+    "ROLES",
     "SCORING_NAMES",
+    "SUPPORTED_VERSIONS",
     "ServeClient",
     "ServeRequestError",
     "ServeServer",
     "ServerMonitor",
+    "StandbyTailer",
     "apply_delta",
     "checkpoint_state",
+    "connect_standby",
     "decode_frame",
     "encode_frame",
     "error_frame",

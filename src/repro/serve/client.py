@@ -72,6 +72,13 @@ class ServeClient:
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
+        # Frames are small and latency-bound; without NODELAY, Nagle +
+        # delayed ACK adds ~40ms to every pushed event while a previous
+        # small segment is in flight (the replication feed's worst case).
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (OSError, AttributeError):
+            pass  # non-TCP transports (tests may stub the socket)
         self.hello = self.next_event(timeout=self.timeout)
         return self
 
@@ -81,6 +88,29 @@ class ServeClient:
                 self._sock.close()
             finally:
                 self._sock = None
+
+    def detach(self) -> tuple[socket.socket, bytes, list[dict]]:
+        """Hand the live connection over to another owner.
+
+        Returns ``(socket, leftover_bytes, buffered_events)`` — the raw
+        socket, any bytes already read past the last consumed frame, and
+        the event frames buffered for :meth:`next_event`.  The client
+        forgets the socket (``close`` becomes a no-op), so the new owner
+        controls its lifetime.  This is how the warm-standby bootstrap
+        (:func:`repro.serve.standby.connect_standby`) promotes a
+        synchronous bootstrap conversation into an asyncio replication
+        tail without dropping a byte of the feed.
+        """
+        if self._sock is None:
+            raise ServeError("client is not connected")
+        sock = self._sock
+        self._sock = None
+        sock.settimeout(None)
+        leftover = bytes(self._buffer)
+        self._buffer = bytearray()
+        events = self._events
+        self._events = []
+        return sock, leftover, events
 
     def __enter__(self) -> "ServeClient":
         if self._sock is None:
@@ -238,8 +268,31 @@ class ServeClient:
     def unsubscribe(self, query: str) -> dict:
         return self.request("unsubscribe", query=query)
 
-    def checkpoint(self, path: Optional[str] = None) -> dict:
-        return self.request("checkpoint", path=path)
+    def checkpoint(self, path: Optional[str] = None, *,
+                   ship: bool = False) -> dict:
+        """Persist a checkpoint server-side, or — with ``ship=True`` —
+        receive the checkpoint document inline in the ack (``state``
+        key) without the server touching disk (the standby bootstrap
+        path)."""
+        return self.request("checkpoint", path=path, ship=ship or None)
+
+    def replicate(self) -> dict:
+        """Register this connection for the raw replication feed: every
+        batch the server admits from now on arrives as a ``rows`` event
+        (consume via :meth:`next_event`).  The ack reports ``now_seq``
+        and the fencing ``epoch``."""
+        return self.request("replicate")
+
+    def promote(self) -> dict:
+        """Promote a standby server to primary (bumps its fencing
+        epoch); fails with ``bad_request`` on a server that already is
+        the primary."""
+        return self.request("promote")
+
+    def epoch(self) -> dict:
+        """The server's role, fencing epoch and current sequence number
+        (plus standby apply stats when it is tailing a primary)."""
+        return self.request("epoch")
 
     def stats(self, *, metrics: bool = False) -> dict:
         return self.request("stats", metrics=metrics or None)["stats"]

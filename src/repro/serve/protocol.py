@@ -15,7 +15,12 @@ frame per line.  Three frame shapes travel over a connection:
   Subscription deltas are ``{"event": "delta", "query": ..., "tick": ...,
   "entered": [...], "left": [...]}``; delivery keeps the client's answer
   in sync without re-shipping the full top-k every tick (the
-  delta-based protocol of Mäcker et al., see PAPERS.md).
+  delta-based protocol of Mäcker et al., see PAPERS.md).  Connections
+  registered via the ``replicate`` op additionally receive ``rows``
+  events — ``{"event": "rows", "first_seq": ..., "now_seq": ...,
+  "epoch": ..., "rows": [[values...], ...], "timestamps": [...]|null}``
+  — the raw replication feed a warm standby applies to keep its
+  maintainer state hot (docs/serving.md, failover runbook).
 
 Any request may additionally carry an optional ``trace`` field — an
 opaque client-minted id string (see :func:`repro.obs.spans.new_trace_id`)
@@ -76,6 +81,9 @@ OPS = (
     "checkpoint",
     "stats",
     "shutdown",
+    "replicate",
+    "promote",
+    "epoch",
 )
 
 #: structured error codes (the machine-readable half of an error frame).
@@ -88,6 +96,7 @@ ERROR_CODES = (
     "frame_too_large", # request exceeded the frame byte ceiling
     "checkpoint_failed",
     "shutting_down",   # server is draining; no new work accepted
+    "not_primary",     # standby refused a mutating op; promote it first
     "internal",        # unexpected server-side failure (bug)
 )
 

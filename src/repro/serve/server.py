@@ -44,6 +44,7 @@ deployments this layer targets, revisit before multi-tenancy.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
 import threading
@@ -69,9 +70,15 @@ from repro.serve.protocol import (
 )
 from repro.serve.session import ServerMonitor
 
-__all__ = ["BACKPRESSURE_POLICIES", "BackgroundServer", "ServeServer"]
+__all__ = ["BACKPRESSURE_POLICIES", "ROLES", "BackgroundServer",
+           "ServeServer"]
 
 BACKPRESSURE_POLICIES = ("block", "drop")
+
+#: a server is either the ingest authority or a warm standby tailing one
+#: (docs/serving.md, failover runbook).  A standby rejects ``ingest``
+#: with ``not_primary`` until a ``promote`` op flips its role.
+ROLES = ("primary", "standby")
 
 _CLOSE = object()  # event-queue sentinel terminating a writer task
 
@@ -115,6 +122,8 @@ class ServeServer:
         obs_port: Optional[int] = None,
         obs_host: str = "127.0.0.1",
         ticks_capacity: int = 256,
+        role: str = "primary",
+        standby=None,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ProtocolError(
@@ -126,7 +135,20 @@ class ServeServer:
             raise ProtocolError(
                 "bad_request", f"queue_depth must be >= 1, got {queue_depth}"
             )
+        if role not in ROLES:
+            raise ProtocolError(
+                "bad_request", f"role must be one of {ROLES}, got {role!r}"
+            )
+        if standby is not None and role != "standby":
+            raise ProtocolError(
+                "bad_request", "a standby tailer requires role='standby'"
+            )
         self.session = session
+        self.role = role
+        #: the :class:`~repro.serve.standby.StandbyTailer` feeding this
+        #: server's session (standbys only); started with the server and
+        #: stopped by ``promote`` or shutdown.
+        self.standby = standby
         self.host = host
         self.port = port
         self.backpressure = backpressure
@@ -149,6 +171,9 @@ class ServeServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[_Connection] = set()
         self._subscribers: dict[str, set[_Connection]] = {}
+        #: connections registered via ``replicate`` (warm standbys);
+        #: every ingested batch is mirrored to them as a ``rows`` event
+        self._replicas: set[_Connection] = set()
         self._stopping = False
         self._stopped = asyncio.Event()
         #: strong references to background tasks (pumps, shutdown);
@@ -182,6 +207,10 @@ class ServeServer:
         self._m_dropped = r.counter(
             "repro_serve_deltas_dropped_total",
             "delta events discarded by the drop backpressure policy",
+        )
+        self._m_replicated = r.counter(
+            "repro_serve_replicated_rows_total",
+            "rows mirrored to replication subscribers",
         )
         self._m_subscribers = r.gauge(
             "repro_serve_subscribers", "active (connection, query) "
@@ -267,6 +296,12 @@ class ServeServer:
                 port=self.obs_port,
             )
             self.obs_port = await self.obs.start()
+        if self.standby is not None:
+            # The tailer shares the event loop with the op handlers, so
+            # replication applies serialize with reads exactly like
+            # primary-side ingests do.
+            self.standby.attach(self)
+            self._spawn(self.standby.run())
 
     async def serve_until_stopped(self) -> None:
         """Run until :meth:`stop` completes (signal, op, or caller)."""
@@ -304,6 +339,8 @@ class ServeServer:
             await self._stopped.wait()
             return
         self._stopping = True
+        if self.standby is not None:
+            self.standby.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -319,6 +356,7 @@ class ServeServer:
         if conn not in self._connections:
             return
         self._connections.discard(conn)
+        self._replicas.discard(conn)
         for query in conn.subscriptions:
             subscribers = self._subscribers.get(query)
             if subscribers is not None:
@@ -365,6 +403,8 @@ class ServeServer:
             "protocol": PROTOCOL_VERSION,
             "backpressure": self.backpressure,
             "queue_depth": self.queue_depth,
+            "role": self.role,
+            "epoch": self.session.epoch,
         }))
         try:
             while not self._stopping:
@@ -485,6 +525,8 @@ class ServeServer:
         last = self._last_tick_at
         return {
             "protocol": PROTOCOL_VERSION,
+            "role": self.role,
+            "epoch": self.session.epoch,
             "window_size": len(self.session.monitor.manager),
             "now_seq": self.session.monitor.manager.now_seq,
             "last_tick_age_seconds": (
@@ -530,7 +572,12 @@ class ServeServer:
         the delta; under ``drop`` the delta is discarded and the
         subscriber marked lagged.
         """
-        deltas = self.session.drain_deltas()
+        return await self._fan_out_delta_list(self.session.drain_deltas())
+
+    async def _fan_out_delta_list(self, deltas) -> int:
+        """Enqueue an already-drained delta list to subscribers (the
+        standby tailer drains deltas itself so it can journal them, then
+        hands them here)."""
         if not deltas:
             return 0
         enqueued = 0
@@ -586,6 +633,12 @@ class ServeServer:
     # ops
     # ------------------------------------------------------------------
     async def _op_ingest(self, conn, frame, request_id) -> None:
+        if self.role != "primary":
+            raise ProtocolError(
+                "not_primary",
+                "this server is a standby; ingest on the primary or "
+                "promote this server first",
+            )
         rows = frame.get("rows")
         if not isinstance(rows, list):
             raise ProtocolError("bad_request",
@@ -600,6 +653,7 @@ class ServeServer:
             rows, timestamps=timestamps, trace=trace,
         )
         self._m_ingested.inc(count)
+        await self._replicate_rows(rows, timestamps, count, now_seq)
         deltas = await self._fan_out_deltas()
         elapsed = perf_counter() - started
         tick_record = {"tick": now_seq, "rows": count,
@@ -617,6 +671,31 @@ class ServeServer:
         if trace is not None:
             ack["trace"] = trace
         self._send(conn, ack)
+
+    async def _replicate_rows(self, rows, timestamps, count,
+                              now_seq) -> None:
+        """Mirror one admitted batch to every replication subscriber.
+
+        Replication always *blocks* for queue space regardless of the
+        delta backpressure policy: a standby that missed a batch would
+        hit a sequence gap and die, so losslessness beats latency here.
+        The ingest ack therefore waits until every replica queue took
+        the event — same contract as the ``block`` delta policy.
+        """
+        if count <= 0 or not self._replicas:
+            return
+        payload = encode_frame({
+            "event": "rows",
+            "first_seq": now_seq - count + 1,
+            "now_seq": now_seq,
+            "epoch": self.session.epoch,
+            "rows": [list(row) for row in rows],
+            "timestamps": (list(timestamps)
+                           if timestamps is not None else None),
+        })
+        for replica in list(self._replicas):
+            await replica.events.put(payload)
+            self._m_replicated.inc(count)
 
     async def _op_register(self, conn, frame, request_id) -> None:
         handle_id = self.session.register(
@@ -688,8 +767,9 @@ class ServeServer:
                                   query=handle_id))
 
     async def _op_checkpoint(self, conn, frame, request_id) -> None:
+        ship = bool(frame.get("ship"))
         path = frame.get("path", "checkpoint.json")
-        if not isinstance(path, str) or not path:
+        if not ship and (not isinstance(path, str) or not path):
             raise ProtocolError("bad_request",
                                 "'path' must be a non-empty string")
         if self.checkpoint_dir is not None and not os.path.isabs(path):
@@ -704,12 +784,23 @@ class ServeServer:
             )
         except ReproError as exc:
             raise ProtocolError("checkpoint_failed", str(exc)) from exc
+        if ship:
+            # Bootstrap path for standbys: the document travels inline
+            # on this connection instead of touching disk.  Issued right
+            # after ``replicate`` on the same connection, it is
+            # guaranteed consistent with the replication feed — both
+            # serialize on the event loop.
+            elapsed = perf_counter() - start
+            meta["seconds"] = elapsed
+            self._send(conn, ok_frame("checkpoint", request_id,
+                                      state=json.loads(document), **meta))
+            return
         loop = asyncio.get_running_loop()
         try:
             await loop.run_in_executor(
                 None,
                 checkpoint_module.write_checkpoint_document,
-                document, path,
+                document, path, self.session.epoch,
             )
         except OSError as exc:
             raise ProtocolError("checkpoint_failed",
@@ -720,19 +811,71 @@ class ServeServer:
         meta["seconds"] = elapsed
         self._send(conn, ok_frame("checkpoint", request_id, **meta))
 
+    async def _op_replicate(self, conn, frame, request_id) -> None:
+        """Register this connection as a replication subscriber: every
+        batch admitted from now on is mirrored to it as a ``rows``
+        event.  The ack carries ``now_seq`` so the standby knows where
+        the feed starts relative to the checkpoint it bootstraps from.
+        """
+        self._replicas.add(conn)
+        self._send(conn, ok_frame(
+            "replicate", request_id,
+            now_seq=self.session.monitor.manager.now_seq,
+            epoch=self.session.epoch,
+            role=self.role,
+        ))
+
+    async def _op_promote(self, conn, frame, request_id) -> None:
+        """Promote a standby to primary: stop tailing, bump the fencing
+        epoch, start accepting ingest.  The epoch bump fences the old
+        primary — its checkpoints now carry a lower epoch and
+        :func:`~repro.serve.checkpoint.write_checkpoint_document`
+        refuses to let them clobber the promoted lineage's files.
+        """
+        if self.role == "primary":
+            raise ProtocolError("bad_request",
+                                "this server is already the primary")
+        if self.standby is not None:
+            self.standby.stop()
+        self.session.epoch += 1
+        self.role = "primary"
+        self._send(conn, ok_frame(
+            "promote", request_id,
+            epoch=self.session.epoch,
+            now_seq=self.session.monitor.manager.now_seq,
+            role=self.role,
+        ))
+
+    async def _op_epoch(self, conn, frame, request_id) -> None:
+        """Cheap liveness/catch-up probe: role, fencing epoch, and the
+        engine's current sequence number (what failover drills poll)."""
+        payload = {
+            "epoch": self.session.epoch,
+            "role": self.role,
+            "now_seq": self.session.monitor.manager.now_seq,
+        }
+        if self.standby is not None:
+            payload["standby"] = self.standby.stats()
+        self._send(conn, ok_frame("epoch", request_id, **payload))
+
     async def _op_stats(self, conn, frame, request_id) -> None:
         payload = self.session.stats()
         payload["serve"] = {
             "protocol": PROTOCOL_VERSION,
+            "role": self.role,
+            "epoch": self.session.epoch,
             "backpressure": self.backpressure,
             "queue_depth": self.queue_depth,
             "connections": len(self._connections),
             "subscriptions": sum(
                 len(s) for s in self._subscribers.values()
             ),
+            "replicas": len(self._replicas),
             "obs_port": self.obs.port if self.obs is not None else None,
             "tracing": bool(self.spans.enabled),
         }
+        if self.standby is not None:
+            payload["serve"]["standby"] = self.standby.stats()
         if frame.get("metrics"):
             payload["metrics"] = self.registry.snapshot()
         self._send(conn, ok_frame("stats", request_id, stats=payload))

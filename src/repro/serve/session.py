@@ -135,6 +135,11 @@ class ServerMonitor:
         #: the span recorder traced ingests report to (the server adopts
         #: this instance so op spans and tick spans share one ring)
         self.spans = spans if spans is not None else NULL_SPANS
+        #: fencing epoch (monotonic across failovers): checkpoints carry
+        #: it in their header, a promoted standby bumps it by one, and
+        #: checkpoint writers refuse to clobber a higher-epoch file — the
+        #: split-brain guard for the warm-standby protocol.
+        self.epoch = 0
         self._scoring_instances: dict[str, ScoringFunction] = {}
         self._queries: dict[str, QueryRecord] = {}
         self._next_handle = 1

@@ -69,6 +69,8 @@ class StreamManager:
             self.window_size = window_size
         # One skip list per attribute, keyed (value, seq) so duplicates of a
         # value keep a deterministic order and node removal is exact.
+        self._seed = seed
+        self._obs = recorder
         self._attribute_lists: list[SkipList] = [
             SkipList(
                 key=lambda obj, i=i: (obj.values[i], obj.seq),
@@ -130,6 +132,66 @@ class StreamManager:
                 f"next_seq must be >= 1, got {next_seq}"
             )
         self._next_seq = next_seq
+
+    def load_window(self, objects: Sequence[StreamObject]) -> None:
+        """Bulk-install a restored window into a fresh manager.
+
+        The checkpoint structural-restore path rebuilds the window
+        without replaying arrivals: objects (oldest first, strictly
+        increasing seqs) go straight into the window, and each of the
+        ``D`` attribute lists is built with
+        :meth:`~repro.structures.skiplist.SkipList.bulk_load` from one
+        sorted pass — ``O(N D log N)`` for the sorts instead of ``N``
+        incremental inserts *plus* the ``O(N^2)`` skyband bootstraps
+        replay would trigger downstream.  Objects are pushed through the
+        window's own admission (so capacity/timestamp rules still
+        apply); any eviction means the window never fit its
+        configuration and raises.
+        """
+        if self._next_seq != 1 or self._nodes:
+            raise InvalidParameterError(
+                "load_window is only allowed on a fresh stream manager"
+            )
+        objects = list(objects)
+        previous_seq = 0
+        for obj in objects:
+            if len(obj.values) != self.num_attributes:
+                raise InvalidParameterError(
+                    f"expected {self.num_attributes} attribute values, "
+                    f"got {len(obj.values)} (seq {obj.seq})"
+                )
+            if obj.seq <= previous_seq:
+                raise InvalidParameterError(
+                    f"window seqs must be strictly increasing: {obj.seq} "
+                    f"after {previous_seq}"
+                )
+            previous_seq = obj.seq
+            if self._window.push(obj):
+                raise InvalidParameterError(
+                    "window objects do not fit the window configuration "
+                    "(bulk load evicted an object)"
+                )
+        nodes_by_seq: dict[int, list[SkipNode]] = {
+            obj.seq: [None] * self.num_attributes for obj in objects
+        }
+        for attribute in range(self.num_attributes):
+            ordered = sorted(
+                objects, key=lambda obj: (obj.values[attribute], obj.seq)
+            )
+            skiplist = SkipList.bulk_load(
+                ordered,
+                key=lambda obj, i=attribute: (obj.values[i], obj.seq),
+                seed=self._seed + attribute,
+                recorder=self._obs,
+            )
+            self._attribute_lists[attribute] = skiplist
+            node = skiplist.first_node()
+            while node is not None:
+                nodes_by_seq[node.value.seq][attribute] = node
+                node = node.next_at(0)
+        self._nodes = nodes_by_seq
+        if objects:
+            self._next_seq = objects[-1].seq + 1
 
     # ------------------------------------------------------------------
     def append(

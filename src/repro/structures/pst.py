@@ -97,6 +97,33 @@ class PrioritySearchTree:
         if points:
             self._root = _build(sorted(points, key=lambda p: p.score_key))
 
+    @classmethod
+    def from_sorted(
+        cls,
+        points: Sequence[AgeScorePoint],
+        *,
+        recorder=None,
+    ) -> "PrioritySearchTree":
+        """Build from points already in ascending ``score_key`` order.
+
+        Skips the constructor's re-sort — Algorithm 1 itself is ``O(m)``
+        on sorted input (plus the age selections), so this is the path
+        the skyband maintainer and the checkpoint structural restore use
+        when they hold a score-sorted skyband.  Raises
+        :class:`ValueError` when the input is out of order (a corrupt
+        checkpoint must not become a silently broken tree).
+        """
+        for index in range(1, len(points)):
+            if points[index].score_key <= points[index - 1].score_key:
+                raise ValueError(
+                    "from_sorted requires strictly ascending score keys: "
+                    f"violation at position {index}"
+                )
+        tree = cls(recorder=recorder)
+        if points:
+            tree._root = _build(list(points))
+        return tree
+
     # ------------------------------------------------------------------
     # basic protocol
     # ------------------------------------------------------------------

@@ -231,6 +231,68 @@ class SkipList:
         self._level = 1
         self._size = 0
 
+    @classmethod
+    def bulk_load(
+        cls,
+        sorted_values: Iterable[Any],
+        *,
+        key: Optional[Callable[[Any], Any]] = None,
+        seed: Optional[int] = None,
+        recorder=None,
+    ) -> "SkipList":
+        """Build a list from already key-sorted values in ``O(n)``.
+
+        One random level is drawn per value (same generator as
+        :meth:`insert`, so a seeded bulk load is reproducible) and nodes
+        are linked level by level with running position trackers instead
+        of ``n`` top-down descents.  The resulting structure satisfies
+        every :meth:`check_invariants` property; tail widths are set to
+        the distance to the virtual one-past-the-end position, matching
+        what incremental appends would have produced (``insert`` reads
+        them when extending the list).
+
+        Used by the checkpoint structural-restore path, which rebuilds
+        the ``D`` per-attribute lists from the serialized window in one
+        pass each.  Raises :class:`ValueError` when the input is not
+        sorted by ``key``.
+        """
+        skiplist = cls(key=key, seed=seed, recorder=recorder)
+        values = list(sorted_values)
+        if not values:
+            return skiplist
+        size = len(values)
+        head = skiplist._head
+        # Last node linked at each level and its level-0 position
+        # (head = position 0, i-th value = position i + 1).
+        last_node: list[SkipNode] = [head] * _MAX_LEVEL
+        last_pos = [0] * _MAX_LEVEL
+        max_level = 1
+        previous: Optional[SkipNode] = None
+        for position, value in enumerate(values, start=1):
+            node_key = skiplist._key(value)
+            if previous is not None and node_key < previous.key:
+                raise ValueError(
+                    "bulk_load requires values sorted by key: item at "
+                    f"position {position - 1} is out of order"
+                )
+            node_level = skiplist._random_level()
+            node = SkipNode(node_key, value, node_level)
+            node.prev = previous
+            for level in range(node_level):
+                pred = last_node[level]
+                pred.forward[level] = node
+                pred.width[level] = position - last_pos[level]
+                last_node[level] = node
+                last_pos[level] = position
+            if node_level > max_level:
+                max_level = node_level
+            previous = node
+        for level in range(max_level):
+            last_node[level].width[level] = size + 1 - last_pos[level]
+        skiplist._level = max_level
+        skiplist._size = size
+        return skiplist
+
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------

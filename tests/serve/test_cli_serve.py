@@ -98,6 +98,62 @@ class TestServeSubprocess:
         assert "checkpoint" in out
         assert ckpt.exists()
 
+    def test_standby_failover_via_cli(self, tmp_path):
+        """The CLI failover drill: spawn a primary, attach a standby
+        with ``--standby``, kill the primary, ``repro client promote``
+        the standby, and keep serving through it."""
+        primary, primary_port = spawn_server()
+        standby = None
+        try:
+            run_client(primary_port, "ingest", "--columns", "2",
+                       stdin_text="0.1,0.9\n0.2,0.8\n0.15,0.85\n")
+            env = dict(os.environ, PYTHONPATH=SRC)
+            standby = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--columns", "2",
+                 "--window", "64", "--port", "0",
+                 "--standby", f"127.0.0.1:{primary_port}"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True, env=env,
+            )
+            line = standby.stdout.readline()
+            assert "listening on" in line, line
+            standby_port = int(line.rsplit(":", 1)[1])
+            announce = standby.stdout.readline()
+            assert "standby of" in announce, announce
+
+            answer = run_client(primary_port, "snapshot", "--k", "2")
+            mirrored = run_client(standby_port, "snapshot", "--k", "2")
+            assert mirrored.stdout == answer.stdout
+
+            primary.kill()
+            primary.wait(timeout=30)
+
+            promoted = run_client(standby_port, "promote")
+            assert promoted.returncode == 0, promoted.stdout
+            assert "promoted to primary at epoch 1" in promoted.stdout
+
+            result = run_client(standby_port, "ingest", "--columns", "2",
+                                stdin_text="0.3,0.7\n")
+            assert "ingested 1 rows" in result.stdout
+            epoch = run_client(standby_port, "epoch")
+            assert '"epoch": 1' in epoch.stdout
+            run_client(standby_port, "shutdown")
+            assert standby.wait(timeout=30) == 0
+        finally:
+            for process in (primary, standby):
+                if process is not None and process.poll() is None:
+                    process.kill()
+
+    def test_standby_and_restore_flags_conflict(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--columns", "2",
+             "--standby", "127.0.0.1:1", "--restore", "nope.json"],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        assert result.returncode != 0
+        assert "--standby" in result.stderr
+
     def test_port_already_in_use_fails_fast(self):
         process, port = spawn_server()
         try:
