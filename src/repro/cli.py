@@ -41,6 +41,13 @@ Usage examples::
     # pretty-print the server's live ingest ticks off the sidecar
     python -m repro obs tail --port 7808
 
+    # multi-tenant serving: mint two tenants, serve them isolated
+    python -m repro tenants create alpha --file tenants.json
+    python -m repro tenants create beta --file tenants.json
+    python -m repro serve --columns 2 --tenants tenants.json
+    python -m repro client ingest --port 7807 --columns 2 \
+        --namespace alpha --token <alpha-token> data.csv
+
 Scoring functions: ``closest`` (s1), ``furthest`` (s2), ``similar`` (s3),
 ``dissimilar`` (s4), each over all ``--columns`` attributes.
 """
@@ -72,6 +79,7 @@ __all__ = [
     "build_obs_parser",
     "build_obs_tail_parser",
     "build_serve_parser",
+    "build_tenants_parser",
     "run_audit",
     "run_bench",
     "run_client",
@@ -79,6 +87,7 @@ __all__ = [
     "run_obs",
     "run_obs_tail",
     "run_serve",
+    "run_tenants",
 ]
 
 _SCORING_FACTORIES = {
@@ -488,8 +497,18 @@ def run_bench(argv: Sequence[str],
             + ("" if standby["caught_up"] else " [NOT CAUGHT UP]"),
             file=stdout,
         )
+        tenants = result["multi_tenant"]
+        print(
+            f"multi-tenant: {tenants['namespaces']} namespaces aggregate "
+            f"{tenants['aggregate_rows_per_sec']:.0f} rows/sec "
+            f"({tenants['single_tenant_fraction']:.2f}x single-tenant), "
+            f"delta p99 median {tenants['delta_p99_us']['median']:.0f} us / "
+            f"worst {tenants['delta_p99_us']['max']:.0f} us across tenants",
+            file=stdout,
+        )
         print(f"written to {path}", file=stdout)
-        ok = deltas["replay_consistent"] and standby["caught_up"]
+        ok = (deltas["replay_consistent"] and standby["caught_up"]
+              and tenants["single_tenant_fraction"] >= 0.8)
         return 0 if ok else 1
     from repro.bench.throughput import (
         DEFAULT_OUTPUT,
@@ -764,11 +783,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--queue-depth", type=int, default=64,
                         help="per-subscriber event queue bound (default 64)")
+    parser.add_argument(
+        "--tenants", default=None, metavar="TENANTS.toml",
+        help="serve many isolated namespaces from this tenants file "
+        "(TOML or JSON: bearer tokens + quotas per tenant; manage it "
+        "with 'repro tenants'); clients bind a namespace with the auth "
+        "op, SIGHUP hot-reloads the file (docs/serving.md)",
+    )
+    parser.add_argument("--mux-pending", type=int, default=4,
+                        help="per-namespace ingest queue bound in the "
+                        "fair multiplexer (multi-tenant only, default 4)")
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
-                        help="resolve relative checkpoint paths here")
+                        help="resolve relative checkpoint paths here "
+                        "(per-namespace <ns>.ckpt files land here on a "
+                        "multi-tenant server)")
     parser.add_argument("--restore", default=None, metavar="CKPT.json",
                         help="warm-start from this checkpoint before "
-                        "serving")
+                        "serving (with --tenants: a directory of "
+                        "per-namespace <ns>.ckpt files)")
     parser.add_argument(
         "--restore-mode", choices=["structural", "replay"],
         default="structural",
@@ -821,12 +853,18 @@ def run_serve(argv: Sequence[str],
     """``python -m repro serve`` — run the server on the main thread."""
     import asyncio
 
+    from repro.exceptions import TenantConfigError
     from repro.obs.flight import FlightRecorder
     from repro.obs.spans import NULL_SPANS, SpanRecorder
-    from repro.serve.checkpoint import restore_server_monitor, save_checkpoint
+    from repro.serve.checkpoint import (
+        restore_namespace_checkpoints,
+        restore_server_monitor,
+        save_checkpoint,
+    )
     from repro.serve.server import ServeServer
     from repro.serve.session import ServerMonitor
     from repro.serve.standby import connect_standby
+    from repro.serve.tenancy import NamespaceRegistry
 
     stdout = stdout if stdout is not None else sys.stdout
     args = build_serve_parser().parse_args(argv)
@@ -836,6 +874,8 @@ def run_serve(argv: Sequence[str],
         )
     if args.trace_capacity < 0:
         raise SystemExit("--trace-capacity >= 0 required")
+    if args.mux_pending < 1:
+        raise SystemExit("--mux-pending >= 1 required")
     if args.standby is not None and args.restore is not None:
         raise SystemExit("--standby and --restore are mutually exclusive "
                          "(a standby bootstraps from the primary)")
@@ -852,29 +892,61 @@ def run_serve(argv: Sequence[str],
     # carry the request story, not just tick summaries.
     if spans is not NULL_SPANS:
         spans.sink = flight.record_span
+    registry: Optional[NamespaceRegistry] = None
+    if args.tenants is not None:
+        def factory(name, spec):
+            # Each tenant gets its own engine; a max_window_objects
+            # quota caps the window below the server-wide default.
+            window = args.window
+            if spec.quotas.max_window_objects is not None:
+                window = min(window, spec.quotas.max_window_objects)
+            return ServerMonitor(
+                window, args.columns, time_horizon=args.horizon,
+                strategy=args.strategy, audit=args.audit, spans=spans,
+            )
+        try:
+            registry = NamespaceRegistry.from_file(args.tenants, factory)
+        except TenantConfigError as exc:
+            raise SystemExit(f"repro serve: {exc}") from exc
     tailer = None
+    session = None
     if args.standby is not None:
         host, _, port_text = args.standby.rpartition(":")
         if not host or not port_text.isdigit():
             raise SystemExit(
                 f"--standby needs HOST:PORT, got {args.standby!r}"
             )
-        session, tailer = connect_standby(
+        restored, tailer = connect_standby(
             host, int(port_text), mode=args.restore_mode,
             audit=args.audit, delta_log=args.standby_delta_log,
+            registry=registry,
         )
-        session.spans = spans
+        if registry is None:
+            session = restored
+            session.spans = spans
+        else:
+            for namespace in registry.namespaces():
+                namespace.session.spans = spans
     elif args.restore is not None:
-        session = restore_server_monitor(args.restore,
-                                         mode=args.restore_mode,
-                                         audit=args.audit)
-        session.spans = spans
-    else:
+        if registry is not None:
+            restored_sessions = restore_namespace_checkpoints(
+                args.restore, mode=args.restore_mode, audit=args.audit,
+            )
+            for name, restored in restored_sessions.items():
+                restored.spans = spans
+                registry.install(name, restored)
+        else:
+            session = restore_server_monitor(args.restore,
+                                             mode=args.restore_mode,
+                                             audit=args.audit)
+            session.spans = spans
+    elif registry is None:
         session = ServerMonitor(
             args.window, args.columns, time_horizon=args.horizon,
             strategy=args.strategy, audit=args.audit, spans=spans,
         )
-    if args.restore is not None or args.standby is not None:
+    if session is not None \
+            and (args.restore is not None or args.standby is not None):
         if session.config["num_attributes"] != args.columns:
             raise SystemExit(
                 f"--columns {args.columns} does not match the checkpoint's "
@@ -884,9 +956,12 @@ def run_serve(argv: Sequence[str],
         session, host=args.host, port=args.port,
         backpressure=args.backpressure, queue_depth=args.queue_depth,
         checkpoint_dir=args.checkpoint_dir,
+        spans=spans,
         flight=flight, obs_port=args.obs_port, obs_host=args.obs_host,
         role="standby" if tailer is not None else "primary",
         standby=tailer,
+        tenants=registry,
+        mux_pending=args.mux_pending,
     )
 
     async def serve() -> None:
@@ -896,11 +971,20 @@ def run_serve(argv: Sequence[str],
         # for this line before connecting).
         print(f"repro serve: listening on {server.host}:{server.port}",
               file=stdout, flush=True)
-        if tailer is not None:
-            print(f"repro serve: standby of {tailer.primary} at seq "
-                  f"{session.monitor.manager.now_seq} "
-                  f"(epoch {session.epoch})",
+        if registry is not None:
+            print(f"repro serve: {len(registry.specs)} tenant(s) from "
+                  f"{args.tenants} (SIGHUP reloads)",
                   file=stdout, flush=True)
+        if tailer is not None:
+            if session is not None:
+                print(f"repro serve: standby of {tailer.primary} at seq "
+                      f"{session.monitor.manager.now_seq} "
+                      f"(epoch {session.epoch})",
+                      file=stdout, flush=True)
+            else:
+                print(f"repro serve: standby of {tailer.primary} tailing "
+                      f"{len(registry)} namespace(s)",
+                      file=stdout, flush=True)
         if server.obs is not None:
             print(f"repro serve: telemetry on "
                   f"http://{server.obs.host}:{server.obs.port}",
@@ -912,12 +996,27 @@ def run_serve(argv: Sequence[str],
     except KeyboardInterrupt:
         pass  # loops without signal-handler support: exit the drain path
     if args.checkpoint_on_exit is not None:
-        meta = save_checkpoint(session, args.checkpoint_on_exit)
-        print(
-            f"repro serve: checkpoint {meta['path']} "
-            f"({meta['objects']} objects, {meta['queries']} queries)",
-            file=stdout, flush=True,
-        )
+        if registry is not None:
+            # Multi-tenant: the value is a directory of <ns>.ckpt files
+            # (the layout restore_namespace_checkpoints reads back).
+            os.makedirs(args.checkpoint_on_exit, exist_ok=True)
+            for namespace in registry.namespaces():
+                target = os.path.join(args.checkpoint_on_exit,
+                                      f"{namespace.name}.ckpt")
+                meta = save_checkpoint(namespace.session, target)
+                print(
+                    f"repro serve: checkpoint {meta['path']} "
+                    f"({meta['objects']} objects, "
+                    f"{meta['queries']} queries)",
+                    file=stdout, flush=True,
+                )
+        else:
+            meta = save_checkpoint(session, args.checkpoint_on_exit)
+            print(
+                f"repro serve: checkpoint {meta['path']} "
+                f"({meta['objects']} objects, {meta['queries']} queries)",
+                file=stdout, flush=True,
+            )
     if args.metrics is not None:
         from repro.obs import write_metrics_json
 
@@ -946,6 +1045,19 @@ def build_client_parser() -> argparse.ArgumentParser:
                         help="server address (default 127.0.0.1)")
     parser.add_argument("--port", type=int, required=True,
                         help="server port")
+    parser.add_argument("--namespace", default=None, metavar="NS",
+                        help="authenticate into this namespace first "
+                        "(multi-tenant servers; needs --token)")
+    parser.add_argument("--token", default=None,
+                        help="bearer token for --namespace (or the admin "
+                        "token with --admin)")
+    parser.add_argument("--admin", action="store_true",
+                        help="authenticate --token as the admin token "
+                        "(checkpoint --all, promote, shutdown on "
+                        "multi-tenant servers)")
+    parser.add_argument("--all", action="store_true",
+                        help="'checkpoint' every namespace (scope \"all\"; "
+                        "admin only on multi-tenant servers)")
     parser.add_argument("--columns", type=int, default=None,
                         help="attribute columns (required for 'ingest')")
     parser.add_argument("--scoring", choices=sorted(_SCORING_FACTORIES),
@@ -993,7 +1105,14 @@ def run_client(argv: Sequence[str],
     stdout = stdout if stdout is not None else sys.stdout
     # intermixed: the csv_file positional may follow the option flags
     args = build_client_parser().parse_intermixed_args(argv)
+    if args.namespace is not None and args.admin:
+        raise SystemExit("--namespace and --admin are mutually exclusive "
+                         "(one connection, one principal)")
     with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.admin:
+            client.auth(token=args.token, admin=True)
+        elif args.namespace is not None:
+            client.auth(args.namespace, args.token)
         if args.action == "ingest":
             if args.columns is None or args.columns < 1:
                 raise SystemExit("'ingest' requires --columns >= 1")
@@ -1050,20 +1169,36 @@ def run_client(argv: Sequence[str],
                       sort_keys=True)
             stdout.write("\n")
         elif args.action == "checkpoint":
-            meta = client.checkpoint(args.path)
-            print(
-                f"checkpoint {meta['path']}: {meta['objects']} objects, "
-                f"{meta['queries']} queries, {meta['bytes']} bytes in "
-                f"{meta['seconds'] * 1e3:.1f} ms",
-                file=stdout,
-            )
+            if args.all:
+                meta = client.checkpoint(scope="all")
+                names = ", ".join(meta["namespaces"]) or "(none)"
+                print(
+                    f"checkpointed namespaces {names} in "
+                    f"{meta['seconds'] * 1e3:.1f} ms",
+                    file=stdout,
+                )
+            else:
+                meta = client.checkpoint(args.path)
+                print(
+                    f"checkpoint {meta['path']}: {meta['objects']} objects, "
+                    f"{meta['queries']} queries, {meta['bytes']} bytes in "
+                    f"{meta['seconds'] * 1e3:.1f} ms",
+                    file=stdout,
+                )
         elif args.action == "promote":
             ack = client.promote()
-            print(
-                f"promoted to primary at epoch {ack['epoch']} "
-                f"(stream is at seq {ack['now_seq']})",
-                file=stdout,
-            )
+            if "namespaces" in ack:
+                detail = ", ".join(
+                    f"{name} at epoch {entry['epoch']}"
+                    for name, entry in sorted(ack["namespaces"].items())
+                ) or "(no namespaces)"
+                print(f"promoted to primary: {detail}", file=stdout)
+            else:
+                print(
+                    f"promoted to primary at epoch {ack['epoch']} "
+                    f"(stream is at seq {ack['now_seq']})",
+                    file=stdout,
+                )
         elif args.action == "epoch":
             ack = client.epoch()
             json.dump({key: ack[key] for key in ack
@@ -1076,13 +1211,154 @@ def run_client(argv: Sequence[str],
     return 0
 
 
+def build_tenants_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro tenants",
+        description="Manage a multi-tenant server's tenants file "
+        "(repro serve --tenants): list tenants, create one (minting its "
+        "bearer token), or revoke one.  Writes are JSON-only (TOML "
+        "files are hand-edited so comments survive); a running server "
+        "picks changes up on SIGHUP.",
+    )
+    parser.add_argument("action", choices=["list", "create", "revoke"],
+                        help="what to do")
+    parser.add_argument("name", nargs="?", default=None,
+                        help="namespace name (create/revoke)")
+    parser.add_argument("--file", required=True, metavar="TENANTS.json",
+                        help="the tenants file ('create' starts a new one "
+                        "when it does not exist yet, minting an admin "
+                        "token)")
+    parser.add_argument("--token", default=None,
+                        help="bearer token for 'create' (default: a "
+                        "freshly minted random token, printed once)")
+    parser.add_argument(
+        "--quota", action="append", default=[], metavar="FIELD=VALUE",
+        help="quota for 'create' (repeatable): max_window_objects, "
+        "max_queries, max_subscribers, ingest_rows_per_sec, burst_rows",
+    )
+    return parser
+
+
+def run_tenants(argv: Sequence[str],
+                stdout: Optional[TextIO] = None) -> int:
+    """``python -m repro tenants`` — edit/inspect a tenants file."""
+    import json
+    import secrets
+
+    from repro.exceptions import TenantConfigError
+    from repro.serve.tenancy import (
+        TenantQuotas,
+        TenantSpec,
+        load_tenants_file,
+        save_tenants_file,
+        valid_namespace,
+    )
+
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_tenants_parser().parse_args(argv)
+    new_file = not os.path.exists(args.file)
+    if new_file:
+        if args.action != "create":
+            raise SystemExit(
+                f"repro tenants: no such tenants file {args.file!r}"
+            )
+        specs, admin_token = {}, None
+    else:
+        try:
+            specs, admin_token = load_tenants_file(args.file)
+        except TenantConfigError as exc:
+            raise SystemExit(f"repro tenants: {exc}") from exc
+
+    if args.action == "list":
+        for name in sorted(specs):
+            spec = specs[name]
+            quotas = spec.quotas.spec()
+            quota_text = ", ".join(
+                f"{field}={value}"
+                for field, value in sorted(quotas.items())
+            ) or "unlimited"
+            flag = "  [revoked]" if spec.revoked else ""
+            print(f"{name}: token sha256:{spec.fingerprint()}  "
+                  f"quotas: {quota_text}{flag}", file=stdout)
+        print(
+            f"{len(specs)} tenant(s) in {args.file}"
+            + (", admin token set" if admin_token else ", no admin token"),
+            file=stdout,
+        )
+        return 0
+
+    if args.name is None or not valid_namespace(args.name):
+        raise SystemExit(
+            f"repro tenants: '{args.action}' needs a valid namespace "
+            f"name, got {args.name!r}"
+        )
+    if args.action == "create":
+        if args.name in specs:
+            raise SystemExit(
+                f"repro tenants: tenant {args.name!r} already exists in "
+                f"{args.file}"
+            )
+        quota_spec: dict = {}
+        for item in args.quota:
+            field, eq, value = item.partition("=")
+            if not eq:
+                raise SystemExit(
+                    f"repro tenants: --quota needs FIELD=VALUE, "
+                    f"got {item!r}"
+                )
+            try:
+                quota_spec[field] = json.loads(value)
+            except ValueError as exc:
+                raise SystemExit(
+                    f"repro tenants: --quota {field} value {value!r} is "
+                    f"not a number"
+                ) from exc
+        token = args.token if args.token is not None \
+            else secrets.token_hex(16)
+        try:
+            spec = TenantSpec(args.name, token,
+                              TenantQuotas.from_spec(quota_spec))
+            if new_file:
+                admin_token = secrets.token_hex(16)
+            specs[args.name] = spec
+            save_tenants_file(args.file, specs, admin_token)
+        except TenantConfigError as exc:
+            raise SystemExit(f"repro tenants: {exc}") from exc
+        print(f"created tenant {args.name!r} in {args.file}", file=stdout)
+        if args.token is None:
+            # The token is only recoverable from the file itself from
+            # now on; 'list' shows fingerprints, never secrets.
+            print(f"token: {token}", file=stdout)
+        if new_file:
+            print(f"admin token: {admin_token}", file=stdout)
+        return 0
+
+    # revoke
+    spec = specs.get(args.name)
+    if spec is None:
+        raise SystemExit(
+            f"repro tenants: no tenant {args.name!r} in {args.file}"
+        )
+    spec.revoked = True
+    try:
+        save_tenants_file(args.file, specs, admin_token)
+    except TenantConfigError as exc:
+        raise SystemExit(f"repro tenants: {exc}") from exc
+    print(
+        f"revoked tenant {args.name!r}; a running server drops its "
+        f"connections on the next SIGHUP reload",
+        file=stdout,
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, *,
          stdin: Optional[TextIO] = None,
          stdout: Optional[TextIO] = None) -> int:
     """Entry point; returns the process exit code.
 
-    Dispatches the ``lint``, ``audit``, ``obs``, ``bench``, ``serve``
-    and ``client`` subcommands; any other invocation is the CSV
+    Dispatches the ``lint``, ``audit``, ``obs``, ``bench``, ``serve``,
+    ``client`` and ``tenants`` subcommands; any other invocation is the CSV
     monitoring tool (whose ``csv_file`` positional can never collide
     with the subcommand names — CSV input named ``lint`` must be passed
     as ``./lint``).
@@ -1105,7 +1381,14 @@ def main(argv: Optional[Sequence[str]] = None, *,
     if argv and argv[0] == "serve":
         return run_serve(argv[1:], stdout)
     if argv and argv[0] == "client":
-        return run_client(argv[1:], stdin, stdout)
+        from repro.exceptions import ServeError
+
+        try:
+            return run_client(argv[1:], stdin, stdout)
+        except ServeError as exc:
+            raise SystemExit(f"repro client: {exc}") from exc
+    if argv and argv[0] == "tenants":
+        return run_tenants(argv[1:], stdout)
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     args = build_parser().parse_args(argv)

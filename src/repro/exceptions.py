@@ -19,6 +19,8 @@ __all__ = [
     "ReproError",
     "ScoringFunctionError",
     "ServeError",
+    "ServeTimeoutError",
+    "TenantConfigError",
     "UnknownQueryError",
     "WindowError",
 ]
@@ -69,6 +71,23 @@ class WindowError(ReproError, ValueError):
 
 class ServeError(ReproError):
     """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class ServeTimeoutError(ServeError, TimeoutError):
+    """A client-side deadline expired waiting on the server.
+
+    Raised by :class:`~repro.serve.client.ServeClient` when connecting
+    or when a request's overall deadline passes — including the case
+    where the server keeps trickling partial bytes without ever
+    completing a frame (a per-``recv`` timeout alone never fires there).
+    Also a :class:`TimeoutError` so generic timeout handling applies.
+    """
+
+
+class TenantConfigError(ServeError, ValueError):
+    """A tenants file (``repro serve --tenants``) is missing, malformed,
+    or declares an invalid namespace/quota (see docs/serving.md,
+    multi-tenancy)."""
 
 
 class ProtocolError(ServeError, ValueError):

@@ -214,6 +214,28 @@ class MetricFamily:
         child = self._children.get(key)
         return child if child is not None else self._make_child(key)
 
+    def remove(self, *values: str) -> bool:
+        """Drop the child for one label-value combination, if present.
+
+        Label cardinality is otherwise unbounded for families labelled
+        by churning identities (peer addresses, namespaces): every
+        distinct value ever seen stays in every future export.  Callers
+        that label by such identities must evict when the identity goes
+        away (the serve layer does this on peer disconnect).  Returns
+        whether a child was removed.
+        """
+        key = tuple(str(v) for v in values)
+        return self._children.pop(key, None) is not None
+
+    def __len__(self) -> int:
+        """The number of live children (label combinations)."""
+        return len(self._children)
+
+    def __contains__(self, values) -> bool:
+        key = (tuple(str(v) for v in values)
+               if isinstance(values, (tuple, list)) else (str(values),))
+        return key in self._children
+
     def children(self) -> Iterator[tuple[tuple, object]]:
         """``(label_values, child)`` pairs in creation order."""
         return iter(self._children.items())

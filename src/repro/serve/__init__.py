@@ -21,6 +21,7 @@ from repro.serve.checkpoint import (
     SUPPORTED_VERSIONS,
     checkpoint_state,
     load_checkpoint,
+    restore_namespace_checkpoints,
     restore_server_monitor,
     save_checkpoint,
 )
@@ -49,15 +50,31 @@ from repro.serve.session import (
     ServerMonitor,
 )
 from repro.serve.standby import StandbyTailer, connect_standby
+from repro.serve.tenancy import (
+    DEFAULT_NAMESPACE,
+    FairMultiplexer,
+    Namespace,
+    NamespaceRegistry,
+    TenantQuotas,
+    TenantSpec,
+    TokenBucket,
+    load_tenants_file,
+    save_tenants_file,
+    valid_namespace,
+)
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
     "BackgroundServer",
+    "DEFAULT_NAMESPACE",
     "DeltaEvent",
     "ERROR_CODES",
     "FORMAT_NAME",
+    "FairMultiplexer",
     "FORMAT_VERSION",
     "MAX_FRAME_BYTES",
+    "Namespace",
+    "NamespaceRegistry",
     "OPS",
     "PROTOCOL_VERSION",
     "QueryRecord",
@@ -70,6 +87,9 @@ __all__ = [
     "ServeServer",
     "ServerMonitor",
     "StandbyTailer",
+    "TenantQuotas",
+    "TenantSpec",
+    "TokenBucket",
     "apply_delta",
     "checkpoint_state",
     "connect_standby",
@@ -77,8 +97,12 @@ __all__ = [
     "encode_frame",
     "error_frame",
     "load_checkpoint",
+    "load_tenants_file",
     "ok_frame",
     "pair_to_wire",
     "restore_server_monitor",
+    "restore_namespace_checkpoints",
     "save_checkpoint",
+    "save_tenants_file",
+    "valid_namespace",
 ]

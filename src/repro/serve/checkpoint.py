@@ -75,6 +75,7 @@ __all__ = [
     "checkpoint_document",
     "checkpoint_state",
     "load_checkpoint",
+    "restore_namespace_checkpoints",
     "restore_server_monitor",
     "save_checkpoint",
     "write_checkpoint_document",
@@ -132,6 +133,10 @@ def checkpoint_state(session: ServerMonitor) -> dict:
         "version": FORMAT_VERSION,
         "created_at": time.time(),  # audit: allow[RA108] wall-clock file metadata, not a hot-path timing
         "epoch": session.epoch,
+        # Additive since multi-tenancy: the namespace this session
+        # serves, so a directory restore can route each document back.
+        # Pre-tenancy readers ignore it; absent means "default".
+        "namespace": session.namespace,
         "monitor": dict(session.config),
         "next_seq": manager.now_seq + 1,
         "window": window,
@@ -404,6 +409,10 @@ def _validate_state(state, origin: str) -> dict:
     if not _is_int(next_handle) or next_handle < 1:
         _fail(origin, f"'next_handle' must be an int >= 1, got "
               f"{next_handle!r}")
+    namespace = state.get("namespace", "default")
+    if not isinstance(namespace, str) or not namespace:
+        _fail(origin, f"'namespace' must be a non-empty string, got "
+              f"{namespace!r}")
     _validate_window(state, origin)
     _validate_queries(state, origin)
     _validate_maintainers(state, origin)
@@ -568,6 +577,7 @@ def restore_server_monitor(
         seed=config["seed"], audit=audit, recorder=recorder,
     )
     session.epoch = int(state.get("epoch", 0))
+    session.namespace = state.get("namespace", "default")
     structural = mode == "structural" and state.get("maintainers") is not None
     if structural:
         _structural_restore(session, state)
@@ -590,3 +600,45 @@ def restore_server_monitor(
         # including the brute-force skyband cross-check.
         session.monitor.auditor.check_now(cross_check=True)
     return session
+
+
+def restore_namespace_checkpoints(
+    directory: str,
+    *,
+    mode: str = "structural",
+    audit: Optional[bool] = None,
+    recorder=None,
+) -> dict[str, ServerMonitor]:
+    """Restore every ``<ns>.ckpt`` in a multi-tenant checkpoint dir.
+
+    The per-namespace layout written by ``checkpoint`` with
+    ``scope: "all"``: one document per namespace, each carrying its own
+    fencing epoch and its ``namespace`` key.  A file whose embedded
+    namespace disagrees with its file name fails loudly (a renamed file
+    would otherwise restore one tenant's window under another tenant's
+    name).  Returns ``{namespace: restored session}``; an empty dict
+    for a directory with no checkpoints.
+    """
+    try:
+        entries = sorted(os.listdir(directory))
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot list checkpoint directory {directory!r}: {exc}"
+        ) from exc
+    sessions: dict[str, ServerMonitor] = {}
+    for entry in entries:
+        if not entry.endswith(".ckpt"):
+            continue
+        name = entry[:-len(".ckpt")]
+        session = restore_server_monitor(
+            os.path.join(directory, entry),
+            mode=mode, audit=audit, recorder=recorder,
+        )
+        if session.namespace != name:
+            raise CheckpointError(
+                f"checkpoint {entry!r} embeds namespace "
+                f"{session.namespace!r}; file name and document "
+                f"disagree — refusing to restore a misrouted tenant"
+            )
+        sessions[name] = session
+    return sessions

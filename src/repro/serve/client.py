@@ -23,19 +23,28 @@ re-shipping full answers::
 from __future__ import annotations
 
 import socket
+import time
 from typing import Iterator, Optional, Sequence
 
-from repro.exceptions import ProtocolError, ServeError
+from repro.exceptions import ProtocolError, ServeError, ServeTimeoutError
 from repro.serve.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
 
 __all__ = ["ServeClient", "ServeRequestError", "apply_delta"]
 
 
 class ServeRequestError(ServeError):
-    """The server answered a request with a structured error frame."""
+    """The server answered a request with a structured error frame.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``details`` carries the frame's ``error.details`` object when
+    present — quota rejections put the exact admitted row count there
+    (``{"quota": ..., "requested": ..., "ingested": ..., "now_seq":
+    ...}``), so a partially admitted batch is accountable.
+    """
+
+    def __init__(self, code: str, message: str,
+                 details: Optional[dict] = None) -> None:
         self.code = code
+        self.details = details if details is not None else {}
         super().__init__(f"[{code}] {message}")
 
 
@@ -48,12 +57,21 @@ class ServeClient:
         port: int = 0,
         *,
         timeout: float = 10.0,
+        connect_timeout: Optional[float] = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         connect: bool = True,
     ) -> None:
         self.host = host
         self.port = port
+        #: overall per-request deadline in seconds.  The clock spans the
+        #: whole response, not one ``recv`` — a stalled server that
+        #: trickles partial bytes still trips
+        #: :class:`~repro.exceptions.ServeTimeoutError`.
         self.timeout = timeout
+        #: TCP connect + hello deadline; defaults to ``timeout``
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
         self.max_frame_bytes = max_frame_bytes
         self._sock: Optional[socket.socket] = None
         self._buffer = bytearray()
@@ -69,9 +87,16 @@ class ServeClient:
     # connection plumbing
     # ------------------------------------------------------------------
     def connect(self) -> "ServeClient":
-        self._sock = socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
-        )
+        deadline = self._deadline(self.connect_timeout)
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except (socket.timeout, TimeoutError) as exc:
+            raise ServeTimeoutError(
+                f"timed out after {self.connect_timeout}s connecting to "
+                f"{self.host}:{self.port}"
+            ) from exc
         # Frames are small and latency-bound; without NODELAY, Nagle +
         # delayed ACK adds ~40ms to every pushed event while a previous
         # small segment is in flight (the replication feed's worst case).
@@ -79,7 +104,9 @@ class ServeClient:
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except (OSError, AttributeError):
             pass  # non-TCP transports (tests may stub the socket)
-        self.hello = self.next_event(timeout=self.timeout)
+        self.hello = self._read_frame(
+            self.connect_timeout, deadline=deadline, what="the hello event"
+        )
         return self
 
     def close(self) -> None:
@@ -120,11 +147,28 @@ class ServeClient:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def _read_frame(self, timeout: Optional[float]) -> Optional[dict]:
-        """The next frame off the wire, or ``None`` on timeout."""
+    @staticmethod
+    def _deadline(timeout: Optional[float]) -> Optional[float]:
+        return None if timeout is None else time.monotonic() + timeout
+
+    def _read_frame(
+        self,
+        timeout: Optional[float],
+        *,
+        deadline: Optional[float] = None,
+        what: str = "a frame",
+    ) -> Optional[dict]:
+        """The next frame off the wire, or ``None`` on timeout.
+
+        With ``deadline`` (a ``time.monotonic`` instant) the clock spans
+        the *whole frame*: each ``recv`` only gets the remaining budget,
+        so a stalled server that trickles one byte per recv cannot push
+        the deadline out forever, and expiry raises
+        :class:`~repro.exceptions.ServeTimeoutError` instead of
+        returning ``None``.
+        """
         if self._sock is None:
             raise ServeError("client is not connected")
-        self._sock.settimeout(timeout)
         while True:
             newline = self._buffer.find(b"\n")
             if newline >= 0:
@@ -136,10 +180,25 @@ class ServeClient:
                     "frame_too_large",
                     f"server frame exceeds {self.max_frame_bytes} bytes",
                 )
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServeTimeoutError(
+                        f"timed out after {timeout}s awaiting {what} "
+                        f"from {self.host}:{self.port}"
+                    )
+                self._sock.settimeout(remaining)
+            else:
+                self._sock.settimeout(timeout)
             try:
                 chunk = self._sock.recv(65536)
-            except (socket.timeout, BlockingIOError):
+            except (socket.timeout, BlockingIOError) as exc:
                 # BlockingIOError covers timeout=0 (non-blocking poll).
+                if deadline is not None:
+                    raise ServeTimeoutError(
+                        f"timed out after {timeout}s awaiting {what} "
+                        f"from {self.host}:{self.port}"
+                    ) from exc
                 return None
             if not chunk:
                 raise ServeError("server closed the connection")
@@ -165,10 +224,14 @@ class ServeClient:
              if value is not None}
         )
         self._sock.sendall(encode_frame(frame))
+        deadline = self._deadline(self.timeout)
         while True:
-            response = self._read_frame(self.timeout)
+            response = self._read_frame(
+                self.timeout, deadline=deadline,
+                what=f"the {op!r} response",
+            )
             if response is None:
-                raise ServeError(
+                raise ServeTimeoutError(
                     f"timed out after {self.timeout}s awaiting the "
                     f"{op!r} response"
                 )
@@ -182,6 +245,7 @@ class ServeClient:
                 raise ServeRequestError(
                     error.get("code", "internal"),
                     error.get("message", "unspecified server error"),
+                    details=error.get("details"),
                 )
             return response
 
@@ -212,6 +276,29 @@ class ServeClient:
     # ------------------------------------------------------------------
     # op helpers
     # ------------------------------------------------------------------
+    def auth(
+        self,
+        namespace: Optional[str] = None,
+        token: Optional[str] = None,
+        *,
+        admin: bool = False,
+    ) -> dict:
+        """Authenticate this connection on a multi-tenant server.
+
+        Tenant path: ``auth(namespace, token)`` binds the connection to
+        that namespace (every later op runs against its monitor); the
+        ack echoes the namespace plus its fencing ``epoch`` and
+        ``now_seq``.  Admin path: ``auth(token=..., admin=True)`` grants
+        the administrative surface (``checkpoint`` scope ``"all"``,
+        ``replicate``, ``promote``, ``shutdown``, full ``epoch``/
+        ``stats`` maps) without binding a namespace.  Wrong, missing or
+        revoked credentials raise ``unauthorized``.
+        """
+        return self.request(
+            "auth", namespace=namespace, token=token,
+            admin=admin or None,
+        )
+
     def ingest(
         self,
         rows: Sequence[Sequence[float]],
@@ -269,12 +356,16 @@ class ServeClient:
         return self.request("unsubscribe", query=query)
 
     def checkpoint(self, path: Optional[str] = None, *,
-                   ship: bool = False) -> dict:
+                   ship: bool = False,
+                   scope: Optional[str] = None) -> dict:
         """Persist a checkpoint server-side, or — with ``ship=True`` —
         receive the checkpoint document inline in the ack (``state``
         key) without the server touching disk (the standby bootstrap
-        path)."""
-        return self.request("checkpoint", path=path, ship=ship or None)
+        path).  ``scope="all"`` checkpoints every namespace on a
+        multi-tenant server (admin only): per-namespace ``<ns>.ckpt``
+        files, or an inline ``states`` map with ``ship``."""
+        return self.request("checkpoint", path=path, ship=ship or None,
+                            scope=scope)
 
     def replicate(self) -> dict:
         """Register this connection for the raw replication feed: every

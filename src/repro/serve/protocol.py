@@ -18,9 +18,19 @@ frame per line.  Three frame shapes travel over a connection:
   delta-based protocol of Mäcker et al., see PAPERS.md).  Connections
   registered via the ``replicate`` op additionally receive ``rows``
   events — ``{"event": "rows", "first_seq": ..., "now_seq": ...,
-  "epoch": ..., "rows": [[values...], ...], "timestamps": [...]|null}``
-  — the raw replication feed a warm standby applies to keep its
-  maintainer state hot (docs/serving.md, failover runbook).
+  "epoch": ..., "namespace": ..., "rows": [[values...], ...],
+  "timestamps": [...]|null}`` — the raw replication feed a warm standby
+  applies to keep its maintainer state hot (docs/serving.md, failover
+  runbook).
+
+On a multi-tenant server (``repro serve --tenants``) every data op is
+scoped to a *namespace*: a connection first sends ``{"op": "auth",
+"namespace": ..., "token": ...}`` (or ``admin: true`` with the admin
+token) and every later op runs against that namespace's own monitor.
+Auth failures answer with ``unauthorized``; quota violations answer
+with ``quota_exceeded`` whose ``error.details`` object reports the
+quota name and, for mid-batch ingest cuts, the exact ``ingested``
+count (``Monitor.extend`` semantics: the prefix really was admitted).
 
 Any request may additionally carry an optional ``trace`` field — an
 opaque client-minted id string (see :func:`repro.obs.spans.new_trace_id`)
@@ -84,6 +94,7 @@ OPS = (
     "replicate",
     "promote",
     "epoch",
+    "auth",
 )
 
 #: structured error codes (the machine-readable half of an error frame).
@@ -97,6 +108,8 @@ ERROR_CODES = (
     "checkpoint_failed",
     "shutting_down",   # server is draining; no new work accepted
     "not_primary",     # standby refused a mutating op; promote it first
+    "unauthorized",    # missing/wrong/revoked token, or no auth yet
+    "quota_exceeded",  # a namespace quota rejected (details name it)
     "internal",        # unexpected server-side failure (bug)
 )
 
@@ -161,11 +174,15 @@ def error_frame(
     *,
     request_id=None,
     op: Optional[str] = None,
+    details: Optional[dict] = None,
 ) -> dict:
     """A structured error response (``ok: false``).
 
     ``code`` must come from :data:`ERROR_CODES` — clients dispatch on
     it, so ad-hoc codes are a bug in the server, not a protocol value.
+    ``details`` (optional) attaches a machine-readable object under
+    ``error.details`` — ``quota_exceeded`` frames use it to report the
+    quota that fired and how much of the request was admitted.
     """
     if code not in ERROR_CODES:
         raise ValueError(f"uncatalogued error code {code!r}")
@@ -173,6 +190,8 @@ def error_frame(
         "ok": False,
         "error": {"code": code, "message": message},
     }
+    if details is not None:
+        frame["error"]["details"] = dict(details)
     if op is not None:
         frame["op"] = op
     if request_id is not None:

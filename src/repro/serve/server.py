@@ -35,10 +35,20 @@ any number of clients.  Design points:
   ``/metrics``, ``/healthz``, ``/varz``, ``/tracez`` and ``/ticks`` on
   the same event loop.
 
-Per-subscriber metric series are labelled by peer address; children are
-kept for the registry's lifetime, so the label cardinality equals the
-number of distinct peers seen — fine for the single-digit-subscriber
-deployments this layer targets, revisit before multi-tenancy.
+* **multi-tenant namespaces** — given a
+  :class:`~repro.serve.tenancy.NamespaceRegistry` (``repro serve
+  --tenants``), every connection authenticates into a namespace (the
+  ``auth`` op) owning a fully isolated session; per-namespace quotas
+  reject with ``quota_exceeded`` frames, and ingest ticks run through a
+  :class:`~repro.serve.tenancy.FairMultiplexer` so one tenant cannot
+  head-of-line-block the rest.  A single-tenant server is the same code
+  path serving one open ``default`` namespace.
+
+Per-subscriber metric series are labelled by peer address with
+*bounded* cardinality: at most ``max_peer_labels`` live peers get their
+own series (the rest share an ``overflow`` label), and a peer's series
+are evicted when it disconnects — label churn no longer grows the
+registry without limit.
 """
 
 from __future__ import annotations
@@ -51,7 +61,12 @@ import threading
 from time import perf_counter
 from typing import Optional
 
-from repro.exceptions import ProtocolError, ReproError
+from repro.exceptions import (
+    ProtocolError,
+    ReproError,
+    ServeError,
+    TenantConfigError,
+)
 from repro.obs.flight import FlightRecorder, RingLog
 from repro.obs.httpd import ObsHTTPServer
 from repro.obs.metrics import MetricsRegistry
@@ -69,6 +84,13 @@ from repro.serve.protocol import (
     trace_of,
 )
 from repro.serve.session import ServerMonitor
+from repro.serve.tenancy import (
+    DEFAULT_NAMESPACE,
+    FairMultiplexer,
+    Namespace,
+    NamespaceRegistry,
+    load_tenants_file,
+)
 
 __all__ = ["BACKPRESSURE_POLICIES", "ROLES", "BackgroundServer",
            "ServeServer"]
@@ -87,7 +109,7 @@ class _Connection:
     """Per-connection state: writer, subscriptions, event queue."""
 
     __slots__ = ("reader", "writer", "events", "subscriptions", "lagged",
-                 "pump", "name")
+                 "pump", "name", "namespace", "admin", "metrics_label")
 
     def __init__(self, reader, writer, queue_depth: int) -> None:
         self.reader = reader
@@ -101,6 +123,15 @@ class _Connection:
         self.pump: Optional[asyncio.Task] = None
         peer = writer.get_extra_info("peername")
         self.name = f"{peer[0]}:{peer[1]}" if peer else "?"
+        #: the namespace this connection authenticated into (pre-set to
+        #: the default namespace on single-tenant servers; ``None``
+        #: until a successful ``auth`` op on multi-tenant ones)
+        self.namespace: Optional[Namespace] = None
+        #: authenticated with the file-level admin token
+        self.admin = False
+        #: the per-peer metric label this connection resolved to
+        #: (``None`` until first use; ``"overflow"`` past the cap)
+        self.metrics_label: Optional[str] = None
 
 
 class ServeServer:
@@ -108,7 +139,7 @@ class ServeServer:
 
     def __init__(
         self,
-        session: ServerMonitor,
+        session: Optional[ServerMonitor] = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -124,6 +155,9 @@ class ServeServer:
         ticks_capacity: int = 256,
         role: str = "primary",
         standby=None,
+        tenants: Optional[NamespaceRegistry] = None,
+        max_peer_labels: int = 64,
+        mux_pending: int = 4,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ProtocolError(
@@ -143,7 +177,41 @@ class ServeServer:
             raise ProtocolError(
                 "bad_request", "a standby tailer requires role='standby'"
             )
+        if max_peer_labels < 1:
+            raise ProtocolError(
+                "bad_request",
+                f"max_peer_labels must be >= 1, got {max_peer_labels}",
+            )
+        if tenants is None:
+            if session is None:
+                raise ServeError(
+                    "a server needs either a session or a tenants "
+                    "registry"
+                )
+            # Single-tenant mode is multi-tenancy with one open
+            # namespace: same code path, no auth, no quotas, no
+            # multiplexer hop.
+            tenants = NamespaceRegistry.single(session)
+            self.multi_tenant = False
+        else:
+            if session is not None:
+                raise ServeError(
+                    "pass either a session (single-tenant) or a "
+                    "tenants registry (multi-tenant), not both"
+                )
+            self.multi_tenant = True
+        #: the namespace registry (always present; single-tenant servers
+        #: wrap their one session as the open ``default`` namespace)
+        self.tenants = tenants
+        #: the single-tenant session (``None`` on multi-tenant servers;
+        #: multi-tenant code must go through :attr:`tenants`)
         self.session = session
+        #: fair round-robin tick scheduler (multi-tenant only)
+        self.mux: Optional[FairMultiplexer] = (
+            FairMultiplexer(max_pending=mux_pending, spawn=self._spawn)
+            if self.multi_tenant else None
+        )
+        self.max_peer_labels = max_peer_labels
         self.role = role
         #: the :class:`~repro.serve.standby.StandbyTailer` feeding this
         #: server's session (standbys only); started with the server and
@@ -170,7 +238,9 @@ class ServeServer:
         self._last_tick_at: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[_Connection] = set()
-        self._subscribers: dict[str, set[_Connection]] = {}
+        #: subscribers keyed by ``(namespace, query_handle)`` — query
+        #: handles are only unique within one namespace's registry
+        self._subscribers: dict[tuple[str, str], set[_Connection]] = {}
         #: connections registered via ``replicate`` (warm standbys);
         #: every ingested batch is mirrored to them as a ``rows`` event
         self._replicas: set[_Connection] = set()
@@ -249,6 +319,40 @@ class ServeServer:
             "queries currently marked lagged per subscriber",
             labelnames=("peer",),
         )
+        self._m_ns_ingested = r.counter(
+            "repro_serve_ns_ingested_rows_total",
+            "rows admitted per namespace",
+            labelnames=("ns",),
+        )
+        self._m_ns_deltas = r.counter(
+            "repro_serve_ns_deltas_sent_total",
+            "delta events enqueued per namespace",
+            labelnames=("ns",),
+        )
+        self._m_ns_quota = r.counter(
+            "repro_serve_ns_quota_rejections_total",
+            "requests rejected (or cut short) by a namespace quota",
+            labelnames=("ns", "quota"),
+        )
+        self._m_ns_queries = r.gauge(
+            "repro_serve_ns_queries",
+            "registered continuous queries per namespace",
+            labelnames=("ns",),
+        )
+        self._m_ns_window = r.gauge(
+            "repro_serve_ns_window_objects",
+            "objects currently in the window per namespace",
+            labelnames=("ns",),
+        )
+        self._m_auth_failures = r.counter(
+            "repro_serve_auth_failures_total",
+            "rejected auth attempts (namespace or admin)",
+        )
+        self._m_tenant_reloads = r.counter(
+            "repro_serve_tenant_reloads_total",
+            "tenants-file hot reloads, by outcome",
+            labelnames=("outcome",),
+        )
 
     # ------------------------------------------------------------------
     # background tasks
@@ -269,6 +373,108 @@ class ServeServer:
         exc = task.exception()
         if exc is not None:
             self._m_task_errors.inc()
+
+    # ------------------------------------------------------------------
+    # tenancy helpers
+    # ------------------------------------------------------------------
+    def _require_namespace(self, conn: _Connection) -> Namespace:
+        """The namespace this connection operates in; ``unauthorized``
+        when a multi-tenant connection has not authenticated yet."""
+        if conn.namespace is None:
+            raise ProtocolError(
+                "unauthorized",
+                "authenticate first: send {\"op\": \"auth\", "
+                "\"namespace\": ..., \"token\": ...}",
+            )
+        return conn.namespace
+
+    def _require_admin(self, conn: _Connection, what: str) -> None:
+        if not conn.admin:
+            raise ProtocolError(
+                "unauthorized",
+                f"{what} needs admin authentication "
+                f"({{\"op\": \"auth\", \"admin\": true, ...}})",
+            )
+
+    def _quota_reject(self, ns: Namespace, quota: str,
+                      message: str, **details) -> ProtocolError:
+        """Count a quota rejection and build its error (caller raises
+        or sends it; ``details`` land under ``error.details``)."""
+        self._m_ns_quota.labels(ns.name, quota).inc()
+        exc = ProtocolError("quota_exceeded", message)
+        exc.details = {"quota": quota, **details}
+        return exc
+
+    def _default_namespace(self) -> Optional[Namespace]:
+        return self.tenants.get(DEFAULT_NAMESPACE)
+
+    def _refresh_ns_gauges(self, ns: Namespace) -> None:
+        self._m_ns_queries.labels(ns.name).set(len(ns.session.queries()))
+        self._m_ns_window.labels(ns.name).set(
+            len(ns.session.monitor.manager)
+        )
+
+    # ------------------------------------------------------------------
+    # per-peer metric labels (bounded cardinality)
+    # ------------------------------------------------------------------
+    def _peer_label(self, conn: _Connection) -> str:
+        """The metric label for one peer: its address while fewer than
+        ``max_peer_labels`` peers hold live series, the shared
+        ``overflow`` label beyond — so churning peers cannot grow the
+        label space without bound."""
+        if conn.metrics_label is None:
+            if (conn.name in self._m_sub_queue
+                    or len(self._m_sub_queue) < self.max_peer_labels):
+                conn.metrics_label = conn.name
+            else:
+                conn.metrics_label = "overflow"
+        return conn.metrics_label
+
+    def _evict_peer_labels(self, conn: _Connection) -> None:
+        """Drop a disconnected peer's metric series (the ``overflow``
+        aggregate stays; so do the unlabelled totals)."""
+        label = conn.metrics_label
+        if label is None or label == "overflow":
+            return
+        self._m_sub_queue.remove(label)
+        self._m_sub_drops.remove(label)
+        self._m_sub_lagged.remove(label)
+        conn.metrics_label = None
+
+    # ------------------------------------------------------------------
+    # tenants-file hot reload (SIGHUP)
+    # ------------------------------------------------------------------
+    async def reload_tenants(self) -> list[str]:
+        """Re-read the tenants file and apply it; returns the names of
+        namespaces whose connections were closed (revoked/removed).
+
+        A malformed file keeps the old config — a typo in a SIGHUP edit
+        must not take the server down.  Driven by SIGHUP in ``repro
+        serve``; callable directly (tests, embeddings).
+        """
+        if self.tenants.path is None:
+            return []
+        loop = asyncio.get_running_loop()
+        try:
+            specs, admin_token = await loop.run_in_executor(
+                None, load_tenants_file, self.tenants.path
+            )
+        except TenantConfigError:
+            self._m_tenant_reloads.labels("error").inc()
+            return []
+        stale = set(self.tenants.reload(specs, admin_token))
+        self._m_tenant_reloads.labels("ok").inc()
+        if not stale:
+            return []
+        evicted = [
+            conn for conn in list(self._connections)
+            if conn.namespace is not None
+            and conn.namespace.name in stale
+        ]
+        bye = encode_frame({"event": "bye", "reason": "unauthorized"})
+        for conn in evicted:
+            await self._close_connection(conn, farewell=bye)
+        return sorted(stale)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -331,6 +537,15 @@ class ServeServer:
                 )
             except (NotImplementedError, RuntimeError):
                 pass
+        # SIGHUP = hot-reload the tenants file (multi-tenant only).
+        sighup = getattr(signal, "SIGHUP", None)
+        if sighup is not None and self.tenants.path is not None:
+            try:
+                loop.add_signal_handler(
+                    sighup, lambda: self._spawn(self.reload_tenants())
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
 
     async def stop(self) -> None:
         """Drain and shut down: stop accepting, flush every subscriber
@@ -339,6 +554,8 @@ class ServeServer:
             await self._stopped.wait()
             return
         self._stopping = True
+        if self.mux is not None:
+            self.mux.stop()
         if self.standby is not None:
             self.standby.stop()
         if self._server is not None:
@@ -358,13 +575,18 @@ class ServeServer:
         self._connections.discard(conn)
         self._replicas.discard(conn)
         for query in conn.subscriptions:
-            subscribers = self._subscribers.get(query)
+            key = (conn.namespace.name, query) \
+                if conn.namespace is not None else (DEFAULT_NAMESPACE, query)
+            subscribers = self._subscribers.get(key)
             if subscribers is not None:
                 subscribers.discard(conn)
                 if not subscribers:
-                    del self._subscribers[query]
+                    del self._subscribers[key]
         self._m_subscribers.dec(len(conn.subscriptions))
+        if conn.namespace is not None:
+            conn.namespace.subscriptions -= len(conn.subscriptions)
         conn.subscriptions.clear()
+        self._evict_peer_labels(conn)
         self._m_active.dec()
         if conn.pump is not None:
             # Let the pump drain what is already queued, then stop it.
@@ -394,18 +616,27 @@ class ServeServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
         conn = _Connection(reader, writer, self.queue_depth)
+        if not self.multi_tenant:
+            # Single-tenant: every connection implicitly operates in
+            # the open default namespace with admin rights (the
+            # pre-tenancy contract, unchanged on the wire).
+            conn.namespace = self._default_namespace()
+            conn.admin = True
         self._connections.add(conn)
         self._m_connections.inc()
         self._m_active.inc()
         conn.pump = self._spawn(self._event_pump(conn))
-        writer.write(encode_frame({
+        hello = {
             "event": "hello",
             "protocol": PROTOCOL_VERSION,
             "backpressure": self.backpressure,
             "queue_depth": self.queue_depth,
             "role": self.role,
-            "epoch": self.session.epoch,
-        }))
+            "multi_tenant": self.multi_tenant,
+        }
+        if conn.namespace is not None:
+            hello["epoch"] = conn.namespace.session.epoch
+        writer.write(encode_frame(hello))
         try:
             while not self._stopping:
                 try:
@@ -472,7 +703,8 @@ class ServeServer:
             if span is not None:
                 span.attrs["error"] = exc.code
             self._send_error(conn, exc.code, str(exc),
-                             request_id=request_id, op=op)
+                             request_id=request_id, op=op,
+                             details=getattr(exc, "details", None))
         except ReproError as exc:
             if span is not None:
                 span.attrs["error"] = "bad_request"
@@ -495,13 +727,16 @@ class ServeServer:
         conn.writer.write(encode_frame(frame))
 
     def _send_error(self, conn: _Connection, code: str, message: str,
-                    *, request_id=None, op: Optional[str] = None) -> None:
+                    *, request_id=None, op: Optional[str] = None,
+                    details: Optional[dict] = None) -> None:
         self._m_errors.labels(code).inc()
+        if code == "unauthorized":
+            self._m_auth_failures.inc()
         if self.flight is not None:
             self.flight.record_error(code, message, op=op, peer=conn.name)
             self._maybe_dump(f"error_{code}")
-        self._send(conn, error_frame(code, message,
-                                     request_id=request_id, op=op))
+        self._send(conn, error_frame(code, message, request_id=request_id,
+                                     op=op, details=details))
 
     # ------------------------------------------------------------------
     # flight recorder + health
@@ -521,14 +756,35 @@ class ServeServer:
         await loop.run_in_executor(None, self.flight.dump, path, reason)
 
     def _health_probe(self) -> dict:
-        """The ``/healthz`` payload (cheap, synchronous)."""
+        """The ``/healthz`` payload (cheap, synchronous).
+
+        Single-tenant keys are unchanged from pre-tenancy servers;
+        multi-tenant probes add a bounded per-namespace breakdown
+        (at most 32 namespaces listed, totals always exact).
+        """
         last = self._last_tick_at
-        return {
+        window_total = 0
+        queries_total = 0
+        namespaces: dict[str, dict] = {}
+        truncated = 0
+        for ns in self.tenants.namespaces():
+            window = len(ns.session.monitor.manager)
+            queries = len(ns.session.queries())
+            window_total += window
+            queries_total += queries
+            if len(namespaces) < 32:
+                namespaces[ns.name] = {
+                    "epoch": ns.session.epoch,
+                    "now_seq": ns.session.monitor.manager.now_seq,
+                    "window_size": window,
+                    "queries": queries,
+                }
+            else:
+                truncated += 1
+        payload = {
             "protocol": PROTOCOL_VERSION,
             "role": self.role,
-            "epoch": self.session.epoch,
-            "window_size": len(self.session.monitor.manager),
-            "now_seq": self.session.monitor.manager.now_seq,
+            "window_size": window_total,
             "last_tick_age_seconds": (
                 perf_counter() - last if last is not None else None
             ),
@@ -536,8 +792,18 @@ class ServeServer:
             "subscribers": sum(
                 len(s) for s in self._subscribers.values()
             ),
-            "queries": len(self.session.queries()),
+            "queries": queries_total,
         }
+        default = self._default_namespace()
+        if not self.multi_tenant and default is not None:
+            payload["epoch"] = default.session.epoch
+            payload["now_seq"] = default.session.monitor.manager.now_seq
+        else:
+            payload["multi_tenant"] = True
+            payload["namespaces"] = namespaces
+            if truncated:
+                payload["namespaces_truncated"] = truncated
+        return payload
 
     # ------------------------------------------------------------------
     # event fan-out
@@ -563,27 +829,27 @@ class ServeServer:
             except (ConnectionError, OSError):
                 failed = True  # reader side will clean the connection up
 
-    async def _fan_out_deltas(self) -> int:
-        """Deliver pending answer deltas to every subscriber; returns
-        the number of delta events enqueued.
+    async def _fan_out_deltas(self, ns: Namespace) -> int:
+        """Deliver one namespace's pending answer deltas to its
+        subscribers; returns the number of delta events enqueued.
 
         Under the ``block`` policy this awaits queue space, so the
         caller's ingest ack is delayed until every subscriber queue took
         the delta; under ``drop`` the delta is discarded and the
         subscriber marked lagged.
         """
-        return await self._fan_out_delta_list(self.session.drain_deltas())
+        return await self._fan_out_delta_list(ns, ns.session.drain_deltas())
 
-    async def _fan_out_delta_list(self, deltas) -> int:
-        """Enqueue an already-drained delta list to subscribers (the
-        standby tailer drains deltas itself so it can journal them, then
-        hands them here)."""
+    async def _fan_out_delta_list(self, ns: Namespace, deltas) -> int:
+        """Enqueue an already-drained delta list to ``ns``'s subscribers
+        (the standby tailer drains deltas itself so it can journal them,
+        then hands them here)."""
         if not deltas:
             return 0
         enqueued = 0
         deepest = 0
         for delta in deltas:
-            subscribers = self._subscribers.get(delta.query)
+            subscribers = self._subscribers.get((ns.name, delta.query))
             if not subscribers:
                 continue
             base = {
@@ -616,17 +882,20 @@ class ServeServer:
                     except asyncio.QueueFull:
                         conn.lagged.add(delta.query)
                         self._m_dropped.inc()
-                        self._m_sub_drops.labels(conn.name).inc()
+                        self._m_sub_drops.labels(
+                            self._peer_label(conn)
+                        ).inc()
                     else:
                         conn.lagged.discard(delta.query)
                         self._m_deltas.inc()
                         enqueued += 1
                 deepest = max(deepest, conn.events.qsize())
-                self._m_sub_queue.labels(conn.name).set(
-                    conn.events.qsize()
-                )
-                self._m_sub_lagged.labels(conn.name).set(len(conn.lagged))
+                label = self._peer_label(conn)
+                self._m_sub_queue.labels(label).set(conn.events.qsize())
+                self._m_sub_lagged.labels(label).set(len(conn.lagged))
         self._m_queue_depth.set(deepest)
+        if enqueued:
+            self._m_ns_deltas.labels(ns.name).inc(enqueued)
         return enqueued
 
     # ------------------------------------------------------------------
@@ -639,6 +908,7 @@ class ServeServer:
                 "this server is a standby; ingest on the primary or "
                 "promote this server first",
             )
+        ns = self._require_namespace(conn)
         rows = frame.get("rows")
         if not isinstance(rows, list):
             raise ProtocolError("bad_request",
@@ -648,32 +918,82 @@ class ServeServer:
             raise ProtocolError("bad_request",
                                 "'timestamps' must be a list when present")
         trace = trace_of(frame)
-        started = perf_counter()
-        count, now_seq = self.session.ingest(
-            rows, timestamps=timestamps, trace=trace,
-        )
-        self._m_ingested.inc(count)
-        await self._replicate_rows(rows, timestamps, count, now_seq)
-        deltas = await self._fan_out_deltas()
-        elapsed = perf_counter() - started
-        tick_record = {"tick": now_seq, "rows": count,
-                       "deltas": deltas, "seconds": elapsed}
-        if trace is not None:
-            tick_record["trace"] = trace
-        self.ticks.append(tick_record)
-        self._last_tick_at = perf_counter()
-        if self.flight is not None:
-            self.flight.record_tick(tick_record)
-            if self.flight.is_slow_tick(elapsed):
-                self._maybe_dump("slow_tick")
+        requested = len(rows)
+        granted = ns.grant(requested)
+        if granted < requested:
+            # Partial grant: admit exactly the affordable prefix, then
+            # report the cut — Monitor.extend semantics on the wire
+            # (the 'ingested' detail really entered the stream).
+            rows = rows[:granted]
+            if timestamps is not None:
+                timestamps = timestamps[:granted]
+        if granted:
+            count, now_seq, deltas = await self._run_tick(
+                ns, rows, timestamps, trace,
+            )
+        else:
+            count = deltas = 0
+            now_seq = ns.session.monitor.manager.now_seq
+        if granted < requested:
+            raise self._quota_reject(
+                ns, "ingest_rows_per_sec",
+                f"ingest rate quota: {requested} rows requested, "
+                f"{count} admitted",
+                requested=requested, ingested=count, now_seq=now_seq,
+            )
         ack = ok_frame("ingest", request_id, ingested=count,
                        now_seq=now_seq, deltas=deltas)
         if trace is not None:
             ack["trace"] = trace
         self._send(conn, ack)
 
-    async def _replicate_rows(self, rows, timestamps, count,
-                              now_seq) -> None:
+    async def _run_tick(self, ns: Namespace, rows, timestamps, trace
+                        ) -> tuple[int, int, int]:
+        """One engine tick in ``ns``'s scheduling lane.
+
+        Multi-tenant servers route through the fair multiplexer (round
+        robin over ready namespaces, one in-flight tick per namespace);
+        single-tenant servers call straight through — identical
+        semantics, no scheduling hop.
+        """
+        if self.mux is None:
+            return await self._ingest_tick(ns, rows, timestamps, trace)
+        result = await self.mux.submit(
+            ns.name,
+            lambda: self._ingest_tick(ns, rows, timestamps, trace),
+        )
+        return result
+
+    async def _ingest_tick(self, ns: Namespace, rows, timestamps, trace
+                           ) -> tuple[int, int, int]:
+        """Ingest + replicate + fan out one batch; returns
+        ``(count, now_seq, delta_events)``."""
+        started = perf_counter()
+        count, now_seq = ns.session.ingest(
+            rows, timestamps=timestamps, trace=trace,
+        )
+        self._m_ingested.inc(count)
+        self._m_ns_ingested.labels(ns.name).inc(count)
+        await self._replicate_rows(ns, rows, timestamps, count, now_seq)
+        deltas = await self._fan_out_deltas(ns)
+        elapsed = perf_counter() - started
+        tick_record = {"tick": now_seq, "rows": count,
+                       "deltas": deltas, "seconds": elapsed}
+        if self.multi_tenant:
+            tick_record["ns"] = ns.name
+        if trace is not None:
+            tick_record["trace"] = trace
+        self.ticks.append(tick_record)
+        self._last_tick_at = perf_counter()
+        self._refresh_ns_gauges(ns)
+        if self.flight is not None:
+            self.flight.record_tick(tick_record)
+            if self.flight.is_slow_tick(elapsed):
+                self._maybe_dump("slow_tick")
+        return count, now_seq, deltas
+
+    async def _replicate_rows(self, ns: Namespace, rows, timestamps,
+                              count, now_seq) -> None:
         """Mirror one admitted batch to every replication subscriber.
 
         Replication always *blocks* for queue space regardless of the
@@ -681,6 +1001,8 @@ class ServeServer:
         hit a sequence gap and die, so losslessness beats latency here.
         The ingest ack therefore waits until every replica queue took
         the event — same contract as the ``block`` delta policy.
+        The ``namespace`` field routes the batch on multi-tenant
+        standbys; pre-tenancy tailers ignore it.
         """
         if count <= 0 or not self._replicas:
             return
@@ -688,7 +1010,8 @@ class ServeServer:
             "event": "rows",
             "first_seq": now_seq - count + 1,
             "now_seq": now_seq,
-            "epoch": self.session.epoch,
+            "epoch": ns.session.epoch,
+            "namespace": ns.name,
             "rows": [list(row) for row in rows],
             "timestamps": (list(timestamps)
                            if timestamps is not None else None),
@@ -697,18 +1020,56 @@ class ServeServer:
             await replica.events.put(payload)
             self._m_replicated.inc(count)
 
+    async def _op_auth(self, conn, frame, request_id) -> None:
+        """Authenticate this connection into a namespace (or as admin).
+
+        Multi-tenant only; a single-tenant server rejects the op — its
+        connections already own the open default namespace.
+        """
+        if not self.multi_tenant:
+            raise ProtocolError(
+                "bad_request", "this server has no tenants configured"
+            )
+        if frame.get("admin"):
+            self.tenants.authenticate_admin(frame.get("token"))
+            conn.admin = True
+            self._send(conn, ok_frame("auth", request_id, admin=True,
+                                      role=self.role))
+            return
+        name = frame.get("namespace")
+        self.tenants.authenticate(name, frame.get("token"))
+        ns = self.tenants.namespace(name)
+        conn.namespace = ns
+        self._send(conn, ok_frame(
+            "auth", request_id, namespace=ns.name,
+            epoch=ns.session.epoch,
+            now_seq=ns.session.monitor.manager.now_seq,
+        ))
+
     async def _op_register(self, conn, frame, request_id) -> None:
-        handle_id = self.session.register(
+        ns = self._require_namespace(conn)
+        max_queries = ns.spec.quotas.max_queries
+        if max_queries is not None \
+                and len(ns.session.queries()) >= max_queries:
+            raise self._quota_reject(
+                ns, "max_queries",
+                f"namespace {ns.name!r} already has {max_queries} "
+                f"registered queries",
+                limit=max_queries,
+            )
+        handle_id = ns.session.register(
             frame.get("scoring"), frame.get("k"), frame.get("n"),
         )
+        self._refresh_ns_gauges(ns)
         self._send(conn, ok_frame("register", request_id, query=handle_id))
 
     async def _op_unregister(self, conn, frame, request_id) -> None:
+        ns = self._require_namespace(conn)
         handle_id = frame.get("query")
-        self.session.unregister(handle_id)
+        ns.session.unregister(handle_id)
         # Subscribers of a query that just vanished get a closed event
         # (subscribe-then-unregister must not strand them waiting).
-        subscribers = self._subscribers.pop(handle_id, set())
+        subscribers = self._subscribers.pop((ns.name, handle_id), set())
         closed = encode_frame({"event": "closed", "query": handle_id})
         # All registry bookkeeping completes before the first await so
         # a handler scheduled at the put() below never sees a
@@ -717,73 +1078,111 @@ class ServeServer:
             subscriber.subscriptions.discard(handle_id)
             subscriber.lagged.discard(handle_id)
             self._m_subscribers.dec()
+        ns.subscriptions -= len(subscribers)
+        self._refresh_ns_gauges(ns)
         for subscriber in subscribers:
             await subscriber.events.put(closed)
         self._send(conn, ok_frame("unregister", request_id,
                                   query=handle_id))
 
     async def _op_snapshot(self, conn, frame, request_id) -> None:
+        ns = self._require_namespace(conn)
         handle_id = frame.get("query")
         if handle_id is not None:
-            answer = self.session.results(handle_id)
+            answer = ns.session.results(handle_id)
         else:
-            answer = self.session.snapshot(
+            answer = ns.session.snapshot(
                 frame.get("scoring"), frame.get("k"), frame.get("n"),
             )
         self._send(conn, ok_frame(
             "snapshot", request_id,
-            tick=self.session.monitor.manager.now_seq,
+            tick=ns.session.monitor.manager.now_seq,
             answer=[pair_to_wire(p) for p in answer],
         ))
 
     async def _op_subscribe(self, conn, frame, request_id) -> None:
+        ns = self._require_namespace(conn)
         handle_id = frame.get("query")
-        record = self.session.record(handle_id)  # raises unknown_query
+        record = ns.session.record(handle_id)  # raises unknown_query
         if handle_id not in conn.subscriptions:
+            max_subscribers = ns.spec.quotas.max_subscribers
+            if max_subscribers is not None \
+                    and ns.subscriptions >= max_subscribers:
+                raise self._quota_reject(
+                    ns, "max_subscribers",
+                    f"namespace {ns.name!r} already has "
+                    f"{max_subscribers} active subscriptions",
+                    limit=max_subscribers,
+                )
             conn.subscriptions.add(handle_id)
-            self._subscribers.setdefault(handle_id, set()).add(conn)
+            self._subscribers.setdefault(
+                (ns.name, handle_id), set()
+            ).add(conn)
+            ns.subscriptions += 1
             self._m_subscribers.inc()
         # The baseline answer ships in the ack: deltas replayed on top
         # of it reproduce results() at every later tick.
-        answer = self.session.results(record.handle_id)
+        answer = ns.session.results(record.handle_id)
         self._send(conn, ok_frame(
             "subscribe", request_id, query=handle_id,
-            tick=self.session.monitor.manager.now_seq,
+            tick=ns.session.monitor.manager.now_seq,
             answer=[pair_to_wire(p) for p in answer],
         ))
 
     async def _op_unsubscribe(self, conn, frame, request_id) -> None:
+        ns = self._require_namespace(conn)
         handle_id = frame.get("query")
         if handle_id in conn.subscriptions:
             conn.subscriptions.discard(handle_id)
             conn.lagged.discard(handle_id)
-            subscribers = self._subscribers.get(handle_id)
+            subscribers = self._subscribers.get((ns.name, handle_id))
             if subscribers is not None:
                 subscribers.discard(conn)
                 if not subscribers:
-                    del self._subscribers[handle_id]
+                    del self._subscribers[(ns.name, handle_id)]
+            ns.subscriptions -= 1
             self._m_subscribers.dec()
         self._send(conn, ok_frame("unsubscribe", request_id,
                                   query=handle_id))
 
-    async def _op_checkpoint(self, conn, frame, request_id) -> None:
-        ship = bool(frame.get("ship"))
-        path = frame.get("path", "checkpoint.json")
-        if not ship and (not isinstance(path, str) or not path):
-            raise ProtocolError("bad_request",
-                                "'path' must be a non-empty string")
-        if self.checkpoint_dir is not None and not os.path.isabs(path):
-            path = os.path.join(self.checkpoint_dir, path)
-        start = perf_counter()
+    def _checkpoint_document(self, ns: Namespace) -> tuple[str, dict]:
         # The snapshot happens synchronously on the event loop (so no
         # ingest can interleave and the document is tick-consistent);
         # only the blocking file write leaves the loop.
         try:
-            document, meta = checkpoint_module.checkpoint_document(
-                self.session
-            )
+            return checkpoint_module.checkpoint_document(ns.session)
         except ReproError as exc:
             raise ProtocolError("checkpoint_failed", str(exc)) from exc
+
+    async def _op_checkpoint(self, conn, frame, request_id) -> None:
+        scope = frame.get("scope")
+        if scope not in (None, "all"):
+            raise ProtocolError("bad_request",
+                                "'scope' must be \"all\" when present")
+        if scope == "all":
+            await self._checkpoint_all(conn, frame, request_id)
+            return
+        ns = self._require_namespace(conn)
+        ship = bool(frame.get("ship"))
+        default_name = f"{ns.name}.ckpt" if self.multi_tenant \
+            else "checkpoint.json"
+        path = frame.get("path", default_name)
+        if not ship and (not isinstance(path, str) or not path):
+            raise ProtocolError("bad_request",
+                                "'path' must be a non-empty string")
+        if not ship and self.multi_tenant and os.path.basename(path) != path:
+            # Tenants name their checkpoint inside the server's
+            # checkpoint dir; absolute/relative paths would let one
+            # namespace overwrite another's files (or anything else).
+            raise ProtocolError(
+                "bad_request",
+                "'path' must be a bare file name on a multi-tenant "
+                "server (it lands in the server's checkpoint dir)",
+            )
+        if self.checkpoint_dir is not None and not os.path.isabs(path):
+            path = os.path.join(self.checkpoint_dir, path)
+        start = perf_counter()
+        document, meta = self._checkpoint_document(ns)
         if ship:
             # Bootstrap path for standbys: the document travels inline
             # on this connection instead of touching disk.  Issued right
@@ -800,7 +1199,7 @@ class ServeServer:
             await loop.run_in_executor(
                 None,
                 checkpoint_module.write_checkpoint_document,
-                document, path, self.session.epoch,
+                document, path, ns.session.epoch,
             )
         except OSError as exc:
             raise ProtocolError("checkpoint_failed",
@@ -811,19 +1210,80 @@ class ServeServer:
         meta["seconds"] = elapsed
         self._send(conn, ok_frame("checkpoint", request_id, **meta))
 
+    async def _checkpoint_all(self, conn, frame, request_id) -> None:
+        """Checkpoint every live namespace (admin only on multi-tenant
+        servers): per-namespace ``<ns>.ckpt`` files in the checkpoint
+        dir, or — with ``ship`` — an inline ``states`` map (the
+        multi-tenant standby bootstrap)."""
+        if self.multi_tenant:
+            self._require_admin(conn, "checkpoint scope \"all\"")
+        ship = bool(frame.get("ship"))
+        namespaces = list(self.tenants.namespaces())
+        start = perf_counter()
+        documents = [
+            (ns, *self._checkpoint_document(ns)) for ns in namespaces
+        ]
+        if ship:
+            states = {ns.name: json.loads(doc) for ns, doc, _ in documents}
+            self._send(conn, ok_frame(
+                "checkpoint", request_id, states=states,
+                namespaces=sorted(states),
+                seconds=perf_counter() - start,
+            ))
+            return
+        if self.checkpoint_dir is None:
+            raise ProtocolError(
+                "bad_request",
+                "checkpoint scope \"all\" needs the server started "
+                "with a checkpoint dir (repro serve --checkpoint-dir)",
+            )
+        loop = asyncio.get_running_loop()
+        saved = {}
+        for ns, document, meta in documents:
+            path = os.path.join(self.checkpoint_dir, f"{ns.name}.ckpt")
+            try:
+                await loop.run_in_executor(
+                    None,
+                    checkpoint_module.write_checkpoint_document,
+                    document, path, ns.session.epoch,
+                )
+            except OSError as exc:
+                raise ProtocolError(
+                    "checkpoint_failed",
+                    f"cannot write {path!r}: {exc}",
+                ) from exc
+            meta["path"] = path
+            saved[ns.name] = meta
+        elapsed = perf_counter() - start
+        self._m_checkpoint_seconds.observe(elapsed)
+        self._send(conn, ok_frame(
+            "checkpoint", request_id, namespaces=sorted(saved),
+            saved=saved, seconds=elapsed,
+        ))
+
     async def _op_replicate(self, conn, frame, request_id) -> None:
         """Register this connection as a replication subscriber: every
         batch admitted from now on is mirrored to it as a ``rows``
         event.  The ack carries ``now_seq`` so the standby knows where
         the feed starts relative to the checkpoint it bootstraps from.
         """
+        if self.multi_tenant:
+            self._require_admin(conn, "replicate")
         self._replicas.add(conn)
-        self._send(conn, ok_frame(
-            "replicate", request_id,
-            now_seq=self.session.monitor.manager.now_seq,
-            epoch=self.session.epoch,
-            role=self.role,
-        ))
+        payload: dict = {"role": self.role}
+        default = self._default_namespace()
+        if not self.multi_tenant and default is not None:
+            payload["now_seq"] = default.session.monitor.manager.now_seq
+            payload["epoch"] = default.session.epoch
+        else:
+            payload["namespaces"] = {
+                ns.name: {
+                    "now_seq": ns.session.monitor.manager.now_seq,
+                    "epoch": ns.session.epoch,
+                }
+                for ns in self.tenants.namespaces()
+            }
+        self._send(conn, ok_frame("replicate", request_id, **payload))
 
     async def _op_promote(self, conn, frame, request_id) -> None:
         """Promote a standby to primary: stop tailing, bump the fencing
@@ -832,38 +1292,67 @@ class ServeServer:
         :func:`~repro.serve.checkpoint.write_checkpoint_document`
         refuses to let them clobber the promoted lineage's files.
         """
+        if self.multi_tenant:
+            self._require_admin(conn, "promote")
         if self.role == "primary":
             raise ProtocolError("bad_request",
                                 "this server is already the primary")
         if self.standby is not None:
             self.standby.stop()
-        self.session.epoch += 1
+        for ns in self.tenants.namespaces():
+            ns.session.epoch += 1
         self.role = "primary"
-        self._send(conn, ok_frame(
-            "promote", request_id,
-            epoch=self.session.epoch,
-            now_seq=self.session.monitor.manager.now_seq,
-            role=self.role,
-        ))
+        payload: dict = {"role": self.role}
+        default = self._default_namespace()
+        if not self.multi_tenant and default is not None:
+            payload["epoch"] = default.session.epoch
+            payload["now_seq"] = default.session.monitor.manager.now_seq
+        else:
+            payload["namespaces"] = {
+                ns.name: {
+                    "epoch": ns.session.epoch,
+                    "now_seq": ns.session.monitor.manager.now_seq,
+                }
+                for ns in self.tenants.namespaces()
+            }
+        self._send(conn, ok_frame("promote", request_id, **payload))
 
     async def _op_epoch(self, conn, frame, request_id) -> None:
         """Cheap liveness/catch-up probe: role, fencing epoch, and the
-        engine's current sequence number (what failover drills poll)."""
-        payload = {
-            "epoch": self.session.epoch,
-            "role": self.role,
-            "now_seq": self.session.monitor.manager.now_seq,
-        }
+        engine's current sequence number (what failover drills poll).
+
+        On a multi-tenant server an authenticated connection gets its
+        own namespace's epoch/seq; an admin additionally gets the full
+        per-namespace map; an unauthenticated probe learns only the
+        role (liveness without tenant enumeration).
+        """
+        payload: dict = {"role": self.role}
+        if conn.namespace is not None:
+            payload["epoch"] = conn.namespace.session.epoch
+            payload["now_seq"] = \
+                conn.namespace.session.monitor.manager.now_seq
+            if self.multi_tenant:
+                payload["namespace"] = conn.namespace.name
+        if self.multi_tenant and conn.admin:
+            payload["namespaces"] = {
+                ns.name: {
+                    "epoch": ns.session.epoch,
+                    "now_seq": ns.session.monitor.manager.now_seq,
+                }
+                for ns in self.tenants.namespaces()
+            }
         if self.standby is not None:
             payload["standby"] = self.standby.stats()
         self._send(conn, ok_frame("epoch", request_id, **payload))
 
     async def _op_stats(self, conn, frame, request_id) -> None:
-        payload = self.session.stats()
+        ns = None if conn.admin and conn.namespace is None \
+            else self._require_namespace(conn)
+        payload = ns.session.stats() if ns is not None else {}
         payload["serve"] = {
             "protocol": PROTOCOL_VERSION,
             "role": self.role,
-            "epoch": self.session.epoch,
+            "epoch": ns.session.epoch if ns is not None else None,
             "backpressure": self.backpressure,
             "queue_depth": self.queue_depth,
             "connections": len(self._connections),
@@ -874,6 +1363,28 @@ class ServeServer:
             "obs_port": self.obs.port if self.obs is not None else None,
             "tracing": bool(self.spans.enabled),
         }
+        if self.multi_tenant:
+            tenancy: dict = {}
+            if ns is not None:
+                tenancy.update(
+                    namespace=ns.name,
+                    quotas=ns.spec.quotas.spec(),
+                    subscriptions=ns.subscriptions,
+                )
+            if conn.admin:
+                tenancy["namespaces"] = {
+                    other.name: {
+                        "window_size": len(other.session.monitor.manager),
+                        "now_seq": other.session.monitor.manager.now_seq,
+                        "epoch": other.session.epoch,
+                        "queries": len(other.session.queries()),
+                        "subscriptions": other.subscriptions,
+                    }
+                    for other in self.tenants.namespaces()
+                }
+                if self.mux is not None:
+                    tenancy["mux"] = self.mux.stats()
+            payload["serve"]["tenancy"] = tenancy
         if self.standby is not None:
             payload["serve"]["standby"] = self.standby.stats()
         if frame.get("metrics"):
@@ -881,6 +1392,8 @@ class ServeServer:
         self._send(conn, ok_frame("stats", request_id, stats=payload))
 
     async def _op_shutdown(self, conn, frame, request_id) -> None:
+        if self.multi_tenant:
+            self._require_admin(conn, "shutdown")
         self._send(conn, ok_frame("shutdown", request_id))
         try:
             await conn.writer.drain()

@@ -135,6 +135,11 @@ class ServerMonitor:
         #: the span recorder traced ingests report to (the server adopts
         #: this instance so op spans and tick spans share one ring)
         self.spans = spans if spans is not None else NULL_SPANS
+        #: the tenancy namespace this session serves (multi-tenant
+        #: servers set it; checkpoints record it so a restore can route
+        #: the document back to its namespace).  ``"default"`` matches
+        #: single-tenant servers and pre-tenancy checkpoints.
+        self.namespace = "default"
         #: fencing epoch (monotonic across failovers): checkpoints carry
         #: it in their header, a promoted standby bumps it by one, and
         #: checkpoint writers refuse to clobber a higher-epoch file — the

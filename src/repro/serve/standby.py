@@ -46,6 +46,7 @@ from repro.serve.checkpoint import restore_server_monitor
 from repro.serve.client import ServeClient
 from repro.serve.protocol import pair_to_wire
 from repro.serve.session import ServerMonitor
+from repro.serve.tenancy import DEFAULT_NAMESPACE, NamespaceRegistry
 
 __all__ = ["StandbyTailer", "connect_standby"]
 
@@ -68,15 +69,27 @@ class StandbyTailer:
 
     def __init__(
         self,
-        session: ServerMonitor,
-        sock: socket.socket,
+        session: Optional[ServerMonitor] = None,
+        sock: Optional[socket.socket] = None,
         *,
         leftover: bytes = b"",
         pending_events: Optional[list[dict]] = None,
         delta_log: Optional[str] = None,
         primary: str = "?",
+        registry: Optional[NamespaceRegistry] = None,
     ) -> None:
+        if sock is None:
+            raise ServeError("StandbyTailer needs the detached feed socket")
+        if session is None and registry is None:
+            raise ServeError(
+                "StandbyTailer needs a session or a namespace registry"
+            )
+        #: the single-tenant session (``None`` on a multi-tenant standby,
+        #: where ``registry`` routes each feed event to its namespace)
         self.session = session
+        #: multi-tenant routing table: ``rows`` events carry a
+        #: ``namespace`` field and apply to that namespace's session
+        self.registry = registry
         self.delta_log = delta_log
         self.primary = primary
         #: rows behind the primary at the last received event (0 when
@@ -118,9 +131,12 @@ class StandbyTailer:
     def stats(self) -> dict:
         """JSON-able tailer state (the ``epoch`` op and ``stats``
         responses embed this)."""
-        return {
+        payload = {
             "primary": self.primary,
-            "applied_seq": self.session.monitor.manager.now_seq,
+            "applied_seq": (
+                self.session.monitor.manager.now_seq
+                if self.session is not None else None
+            ),
             "events_applied": self.events_applied,
             "rows_applied": self.rows_applied,
             "lag_rows": self.lag_rows,
@@ -129,6 +145,12 @@ class StandbyTailer:
             "error": self.error,
             "delta_log": self.delta_log,
         }
+        if self.registry is not None:
+            payload["namespaces"] = {
+                ns.name: ns.session.monitor.manager.now_seq
+                for ns in self.registry.namespaces()
+            }
+        return payload
 
     # ------------------------------------------------------------------
     # The tailer is a single task: nothing else writes these attrs, but
@@ -151,10 +173,38 @@ class StandbyTailer:
     def _buffered_feed(self, chunk: bytes) -> None:
         self._buf.extend(chunk)
 
-    def _note_lag(self, primary_seq: int) -> None:
+    def _note_lag(self, session: ServerMonitor, primary_seq: int) -> None:
         self.lag_rows = max(
-            0, primary_seq - self.session.monitor.manager.now_seq
+            0, primary_seq - session.monitor.manager.now_seq
         )
+
+    def _session_for(self, name: str, first: int
+                     ) -> Optional[ServerMonitor]:
+        """The session a ``rows`` event for namespace ``name`` applies
+        to; ``None`` for foreign lanes a single-tenant tailer should
+        skip.  A namespace born on the primary *after* bootstrap shows
+        up as an unknown name whose feed starts at seq 1 — the registry
+        lazily creates it; any other unknown name is a routing bug."""
+        if self.registry is None:
+            if self.session is None or name != self.session.namespace:
+                return None
+            return self.session
+        ns = self.registry.get(name)
+        if ns is not None:
+            return ns.session
+        if first != 1:
+            raise ReplicationError(
+                f"feed references unknown namespace {name!r} mid-stream "
+                f"(first_seq={first}); the bootstrap checkpoint should "
+                f"have covered it"
+            )
+        try:
+            return self.registry.namespace(name).session
+        except ServeError as exc:
+            raise ReplicationError(
+                f"cannot create namespace {name!r} for the replication "
+                f"feed: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     async def run(self) -> None:
@@ -224,16 +274,24 @@ class StandbyTailer:
             raise ReplicationError(
                 f"malformed rows event from the primary: {event!r}"
             )
-        epoch = event.get("epoch")
-        if isinstance(epoch, int) and epoch != self.session.epoch:
+        name = event.get("namespace", DEFAULT_NAMESPACE)
+        if not isinstance(name, str) or not name:
             raise ReplicationError(
-                f"epoch mismatch: the feed carries epoch {epoch} but "
-                f"this standby bootstrapped at epoch "
-                f"{self.session.epoch} — refusing to mix lineages"
+                f"malformed namespace on rows event: {event!r}"
+            )
+        session = self._session_for(name, first)
+        if session is None:
+            return  # another tenant's lane; not ours to apply
+        epoch = event.get("epoch")
+        if isinstance(epoch, int) and epoch != session.epoch:
+            raise ReplicationError(
+                f"epoch mismatch: the feed carries epoch {epoch} for "
+                f"namespace {name!r} but this standby bootstrapped at "
+                f"epoch {session.epoch} — refusing to mix lineages"
             )
         timestamps = event.get("timestamps")
-        applied = self.session.monitor.manager.now_seq
-        self._note_lag(now)
+        applied = session.monitor.manager.now_seq
+        self._note_lag(session, now)
         if now <= applied:
             return  # the shipped checkpoint already covered this batch
         if first <= applied:
@@ -246,37 +304,44 @@ class StandbyTailer:
             first = applied + 1
         if first != applied + 1:
             raise ReplicationError(
-                f"replication gap: standby applied up to seq {applied} "
-                f"but the next event starts at seq {first}"
+                f"replication gap: namespace {name!r} applied up to seq "
+                f"{applied} but the next event starts at seq {first}"
             )
-        count, now_seq = self.session.ingest(rows, timestamps=timestamps)
+        count, now_seq = session.ingest(rows, timestamps=timestamps)
         self.events_applied += 1
         self.rows_applied += count
         if now_seq != now:
             raise ReplicationError(
                 f"replication desync: the primary reached seq {now} "
-                f"but this standby reached seq {now_seq} applying the "
-                f"same batch"
+                f"for namespace {name!r} but this standby reached seq "
+                f"{now_seq} applying the same batch"
             )
-        deltas = self.session.drain_deltas()
+        deltas = session.drain_deltas()
         if self.delta_log is not None and deltas:
-            text = "".join(
-                json.dumps({
+            lines = []
+            for delta in deltas:
+                entry = {
                     "query": delta.query,
                     "tick": delta.tick,
                     "entered": [pair_to_wire(p) for p in delta.entered],
                     "left": [pair_to_wire(p) for p in delta.left],
-                    "epoch": self.session.epoch,
-                }, separators=(",", ":")) + "\n"
-                for delta in deltas
-            )
+                    "epoch": session.epoch,
+                }
+                if self.registry is not None:
+                    entry["namespace"] = name
+                lines.append(
+                    json.dumps(entry, separators=(",", ":")) + "\n"
+                )
+            text = "".join(lines)
             loop = asyncio.get_running_loop()
             await loop.run_in_executor(
                 None, _append_lines, self.delta_log, text,
             )
         if self._server is not None:
-            await self._server._fan_out_delta_list(deltas)
-        self._note_lag(now)
+            target = self._server.tenants.get(name)
+            if target is not None and target.session is session:
+                await self._server._fan_out_delta_list(target, deltas)
+        self._note_lag(session, now)
 
 
 def connect_standby(
@@ -288,38 +353,98 @@ def connect_standby(
     recorder=None,
     delta_log: Optional[str] = None,
     timeout: float = 10.0,
-) -> tuple[ServerMonitor, StandbyTailer]:
+    registry: Optional[NamespaceRegistry] = None,
+    admin_token: Optional[str] = None,
+):
     """Bootstrap a warm standby from a running primary.
 
     Subscribes to the replication feed *before* requesting the shipped
     checkpoint (both on one connection, so the primary's event loop
     serializes them): every batch admitted after the snapshot is on the
     feed, and batches the snapshot already covers are skipped by the
-    tailer's overlap check.  Returns the restored session plus a
-    not-yet-running :class:`StandbyTailer`; hand both to
+    tailer's overlap check.
+
+    Single-tenant primary: returns ``(session, tailer)`` — the restored
+    :class:`~repro.serve.session.ServerMonitor` plus a not-yet-running
+    :class:`StandbyTailer`; hand both to
     :class:`~repro.serve.server.ServeServer` with ``role="standby"``.
+
+    Multi-tenant primary (its hello carries ``multi_tenant: true``):
+    pass the standby's own :class:`NamespaceRegistry` (built from the
+    same tenants file) plus the primary's admin token — ``replicate``
+    and ``checkpoint`` are admin ops there.  Every namespace document
+    in the shipped ``states`` map is restored and installed into the
+    registry, and the returned ``(registry, tailer)`` pair plugs into
+    ``ServeServer(tenants=registry, role="standby", standby=tailer)``.
+    Namespaces born on the primary *after* bootstrap are created lazily
+    by the tailer through the registry's session factory.
     """
     client = ServeClient(host=host, port=port, timeout=timeout)
     try:
-        client.replicate()
-        reply = client.checkpoint(ship=True)
-        state = reply.get("state")
-        if not isinstance(state, dict):
-            raise ServeError(
-                "primary did not ship a checkpoint state document"
+        hello = client.hello or {}
+        multi = bool(hello.get("multi_tenant"))
+        if multi:
+            if registry is None:
+                raise ServeError(
+                    "the primary is multi-tenant; pass the standby's "
+                    "namespace registry (and the primary's admin token) "
+                    "to bootstrap every namespace"
+                )
+            token = admin_token if admin_token is not None \
+                else registry.admin_token
+            client.auth(token=token, admin=True)
+            client.replicate()
+            reply = client.checkpoint(ship=True, scope="all")
+            states = reply.get("states")
+            if not isinstance(states, dict):
+                raise ServeError(
+                    "primary did not ship a per-namespace states map"
+                )
+            for name in sorted(states):
+                state = states[name]
+                if not isinstance(state, dict):
+                    raise ServeError(
+                        f"namespace {name!r} shipped a malformed "
+                        f"checkpoint state document"
+                    )
+                session = restore_server_monitor(
+                    state, mode=mode, audit=audit, recorder=recorder,
+                )
+                if session.namespace != name:
+                    raise ReplicationError(
+                        f"shipped state keyed {name!r} embeds namespace "
+                        f"{session.namespace!r} — refusing the "
+                        f"misrouted document"
+                    )
+                registry.install(name, session)
+            restored = registry
+        else:
+            if registry is not None:
+                raise ServeError(
+                    "a namespace registry was supplied but the primary "
+                    "is single-tenant; bootstrap it without one"
+                )
+            client.replicate()
+            reply = client.checkpoint(ship=True)
+            state = reply.get("state")
+            if not isinstance(state, dict):
+                raise ServeError(
+                    "primary did not ship a checkpoint state document"
+                )
+            restored = restore_server_monitor(
+                state, mode=mode, audit=audit, recorder=recorder,
             )
-        session = restore_server_monitor(
-            state, mode=mode, audit=audit, recorder=recorder,
-        )
     except BaseException:
         client.close()
         raise
     sock, leftover, events = client.detach()
     tailer = StandbyTailer(
-        session, sock,
+        None if multi else restored,
+        sock,
         leftover=leftover,
         pending_events=events,
         delta_log=delta_log,
         primary=f"{host}:{port}",
+        registry=registry if multi else None,
     )
-    return session, tailer
+    return restored, tailer

@@ -1,0 +1,703 @@
+"""Multi-tenant namespaces: auth, quotas, fair scheduling.
+
+One ``repro serve`` process can host many *namespaces*, each owning a
+fully isolated :class:`~repro.serve.session.ServerMonitor` — its own
+sliding window, query registry, skyband groups and fencing epoch.  The
+shape follows the publish/subscribe framing of the top-k literature
+(PAPERS.md): many clients, one stream engine per client state, and the
+per-client state kept separable so a later PR can shard it across
+nodes.  Three pieces live here:
+
+* :class:`NamespaceRegistry` — tenant specs (bearer token + quotas)
+  loaded from a TOML/JSON file (:func:`load_tenants_file`), lazy
+  session creation through a caller-supplied factory, constant-time
+  token checks (:func:`hmac.compare_digest`), and hot-reload hooks the
+  server drives from SIGHUP;
+* :class:`TokenBucket` / :class:`TenantQuotas` — per-namespace limits:
+  window objects, registered queries, subscribers, and an ingest
+  rows/sec token bucket whose partial grants give ingest the exact
+  ``Monitor.extend``-style "prefix admitted" semantics;
+* :class:`FairMultiplexer` — round-robin tick scheduling over ready
+  namespaces with at most one in-flight tick per namespace and a small
+  bounded per-namespace submit queue, so one tenant's heavy ingest or
+  slow subscribers (which stall its fan-out under the ``block``
+  policy) cannot head-of-line-block every other tenant.
+
+Everything here is engine-agnostic: the registry never imports the
+server, and the multiplexer schedules opaque thunks — both are testable
+without a socket (tests/serve/test_tenancy.py).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import hmac
+import json
+import re
+import time
+from collections import deque
+from typing import Callable, Iterator, Optional
+
+from repro.exceptions import ProtocolError, ServeError, TenantConfigError
+from repro.serve.session import ServerMonitor
+
+__all__ = [
+    "DEFAULT_NAMESPACE",
+    "FairMultiplexer",
+    "Namespace",
+    "NamespaceRegistry",
+    "TenantQuotas",
+    "TenantSpec",
+    "TokenBucket",
+    "load_tenants_file",
+    "save_tenants_file",
+    "valid_namespace",
+]
+
+#: the namespace a single-tenant server serves (and the one rows events
+#: without a ``namespace`` field belong to — pre-tenancy compatibility).
+DEFAULT_NAMESPACE = "default"
+
+#: namespace names become checkpoint file names (``<ns>.ckpt``) and
+#: metric label values, so they must start with an alphanumeric (no
+#: ``.``/``..`` traversal) and stay shell- and URL-safe.
+_NAMESPACE_RE = re.compile(r"^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$")
+
+_QUOTA_FIELDS = (
+    "max_window_objects",
+    "max_queries",
+    "max_subscribers",
+    "ingest_rows_per_sec",
+    "burst_rows",
+)
+
+
+def valid_namespace(name) -> bool:
+    """Whether ``name`` is a legal namespace name."""
+    return isinstance(name, str) and bool(_NAMESPACE_RE.match(name))
+
+
+class TokenBucket:
+    """A rows/sec rate limiter with whole-row grants.
+
+    The bucket starts full (``burst`` tokens) and refills continuously
+    at ``rate`` tokens/sec up to ``burst``.  :meth:`grant` admits as
+    many whole rows as the bucket can pay for — possibly fewer than
+    requested, possibly zero — so ingest can admit an exact prefix of a
+    batch and report the cut, mirroring ``Monitor.extend`` semantics.
+
+    ``clock`` is injectable (tests pin refill boundaries without
+    sleeping); the default is :func:`time.monotonic`.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise TenantConfigError(
+                f"token bucket rate must be > 0, got {rate!r}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(rate, 1.0)
+        if self.burst < 1.0:
+            raise TenantConfigError(
+                f"token bucket burst must allow >= 1 row, got {burst!r}"
+            )
+        self._clock = clock
+        self._last = clock()
+        self.tokens = self.burst
+
+    def grant(self, requested: int) -> int:
+        """Admit up to ``requested`` rows; returns how many (0..n)."""
+        if requested <= 0:
+            return 0
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        granted = min(requested, int(self.tokens))
+        self.tokens -= granted
+        return granted
+
+
+class TenantQuotas:
+    """Per-namespace resource limits; ``None`` means unlimited."""
+
+    __slots__ = _QUOTA_FIELDS
+
+    def __init__(
+        self,
+        *,
+        max_window_objects: Optional[int] = None,
+        max_queries: Optional[int] = None,
+        max_subscribers: Optional[int] = None,
+        ingest_rows_per_sec: Optional[float] = None,
+        burst_rows: Optional[float] = None,
+    ) -> None:
+        self.max_window_objects = max_window_objects
+        self.max_queries = max_queries
+        self.max_subscribers = max_subscribers
+        self.ingest_rows_per_sec = ingest_rows_per_sec
+        self.burst_rows = burst_rows
+        for field in ("max_window_objects", "max_queries",
+                      "max_subscribers"):
+            value = getattr(self, field)
+            if value is not None and (
+                    not isinstance(value, int) or isinstance(value, bool)
+                    or value < 1):
+                raise TenantConfigError(
+                    f"quota {field} must be an int >= 1, got {value!r}"
+                )
+        for field in ("ingest_rows_per_sec", "burst_rows"):
+            value = getattr(self, field)
+            if value is not None and (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool) or value <= 0):
+                raise TenantConfigError(
+                    f"quota {field} must be a number > 0, got {value!r}"
+                )
+        if burst_rows is not None and ingest_rows_per_sec is None:
+            raise TenantConfigError(
+                "quota burst_rows needs ingest_rows_per_sec"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "TenantQuotas":
+        if not isinstance(spec, dict):
+            raise TenantConfigError(
+                f"quotas must be an object, got {type(spec).__name__}"
+            )
+        unknown = set(spec) - set(_QUOTA_FIELDS)
+        if unknown:
+            raise TenantConfigError(
+                f"unknown quota field(s) {sorted(unknown)}; expected "
+                f"{list(_QUOTA_FIELDS)}"
+            )
+        return cls(**spec)
+
+    def spec(self) -> dict:
+        """The JSON-able quota spec (``None`` fields omitted)."""
+        return {
+            field: getattr(self, field)
+            for field in _QUOTA_FIELDS
+            if getattr(self, field) is not None
+        }
+
+    def bucket(self, clock: Callable[[], float]) -> Optional[TokenBucket]:
+        if self.ingest_rows_per_sec is None:
+            return None
+        return TokenBucket(
+            self.ingest_rows_per_sec, self.burst_rows, clock=clock,
+        )
+
+
+#: the quota set of a single-tenant server: everything unlimited.
+UNLIMITED = TenantQuotas()
+
+
+class TenantSpec:
+    """One tenant's declared identity: token, quotas, revocation."""
+
+    __slots__ = ("name", "token", "quotas", "revoked")
+
+    def __init__(self, name: str, token: str,
+                 quotas: Optional[TenantQuotas] = None,
+                 *, revoked: bool = False) -> None:
+        if not valid_namespace(name):
+            raise TenantConfigError(
+                f"invalid namespace name {name!r} (must match "
+                f"{_NAMESPACE_RE.pattern})"
+            )
+        if not isinstance(token, str) or len(token) < 8:
+            raise TenantConfigError(
+                f"tenant {name!r} needs a token string of >= 8 chars"
+            )
+        self.name = name
+        self.token = token
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        self.revoked = bool(revoked)
+
+    def fingerprint(self) -> str:
+        """A short non-secret token digest (``repro tenants list``)."""
+        digest = hashlib.sha256(self.token.encode("utf-8")).hexdigest()
+        return digest[:12]
+
+    @classmethod
+    def from_config(cls, name: str, config: dict) -> "TenantSpec":
+        if not isinstance(config, dict):
+            raise TenantConfigError(
+                f"tenant {name!r} must map to an object, got "
+                f"{type(config).__name__}"
+            )
+        unknown = set(config) - {"token", "quotas", "revoked"}
+        if unknown:
+            raise TenantConfigError(
+                f"tenant {name!r} has unknown field(s) {sorted(unknown)}"
+            )
+        quotas = TenantQuotas.from_spec(config.get("quotas", {}))
+        return cls(
+            name, config.get("token", ""), quotas,
+            revoked=bool(config.get("revoked", False)),
+        )
+
+    def config(self) -> dict:
+        """The JSON-able tenants-file entry (includes the token — this
+        is what ``repro tenants`` writes back to the file)."""
+        entry: dict = {"token": self.token}
+        quotas = self.quotas.spec()
+        if quotas:
+            entry["quotas"] = quotas
+        if self.revoked:
+            entry["revoked"] = True
+        return entry
+
+
+def _parse_tenants_document(document: dict, origin: str
+                            ) -> tuple[dict[str, TenantSpec], Optional[str]]:
+    if not isinstance(document, dict):
+        raise TenantConfigError(
+            f"{origin}: top level must be an object"
+        )
+    unknown = set(document) - {"tenants", "admin_token"}
+    if unknown:
+        raise TenantConfigError(
+            f"{origin}: unknown top-level field(s) {sorted(unknown)}"
+        )
+    admin_token = document.get("admin_token")
+    if admin_token is not None and (
+            not isinstance(admin_token, str) or len(admin_token) < 8):
+        raise TenantConfigError(
+            f"{origin}: admin_token must be a string of >= 8 chars"
+        )
+    tenants = document.get("tenants", {})
+    if not isinstance(tenants, dict):
+        raise TenantConfigError(f"{origin}: 'tenants' must be an object")
+    specs: dict[str, TenantSpec] = {}
+    for name, config in tenants.items():
+        specs[name] = TenantSpec.from_config(name, config)
+    return specs, admin_token
+
+
+def load_tenants_file(path: str
+                      ) -> tuple[dict[str, TenantSpec], Optional[str]]:
+    """Parse a tenants file; returns ``(specs, admin_token)``.
+
+    ``.toml`` files need :mod:`tomllib` (Python >= 3.11); everything
+    else is parsed as JSON.  Both formats share one shape::
+
+        admin_token = "..."            # optional, enables admin ops
+        [tenants.alpha]
+        token = "alpha-secret-token"
+        [tenants.alpha.quotas]
+        max_queries = 8
+        ingest_rows_per_sec = 5000
+
+    Raises :class:`~repro.exceptions.TenantConfigError` for a missing
+    or malformed file — the server refuses to start (or keeps the old
+    config on a SIGHUP reload) rather than guessing.
+    """
+    if path.endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError as exc:
+            raise TenantConfigError(
+                f"{path}: TOML tenants files need Python >= 3.11 "
+                f"(tomllib); use the JSON format instead"
+            ) from exc
+        try:
+            with open(path, "rb") as handle:
+                document = tomllib.load(handle)
+        except OSError as exc:
+            raise TenantConfigError(
+                f"cannot read tenants file {path}: {exc}"
+            ) from exc
+        except tomllib.TOMLDecodeError as exc:
+            raise TenantConfigError(
+                f"tenants file {path} is not valid TOML: {exc}"
+            ) from exc
+    else:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise TenantConfigError(
+                f"cannot read tenants file {path}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise TenantConfigError(
+                f"tenants file {path} is not valid JSON: {exc}"
+            ) from exc
+    return _parse_tenants_document(document, path)
+
+
+def save_tenants_file(path: str, specs: dict[str, TenantSpec],
+                      admin_token: Optional[str]) -> None:
+    """Write a tenants file (JSON only — ``repro tenants`` edits).
+
+    TOML files are read-only for the admin CLI: rewriting them would
+    drop comments, so mutations on a ``.toml`` config raise.
+    """
+    if path.endswith(".toml"):
+        raise TenantConfigError(
+            f"{path}: the tenants CLI only rewrites JSON files; edit "
+            f"TOML configs by hand"
+        )
+    document: dict = {
+        "tenants": {
+            name: spec.config() for name, spec in sorted(specs.items())
+        },
+    }
+    if admin_token is not None:
+        document["admin_token"] = admin_token
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+class Namespace:
+    """One tenant's live state: the lazily created session plus the
+    runtime counters quota checks read."""
+
+    __slots__ = ("name", "spec", "session", "bucket", "subscriptions")
+
+    def __init__(self, name: str, spec: TenantSpec,
+                 session: ServerMonitor,
+                 bucket: Optional[TokenBucket] = None) -> None:
+        self.name = name
+        self.spec = spec
+        self.session = session
+        self.bucket = bucket
+        #: live subscription count across this namespace's connections
+        #: (maintained by the server; checked against max_subscribers)
+        self.subscriptions = 0
+
+    def grant(self, requested: int) -> int:
+        """Rows the ingest rate limiter admits (all, when unlimited)."""
+        if self.bucket is None:
+            return requested
+        return self.bucket.grant(requested)
+
+
+class NamespaceRegistry:
+    """Tenant specs plus their lazily materialized namespaces.
+
+    ``factory(name, spec)`` builds a fresh :class:`ServerMonitor` the
+    first time a namespace is touched (auth, restore, or replication
+    feed).  ``open_default=True`` is the single-tenant mode: no tokens,
+    one pre-installed ``default`` namespace — the server runs the same
+    code path either way.
+    """
+
+    def __init__(
+        self,
+        specs: Optional[dict[str, TenantSpec]] = None,
+        factory: Optional[Callable[[str, TenantSpec], ServerMonitor]] = None,
+        *,
+        admin_token: Optional[str] = None,
+        path: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+        open_default: bool = False,
+    ) -> None:
+        self.specs: dict[str, TenantSpec] = dict(specs or {})
+        self.admin_token = admin_token
+        self.path = path
+        self.open = open_default
+        self._factory = factory
+        self._clock = clock
+        self._namespaces: dict[str, Namespace] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, session: ServerMonitor) -> "NamespaceRegistry":
+        """Wrap one existing session as an open single-tenant registry
+        (the ``default`` namespace, no auth, no quotas)."""
+        registry = cls(open_default=True)
+        registry.install(DEFAULT_NAMESPACE, session)
+        return registry
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str,
+        factory: Callable[[str, TenantSpec], ServerMonitor],
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "NamespaceRegistry":
+        specs, admin_token = load_tenants_file(path)
+        return cls(specs, factory, admin_token=admin_token, path=path,
+                   clock=clock)
+
+    # ------------------------------------------------------------------
+    def authenticate(self, name, token) -> TenantSpec:
+        """Validate a namespace bearer token; returns the spec.
+
+        Every failure — unknown namespace, revoked tenant, wrong token —
+        raises the same ``unauthorized`` code with the same message, so
+        the error channel leaks nothing about which tenants exist; the
+        token comparison itself is constant-time.
+        """
+        spec = self.specs.get(name) if isinstance(name, str) else None
+        expected = spec.token if spec is not None and not spec.revoked \
+            else ""
+        supplied = token if isinstance(token, str) else ""
+        # Compare even when the namespace is unknown, so the rejection
+        # timing does not distinguish "no such tenant" from "bad token".
+        matched = hmac.compare_digest(
+            supplied.encode("utf-8"), expected.encode("utf-8")
+        )
+        if spec is None or spec.revoked or not expected or not matched:
+            raise ProtocolError(
+                "unauthorized",
+                "namespace authentication failed (unknown namespace, "
+                "revoked tenant, or wrong token)",
+            )
+        return spec
+
+    def authenticate_admin(self, token) -> None:
+        """Validate the file-level admin token (``auth`` with
+        ``admin: true`` — replicate/promote/checkpoint-all/shutdown)."""
+        expected = self.admin_token or ""
+        supplied = token if isinstance(token, str) else ""
+        matched = hmac.compare_digest(
+            supplied.encode("utf-8"), expected.encode("utf-8")
+        )
+        if not expected or not matched:
+            raise ProtocolError(
+                "unauthorized", "admin authentication failed"
+            )
+
+    # ------------------------------------------------------------------
+    def namespace(self, name: str) -> Namespace:
+        """The live namespace, creating session + rate bucket on first
+        touch (requires a spec unless the registry is open)."""
+        namespace = self._namespaces.get(name)
+        if namespace is not None:
+            return namespace
+        spec = self.specs.get(name)
+        if spec is None:
+            if not self.open:
+                raise ProtocolError(
+                    "unauthorized", f"unknown namespace {name!r}"
+                )
+            spec = TenantSpec(name, "open-access-token")
+        if self._factory is None:
+            raise ServeError(
+                f"namespace {name!r} has no session and the registry "
+                f"has no session factory"
+            )
+        session = self._factory(name, spec)
+        session.namespace = name
+        namespace = Namespace(
+            name, spec, session, spec.quotas.bucket(self._clock),
+        )
+        self._namespaces[name] = namespace
+        return namespace
+
+    def get(self, name: str) -> Optional[Namespace]:
+        """The live namespace, or ``None`` if never materialized."""
+        return self._namespaces.get(name)
+
+    def install(self, name: str, session: ServerMonitor) -> Namespace:
+        """Adopt an externally built session (single-tenant wrap,
+        checkpoint restore, standby bootstrap) as namespace ``name``."""
+        if not valid_namespace(name):
+            raise TenantConfigError(f"invalid namespace name {name!r}")
+        spec = self.specs.get(name)
+        if spec is None:
+            spec = TenantSpec(name, "open-access-token")
+        session.namespace = name
+        namespace = Namespace(
+            name, spec, session, spec.quotas.bucket(self._clock),
+        )
+        self._namespaces[name] = namespace
+        return namespace
+
+    def namespaces(self) -> Iterator[Namespace]:
+        """Live namespaces in creation order."""
+        return iter(list(self._namespaces.values()))
+
+    def __len__(self) -> int:
+        return len(self._namespaces)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._namespaces
+
+    # ------------------------------------------------------------------
+    def reload(self, specs: dict[str, TenantSpec],
+               admin_token: Optional[str]) -> list[str]:
+        """Swap in a freshly parsed tenants file (SIGHUP hot-reload).
+
+        Live sessions survive: a tenant whose quotas changed gets a new
+        rate bucket, a revoked or removed tenant keeps its window (an
+        un-revoke restores access to the same data) but every new auth
+        fails.  Returns the names of live namespaces that lost access —
+        the server closes their connections.
+        """
+        self.specs = dict(specs)
+        self.admin_token = admin_token
+        stale: list[str] = []
+        for name, namespace in self._namespaces.items():
+            spec = self.specs.get(name)
+            if spec is None or spec.revoked:
+                if not self.open:
+                    stale.append(name)
+                continue
+            if spec.quotas.spec() != namespace.spec.quotas.spec():
+                namespace.bucket = spec.quotas.bucket(self._clock)
+            namespace.spec = spec
+        return stale
+
+
+class FairMultiplexer:
+    """Round-robin tick scheduling over ready namespaces.
+
+    Engine ticks are CPU-bound and serialize on the event loop anyway;
+    what the multiplexer controls is *ordering* and *admission*:
+
+    * at most one in-flight tick per namespace — a namespace whose
+      fan-out awaits a slow subscriber (``block`` policy) parks only
+      its own lane;
+    * dispatch is round-robin over namespaces with queued work, so a
+      tenant hammering ingest cannot starve a light tenant: the light
+      tenant's next tick is scheduled after at most one tick from each
+      other ready namespace;
+    * each namespace's submit queue is bounded (``max_pending``);
+      :meth:`submit` applies backpressure to that namespace's own
+      connections by awaiting a per-namespace semaphore.
+
+    Dispatch is synchronous (driven from :meth:`submit` enqueues and
+    job completions), so there is no scheduler task to leak and no
+    cross-await mutable state: async methods delegate every mutation to
+    synchronous helpers, which are atomic between awaits on a
+    single-threaded loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 4,
+        spawn: Optional[Callable] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ServeError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self._spawn_cb = spawn
+        self._queues: dict[str, deque] = {}
+        self._rotation: deque[str] = deque()
+        self._busy: set[str] = set()
+        self._sems: dict[str, asyncio.Semaphore] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._stopped = False
+        #: lifetime dispatch count per namespace (fairness diagnostics)
+        self.dispatched: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    async def submit(self, name: str, thunk: Callable) -> object:
+        """Run ``thunk()`` in namespace ``name``'s lane; returns (or
+        raises) its result.  Awaits when the namespace already has
+        ``max_pending`` jobs queued — per-namespace backpressure that
+        never blocks other namespaces' submitters."""
+        if self._stopped:
+            raise ServeError("multiplexer is stopped")
+        sem = self._semaphore(name)
+        await sem.acquire()
+        if self._stopped:
+            sem.release()
+            raise ServeError("multiplexer is stopped")
+        future = asyncio.get_running_loop().create_future()
+        self._enqueue(name, thunk, future, sem)
+        return await future
+
+    def stop(self) -> None:
+        """Fail every queued job and refuse new submits.  In-flight
+        jobs finish on their own (the server cancels their tasks as
+        part of its shutdown)."""
+        self._stopped = True
+        for queue in self._queues.values():
+            while queue:
+                _, future, sem = queue.popleft()
+                sem.release()
+                if not future.done():
+                    future.set_exception(
+                        ServeError("multiplexer stopped")
+                    )
+        self._queues.clear()
+        self._rotation.clear()
+
+    def stats(self) -> dict:
+        """JSON-able scheduler state (``stats`` responses embed it)."""
+        return {
+            "namespaces": len(self._sems),
+            "busy": len(self._busy),
+            "queued": sum(len(q) for q in self._queues.values()),
+            "dispatched": dict(self.dispatched),
+        }
+
+    # ------------------------------------------------------------------
+    # synchronous internals: every mutation of scheduler state happens
+    # inside these (atomic between awaits on a single-threaded loop).
+    def _semaphore(self, name: str) -> asyncio.Semaphore:
+        sem = self._sems.get(name)
+        if sem is None:
+            sem = asyncio.Semaphore(self.max_pending)
+            self._sems[name] = sem
+            self._queues[name] = deque()
+            self._rotation.append(name)
+            self.dispatched[name] = 0
+        return sem
+
+    def _enqueue(self, name, thunk, future, sem) -> None:
+        self._queues[name].append((thunk, future, sem))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Start one job for every ready, non-busy namespace, visiting
+        namespaces in round-robin order."""
+        if self._stopped:
+            return
+        for _ in range(len(self._rotation)):
+            name = self._rotation[0]
+            self._rotation.rotate(-1)
+            if name in self._busy:
+                continue
+            queue = self._queues[name]
+            if not queue:
+                continue
+            thunk, future, sem = queue.popleft()
+            self._busy.add(name)
+            self.dispatched[name] += 1
+            coro = self._run(name, thunk, future, sem)
+            if self._spawn_cb is not None:
+                self._spawn_cb(coro)
+            else:
+                task = asyncio.get_running_loop().create_task(coro)
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+
+    def _deliver(self, name, future, sem, result, error) -> None:
+        self._busy.discard(name)
+        sem.release()
+        if not future.done():  # the submitter may have been cancelled
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        elif error is not None:
+            raise error  # surface through the task reaper, not silence
+        self._dispatch()
+
+    async def _run(self, name, thunk, future, sem) -> None:
+        try:
+            result = await thunk()
+        except (Exception, asyncio.CancelledError) as exc:
+            self._deliver(name, future, sem, None, exc)
+        else:
+            self._deliver(name, future, sem, result, None)
